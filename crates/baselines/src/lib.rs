@@ -1,0 +1,22 @@
+//! Deterministic HHH baselines the paper evaluates RHHH against.
+//!
+//! * [`Mst`] — the algorithm of Mitzenmacher, Steinke and Thaler
+//!   (ALENEX 2012, reference \[35\] of the paper): one Space Saving instance
+//!   per lattice node, **every** node updated on **every** packet. Strong
+//!   deterministic guarantees, `O(H)` update time — the structure RHHH
+//!   inherits and randomizes.
+//! * [`Ancestry`] — the trie-based Full and Partial Ancestry algorithms of
+//!   Cormode, Korn, Muthukrishnan and Srivastava (TKDD 2008, reference
+//!   \[14\]): lossy-counting-style tries over the prefix lattice with
+//!   `O(H log(εN)/ε)` space. Their update cost *drops* as ε shrinks
+//!   (bigger trie → more first-probe hits), which is exactly the empirical
+//!   effect Figure 5 of the RHHH paper shows.
+//!
+//! All baselines implement [`hhh_core::HhhAlgorithm`], so the evaluation
+//! harness and the virtual-switch monitors drive them exactly like RHHH.
+
+mod ancestry;
+mod mst;
+
+pub use ancestry::{Ancestry, AncestryMode};
+pub use mst::Mst;

@@ -1,0 +1,58 @@
+//! DESIGN.md ablation: the per-increment cost of the counter algorithms.
+//!
+//! The paper's O(1) worst-case update (Theorem 6.18) requires the
+//! stream-summary Space Saving; the heap variant pays O(log 1/ε) sifts.
+//! This bench quantifies the gap at the paper's ε = 0.001 (1001 counters)
+//! and a coarser ε = 0.01, plus the alternative algorithms for context.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhh_bench::Workload;
+use hhh_counters::{
+    FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+};
+
+const PACKETS: usize = 200_000;
+
+fn bench_counter<E: FrequencyEstimator<u32>>(
+    c: &mut Criterion,
+    group_name: &str,
+    label: &str,
+    capacity: usize,
+    keys: &[u32],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter(label), |b| {
+        b.iter_batched(
+            || E::with_capacity(capacity),
+            |mut est| {
+                for &k in keys {
+                    est.increment(k);
+                }
+                est
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    for (eps_label, capacity) in [("eps-0.001", 1000usize), ("eps-0.01", 100usize)] {
+        let group = format!("counter-ablation/{eps_label}");
+        bench_counter::<SpaceSaving<u32>>(c, &group, "SpaceSaving(list)", capacity, &w.keys1);
+        bench_counter::<HeapSpaceSaving<u32>>(c, &group, "SpaceSaving(heap)", capacity, &w.keys1);
+        bench_counter::<MisraGries<u32>>(c, &group, "MisraGries", capacity, &w.keys1);
+        bench_counter::<LossyCounting<u32>>(c, &group, "LossyCounting", capacity, &w.keys1);
+    }
+}
+
+criterion_group!(ablation, benches);
+criterion_main!(ablation);

@@ -1,0 +1,53 @@
+//! `Output(θ)` query latency. The paper's contribution is the O(1) update;
+//! the query runs off the per-packet path (operators poll it), but its cost
+//! bounds how frequently the HHH set can be refreshed.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hhh_baselines::Mst;
+use hhh_bench::Workload;
+use hhh_core::{HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_hierarchy::Lattice;
+
+const PACKETS: usize = 500_000;
+
+fn benches(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+
+    let mut rhhh = Rhhh::<u64>::new(
+        lat.clone(),
+        RhhhConfig {
+            epsilon_a: 0.001,
+            epsilon_s: 0.001,
+            delta_s: 0.001,
+            v_scale: 1,
+            updates_per_packet: 1,
+            seed: 0x0A7E,
+        },
+    );
+    let mut mst = Mst::<u64>::new(lat, 0.001);
+    for &k in &w.keys2 {
+        rhhh.insert(k);
+        mst.insert(k);
+    }
+
+    let mut group = c.benchmark_group("output-latency");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for theta in [0.01f64, 0.001] {
+        group.bench_function(BenchmarkId::new("RHHH", theta), |b| {
+            b.iter(|| rhhh.query(theta));
+        });
+        group.bench_function(BenchmarkId::new("MST", theta), |b| {
+            b.iter(|| mst.query(theta));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(output, benches);
+criterion_main!(output);

@@ -1,0 +1,125 @@
+//! Figure 5 counterpart: per-packet update cost for every algorithm on the
+//! three evaluated hierarchies. Criterion reports element throughput
+//! (elements/second ≈ packets/second), so the Mpps numbers of the paper's
+//! figure read directly off the output.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhh_baselines::{Ancestry, AncestryMode, Mst};
+use hhh_bench::Workload;
+use hhh_core::{HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_hierarchy::{KeyBits, Lattice};
+
+const PACKETS: usize = 200_000;
+const EPSILON: f64 = 0.001;
+
+fn rhhh_config(v_scale: u64) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: EPSILON,
+        epsilon_s: EPSILON,
+        delta_s: 0.001,
+        v_scale,
+        updates_per_packet: 1,
+        seed: 0xBE7C,
+    }
+}
+
+fn bench_algo<K: KeyBits, A: HhhAlgorithm<K>>(
+    c: &mut Criterion,
+    group_name: &str,
+    algo_name: &str,
+    keys: &[K],
+    mut make: impl FnMut() -> A,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter(algo_name), |b| {
+        b.iter_batched(
+            &mut make,
+            |mut algo| {
+                for &k in keys {
+                    algo.insert(k);
+                }
+                algo
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn hierarchy_panel<K: KeyBits>(c: &mut Criterion, name: &str, lattice: &Lattice<K>, keys: &[K]) {
+    let group = format!("fig5/{name}");
+    bench_algo(c, &group, "RHHH", keys, || {
+        Rhhh::<K>::new(lattice.clone(), rhhh_config(1))
+    });
+    bench_algo(c, &group, "10-RHHH", keys, || {
+        Rhhh::<K>::new(lattice.clone(), rhhh_config(10))
+    });
+    bench_algo(c, &group, "MST", keys, || {
+        Mst::<K>::new(lattice.clone(), EPSILON)
+    });
+    bench_algo(c, &group, "FullAncestry", keys, || {
+        Ancestry::new(lattice.clone(), AncestryMode::Full, EPSILON)
+    });
+    bench_algo(c, &group, "PartialAncestry", keys, || {
+        Ancestry::new(lattice.clone(), AncestryMode::Partial, EPSILON)
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    hierarchy_panel(c, "1d-bytes", &Lattice::ipv4_src_bytes(), &w.keys1);
+    hierarchy_panel(c, "1d-bits", &Lattice::ipv4_src_bits(), &w.keys1);
+    hierarchy_panel(c, "2d-bytes", &Lattice::ipv4_src_dst_bytes(), &w.keys2);
+}
+
+/// Corollary 6.8 ablation: `r` independent update draws per packet converge
+/// `r×` faster at `r×` the update cost — measure the cost side.
+fn multi_update_sweep(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+    for r in [1u32, 2, 4, 8] {
+        bench_algo(c, "cor6.8/r-sweep", &format!("r={r}"), &w.keys2, || {
+            Rhhh::<u64>::new(
+                lat.clone(),
+                RhhhConfig {
+                    updates_per_packet: r,
+                    ..rhhh_config(1)
+                },
+            )
+        });
+    }
+}
+
+/// The introduction's IPv6 motivation: update cost vs hierarchy size for
+/// the O(1) algorithm and the O(H) baseline on 128-bit keys.
+fn ipv6_h_scaling(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    // Widen the 1D keys to synthetic IPv6 (documented prefix + entropy).
+    let keys: Vec<u128> = w
+        .keys2
+        .iter()
+        .map(|&k| (0x2001_0db8u128 << 96) | u128::from(k))
+        .collect();
+    for (label, lat) in [
+        ("H=17-bytes", Lattice::ipv6_src_bytes()),
+        ("H=33-nibbles", Lattice::ipv6_src_nibbles()),
+        ("H=129-bits", Lattice::ipv6_src_bits()),
+    ] {
+        bench_algo(c, "ipv6-scaling/RHHH", label, &keys, || {
+            Rhhh::<u128>::new(lat.clone(), rhhh_config(1))
+        });
+        bench_algo(c, "ipv6-scaling/MST", label, &keys, || {
+            Mst::<u128>::new(lat.clone(), EPSILON)
+        });
+    }
+}
+
+criterion_group!(fig5, benches, multi_update_sweep, ipv6_h_scaling);
+criterion_main!(fig5);

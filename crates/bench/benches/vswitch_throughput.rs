@@ -1,0 +1,89 @@
+//! Figures 6 and 7 counterpart: datapath pipeline throughput with each
+//! measurement monitor inline, and the RHHH V sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhh_baselines::{Ancestry, AncestryMode, Mst};
+use hhh_bench::Workload;
+use hhh_core::{Rhhh, RhhhConfig};
+use hhh_hierarchy::Lattice;
+use hhh_traces::Packet;
+use hhh_vswitch::{AlgoMonitor, Datapath, DataplaneMonitor, NoOpMonitor};
+
+const PACKETS: usize = 200_000;
+
+fn rhhh_config(v_scale: u64) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: 0.001,
+        epsilon_s: 0.001,
+        delta_s: 0.0005,
+        v_scale,
+        updates_per_packet: 1,
+        seed: 0x0F56,
+    }
+}
+
+fn bench_pipeline<M: DataplaneMonitor>(
+    c: &mut Criterion,
+    group_name: &str,
+    label: &str,
+    packets: &[Packet],
+    mut make: impl FnMut() -> M,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter(label), |b| {
+        b.iter_batched(
+            || Datapath::new(make()),
+            |mut dp| {
+                for p in packets {
+                    dp.process_packet(p);
+                }
+                dp
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn fig6_monitors(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+
+    bench_pipeline(c, "fig6/monitors", "NoOp", &w.packets, || NoOpMonitor);
+    bench_pipeline(c, "fig6/monitors", "10-RHHH", &w.packets, || {
+        AlgoMonitor::new(Rhhh::<u64>::new(lat.clone(), rhhh_config(10)))
+    });
+    bench_pipeline(c, "fig6/monitors", "RHHH", &w.packets, || {
+        AlgoMonitor::new(Rhhh::<u64>::new(lat.clone(), rhhh_config(1)))
+    });
+    bench_pipeline(c, "fig6/monitors", "MST", &w.packets, || {
+        AlgoMonitor::new(Mst::<u64>::new(lat.clone(), 0.001))
+    });
+    bench_pipeline(c, "fig6/monitors", "PartialAncestry", &w.packets, || {
+        AlgoMonitor::new(Ancestry::new(lat.clone(), AncestryMode::Partial, 0.001))
+    });
+}
+
+fn fig7_v_sweep(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+    for v_scale in [1u64, 2, 5, 10] {
+        bench_pipeline(
+            c,
+            "fig7/v-sweep",
+            &format!("V={}", v_scale * 25),
+            &w.packets,
+            || AlgoMonitor::new(Rhhh::<u64>::new(lat.clone(), rhhh_config(v_scale))),
+        );
+    }
+}
+
+criterion_group!(vswitch, fig6_monitors, fig7_v_sweep);
+criterion_main!(vswitch);

@@ -1,0 +1,53 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The benches mirror the paper's performance experiments:
+//!
+//! * `update_speed` — Figure 5: per-packet update cost of every algorithm
+//!   on each hierarchy.
+//! * `vswitch_throughput` — Figures 6/7: dataplane pipeline throughput per
+//!   monitor and per V.
+//! * `counter_ablation` — the DESIGN.md ablation: O(1) stream-summary
+//!   Space Saving vs the heap variant vs the other counter algorithms.
+//! * `output_latency` — `Output(θ)` query cost (off the per-packet path,
+//!   but relevant for monitoring cadence).
+
+use hhh_traces::{Packet, TraceConfig, TraceGenerator};
+
+/// Pre-materialized benchmark workload (generation stays outside the timed
+/// region, matching the paper's methodology of replaying trace files).
+pub struct Workload {
+    /// 1D keys (source address).
+    pub keys1: Vec<u32>,
+    /// 2D packed keys (source × destination).
+    pub keys2: Vec<u64>,
+    /// Full packet records for the vswitch pipeline.
+    pub packets: Vec<Packet>,
+}
+
+impl Workload {
+    /// Generates `n` packets of the chicago16 preset.
+    #[must_use]
+    pub fn chicago16(n: usize) -> Self {
+        let packets = TraceGenerator::new(&TraceConfig::chicago16()).take_packets(n);
+        Self {
+            keys1: packets.iter().map(Packet::key1).collect(),
+            keys2: packets.iter().map(Packet::key2).collect(),
+            packets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_materializes_consistently() {
+        let w = Workload::chicago16(1_000);
+        assert_eq!(w.keys1.len(), 1_000);
+        assert_eq!(w.keys2.len(), 1_000);
+        assert_eq!(w.packets.len(), 1_000);
+        assert_eq!(w.keys1[0], w.packets[0].src);
+        assert_eq!(w.keys2[0] >> 32, u64::from(w.packets[0].src));
+    }
+}

@@ -1,0 +1,118 @@
+//! Minimal flag parsing — deliberately dependency-free.
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs plus boolean switches.
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `--key value` and bare `--switch` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for non-flag positional tokens.
+    pub fn parse(argv: &[String], switches: &[&str]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut found = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{tok}`"));
+            };
+            if switches.contains(&name) {
+                found.push(name.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} expects a value"))?;
+                values.insert(name.to_string(), value.clone());
+            }
+        }
+        Ok(Self {
+            values,
+            switches: found,
+        })
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Required string value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the flag is absent.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    /// Numeric value with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn num(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<f64>()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+
+    /// Whether a boolean switch was present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(
+            &v(&["--packets", "100", "--volume", "--theta", "0.05"]),
+            &["volume"],
+        )
+        .expect("parse");
+        assert_eq!(f.get("packets"), Some("100"));
+        assert_eq!(f.num("theta", 0.0).unwrap(), 0.05);
+        assert!(f.switch("volume"));
+        assert!(!f.switch("quick"));
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Flags::parse(&v(&["oops"]), &[]).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Flags::parse(&v(&["--packets"]), &[]).is_err());
+    }
+
+    #[test]
+    fn require_and_defaults() {
+        let f = Flags::parse(&v(&["--out", "x.trc"]), &[]).expect("parse");
+        assert_eq!(f.require("out").unwrap(), "x.trc");
+        assert!(f.require("missing").is_err());
+        assert_eq!(f.num("packets", 42.0).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let f = Flags::parse(&v(&["--theta", "abc"]), &[]).expect("parse");
+        assert!(f.num("theta", 0.0).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The `generate`, `analyze` and `speed` subcommands.
+
+use std::net::Ipv4Addr;
+use std::path::Path;
+use std::time::Instant;
+
+use hhh_core::{HeavyHitter, HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_eval::AlgoKind;
+use hhh_hierarchy::{KeyBits, Lattice};
+use hhh_traces::io::{write_trace, TraceReader};
+use hhh_traces::{AttackConfig, Packet, TraceConfig, TraceGenerator};
+
+use crate::args::Flags;
+
+fn preset(name: &str) -> Result<TraceConfig, String> {
+    TraceConfig::presets()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| format!("unknown preset `{name}` (try chicago15/16, sanjose13/14)"))
+}
+
+fn algo_kind(name: &str) -> Result<AlgoKind, String> {
+    Ok(match name {
+        "rhhh" => AlgoKind::Rhhh { v_scale: 1 },
+        "10-rhhh" => AlgoKind::Rhhh { v_scale: 10 },
+        "mst" => AlgoKind::Mst,
+        "full-ancestry" => AlgoKind::FullAncestry,
+        "partial-ancestry" => AlgoKind::PartialAncestry,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+/// Parses `10.20.0.0/16->8.8.8.8@0.3`.
+fn parse_attack(spec: &str) -> Result<AttackConfig, String> {
+    let err = || format!("bad attack spec `{spec}` (want subnet/bits->victim@fraction)");
+    let (net, rest) = spec.split_once("->").ok_or_else(err)?;
+    let (victim, fraction) = rest.split_once('@').ok_or_else(err)?;
+    let (addr, bits) = net.split_once('/').ok_or_else(err)?;
+    Ok(AttackConfig {
+        subnet: addr.parse::<Ipv4Addr>().map_err(|_| err())?.into(),
+        subnet_bits: bits.parse().map_err(|_| err())?,
+        victim: victim.parse::<Ipv4Addr>().map_err(|_| err())?.into(),
+        fraction: fraction.parse().map_err(|_| err())?,
+    })
+}
+
+/// `rhhh generate` — materialize a trace file.
+pub fn generate(argv: &[String]) -> i32 {
+    match generate_inner(argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn generate_inner(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &[])?;
+    let mut config = preset(flags.get("preset").unwrap_or("chicago16"))?;
+    if let Some(spec) = flags.get("attack") {
+        config = config.with_attack(parse_attack(spec)?);
+    }
+    let packets = flags.num("packets", 1_000_000.0)? as usize;
+    let out = flags.require("out")?;
+    let data = TraceGenerator::new(&config).take_packets(packets);
+    let written =
+        write_trace(Path::new(out), &data).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {written} packets ({}) to {out}", config.name);
+    Ok(())
+}
+
+/// `rhhh analyze` — run an algorithm over a trace and print the HHH table.
+pub fn analyze(argv: &[String]) -> i32 {
+    match analyze_inner(argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn load_packets(flags: &Flags) -> Result<Vec<Packet>, String> {
+    if let Some(path) = flags.get("trace") {
+        let reader =
+            TraceReader::open(Path::new(path)).map_err(|e| format!("opening {path}: {e}"))?;
+        return reader
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("reading {path}: {e}"));
+    }
+    let config = preset(flags.get("preset").unwrap_or("chicago16"))?;
+    let packets = flags.num("packets", 1_000_000.0)? as usize;
+    Ok(TraceGenerator::new(&config).take_packets(packets))
+}
+
+fn analyze_inner(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["volume"])?;
+    let theta = flags.num("theta", 0.03)?;
+    let epsilon = flags.num("epsilon", 0.005)?;
+    let top = flags.num("top", 50.0)? as usize;
+    let algo_name = flags.get("algorithm").unwrap_or("rhhh");
+    let hierarchy = flags.get("hierarchy").unwrap_or("2d-bytes");
+    let volume = flags.switch("volume");
+    let filter = flags.get("filter").map(ToString::to_string);
+    let packets = load_packets(&flags)?;
+
+    match hierarchy {
+        "2d-bytes" => run_analysis::<u64>(
+            &Lattice::ipv4_src_dst_bytes(),
+            &packets,
+            Packet::key2,
+            algo_name,
+            epsilon,
+            theta,
+            volume,
+            top,
+            filter.as_deref(),
+        ),
+        "1d-bytes" => run_analysis::<u32>(
+            &Lattice::ipv4_src_bytes(),
+            &packets,
+            Packet::key1,
+            algo_name,
+            epsilon,
+            theta,
+            volume,
+            top,
+            filter.as_deref(),
+        ),
+        "1d-bits" => run_analysis::<u32>(
+            &Lattice::ipv4_src_bits(),
+            &packets,
+            Packet::key1,
+            algo_name,
+            epsilon,
+            theta,
+            volume,
+            top,
+            filter.as_deref(),
+        ),
+        other => Err(format!("unknown hierarchy `{other}`")),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_analysis<K: KeyBits>(
+    lattice: &Lattice<K>,
+    packets: &[Packet],
+    key_of: impl Fn(&Packet) -> K,
+    algo_name: &str,
+    epsilon: f64,
+    theta: f64,
+    volume: bool,
+    top: usize,
+    filter: Option<&str>,
+) -> Result<(), String> {
+    let filter_prefix = filter
+        .map(|f| {
+            lattice
+                .parse_prefix(f)
+                .map_err(|e| format!("--filter: {e}"))
+        })
+        .transpose()?;
+    let start = Instant::now();
+    let mut output: Vec<HeavyHitter<K>>;
+    let total: u64;
+
+    if volume {
+        // Volume weighting is an RHHH-side extension; run it directly.
+        if !algo_name.starts_with("rhhh") && algo_name != "10-rhhh" {
+            return Err("--volume supports rhhh/10-rhhh only".into());
+        }
+        let v_scale = if algo_name == "10-rhhh" { 10 } else { 1 };
+        let mut algo = Rhhh::<K>::new(
+            lattice.clone(),
+            RhhhConfig {
+                epsilon_a: epsilon,
+                epsilon_s: epsilon,
+                delta_s: 0.001,
+                v_scale,
+                updates_per_packet: 1,
+                seed: 0xC11,
+            },
+        );
+        for p in packets {
+            algo.update_weighted(key_of(p), u64::from(p.wire_len));
+        }
+        total = algo.total_weight();
+        output = algo.output(theta);
+    } else {
+        let kind = algo_kind(algo_name)?;
+        let mut algo = kind.build(lattice.clone(), epsilon, 0xC11);
+        for p in packets {
+            algo.insert(key_of(p));
+        }
+        total = algo.packets();
+        output = algo.query(theta);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    if let Some(filter) = filter_prefix {
+        output.retain(|h| filter.generalizes(&h.prefix, lattice));
+    }
+    output.sort_by(|a, b| b.freq_upper.total_cmp(&a.freq_upper));
+    let unit = if volume { "bytes" } else { "packets" };
+    println!(
+        "# {} on {} packets ({total} {unit}), theta={theta}, epsilon={epsilon}, {:.2}s ({:.2} Mpps)",
+        algo_name,
+        packets.len(),
+        elapsed,
+        packets.len() as f64 / elapsed / 1e6,
+    );
+    println!("{:<46} {:>14} {:>14} {:>8}", "prefix", "lower", "upper", "share");
+    for h in output.iter().take(top) {
+        println!(
+            "{:<46} {:>14.0} {:>14.0} {:>7.2}%",
+            h.prefix.display(lattice),
+            h.freq_lower,
+            h.freq_upper,
+            100.0 * h.freq_upper / total as f64
+        );
+    }
+    Ok(())
+}
+
+/// `rhhh speed` — quick Mpps comparison of all algorithms.
+pub fn speed(argv: &[String]) -> i32 {
+    match speed_inner(argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn speed_inner(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &[])?;
+    let config = preset(flags.get("preset").unwrap_or("chicago16"))?;
+    let packets = flags.num("packets", 1_000_000.0)? as usize;
+    let epsilon = flags.num("epsilon", 0.001)?;
+    let hierarchy = flags.get("hierarchy").unwrap_or("2d-bytes");
+    let data = TraceGenerator::new(&config).take_packets(packets);
+
+    println!("# {} packets of {}, epsilon={epsilon}", packets, config.name);
+    println!("{:<18} {:>10}", "algorithm", "Mpps");
+    match hierarchy {
+        "2d-bytes" => {
+            let keys: Vec<u64> = data.iter().map(Packet::key2).collect();
+            speed_table(&Lattice::ipv4_src_dst_bytes(), &keys, epsilon);
+        }
+        "1d-bytes" => {
+            let keys: Vec<u32> = data.iter().map(Packet::key1).collect();
+            speed_table(&Lattice::ipv4_src_bytes(), &keys, epsilon);
+        }
+        "1d-bits" => {
+            let keys: Vec<u32> = data.iter().map(Packet::key1).collect();
+            speed_table(&Lattice::ipv4_src_bits(), &keys, epsilon);
+        }
+        other => return Err(format!("unknown hierarchy `{other}`")),
+    }
+    Ok(())
+}
+
+fn speed_table<K: KeyBits>(lattice: &Lattice<K>, keys: &[K], epsilon: f64) {
+    for kind in AlgoKind::roster() {
+        let mut algo = kind.build(lattice.clone(), epsilon, 1);
+        let mpps = hhh_eval::measure_mpps(algo.as_mut(), keys);
+        println!("{:<18} {:>10.2}", kind.label(), mpps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_spec_roundtrip() {
+        let atk = parse_attack("10.20.0.0/16->8.8.8.8@0.3").expect("parse");
+        assert_eq!(atk.subnet, u32::from_be_bytes([10, 20, 0, 0]));
+        assert_eq!(atk.subnet_bits, 16);
+        assert_eq!(atk.victim, u32::from_be_bytes([8, 8, 8, 8]));
+        assert!((atk.fraction - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attack_spec_errors() {
+        assert!(parse_attack("nonsense").is_err());
+        assert!(parse_attack("10.0.0.0/8->bad@0.5").is_err());
+        assert!(parse_attack("10.0.0.0/8->1.2.3.4@x").is_err());
+    }
+
+    #[test]
+    fn preset_lookup() {
+        assert!(preset("chicago16").is_ok());
+        assert!(preset("nope").is_err());
+    }
+
+    #[test]
+    fn algo_lookup() {
+        for name in ["rhhh", "10-rhhh", "mst", "full-ancestry", "partial-ancestry"] {
+            assert!(algo_kind(name).is_ok(), "{name}");
+        }
+        assert!(algo_kind("bogus").is_err());
+    }
+}

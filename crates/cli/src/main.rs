@@ -1,0 +1,48 @@
+//! `rhhh` — command-line front end for the RHHH reproduction.
+//!
+//! ```text
+//! rhhh generate --preset chicago16 --packets 1000000 --out trace.trc
+//! rhhh analyze  --trace trace.trc --algorithm rhhh --hierarchy 2d-bytes --theta 0.03
+//! rhhh analyze  --preset sanjose14 --packets 2000000 --volume
+//! rhhh speed    --hierarchy 1d-bits --packets 1000000
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("generate") => commands::generate(&argv[1..]),
+        Some("analyze") => commands::analyze(&argv[1..]),
+        Some("speed") => commands::speed(&argv[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "rhhh — hierarchical heavy hitters (SIGCOMM'17 reproduction)
+
+USAGE:
+    rhhh generate --preset <name> --packets <n> --out <file.trc> \\
+                  [--attack <subnet>/<bits>-><victim>@<fraction>]
+    rhhh analyze  (--trace <file.trc> | --preset <name> --packets <n>) \\
+                  [--algorithm rhhh|10-rhhh|mst|full-ancestry|partial-ancestry] \\
+                  [--hierarchy 1d-bytes|1d-bits|2d-bytes] \\
+                  [--theta <t>] [--epsilon <e>] [--volume] [--top <k>] \
+                  [--filter <prefix>]      (e.g. --filter 10.0.0.0/8,*)
+    rhhh speed    [--hierarchy <h>] [--packets <n>] [--preset <name>]
+
+PRESETS: chicago15 chicago16 sanjose13 sanjose14"
+    );
+}

@@ -1,0 +1,154 @@
+//! Fast deterministic randomness for the per-packet draw.
+//!
+//! Algorithm 1 line 2 draws `d = randomInt(0, V)` for **every packet**, so
+//! the draw sits on the hottest path in the system. [`FastRng`] is a wyrand
+//! step (one 64×64→128 multiply) and [`FastRng::bounded`] maps it into
+//! `[0, n)` with Lemire's nearly-divisionless method — an unbiased bounded
+//! draw that avoids the modulo in the common case.
+//!
+//! Determinism matters for the reproduction: every experiment seeds its RNG
+//! so runs are repeatable; the 5-run confidence intervals vary the seed
+//! explicitly.
+
+/// A small, fast, seedable PRNG (wyrand). Not cryptographic — the paper's
+/// adversary model does not include RNG prediction, and the analysis only
+/// needs uniformity.
+#[derive(Debug, Clone)]
+pub struct FastRng {
+    state: u64,
+}
+
+impl FastRng {
+    /// Creates a generator from a seed. Two generators with the same seed
+    /// produce identical streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // Splash the seed so small seeds don't start in a weak state.
+        let mut rng = Self {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline(always)]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0xA076_1D64_78BD_642F);
+        let t = u128::from(self.state).wrapping_mul(u128::from(self.state ^ 0xE703_7ED1_A0B4_28DB));
+        ((t >> 64) ^ t) as u64
+    }
+
+    /// Uniform draw in `[0, n)` by Lemire's nearly-divisionless rejection
+    /// method. Unbiased for every `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline(always)]
+    pub fn bounded(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "bounded(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(n);
+        let mut low = m as u64;
+        if low < n {
+            // Rare slow path: reject the biased low region.
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(n);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform draw in `[0.0, 1.0)`.
+    #[inline(always)]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits scaled to [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = FastRng::new(42);
+        let mut b = FastRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = FastRng::new(43);
+        assert_ne!(FastRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_is_in_range() {
+        let mut rng = FastRng::new(7);
+        for n in [1u64, 2, 3, 5, 25, 250, u64::MAX / 2 + 3] {
+            for _ in 0..1_000 {
+                assert!(rng.bounded(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        // Chi-squared style sanity: 25 bins (the paper's V = H = 25 draw),
+        // 250k draws, each bin expects 10k ± a few hundred.
+        let mut rng = FastRng::new(1234);
+        let n = 25u64;
+        let mut bins = vec![0u64; n as usize];
+        let draws = 250_000;
+        for _ in 0..draws {
+            bins[rng.bounded(n) as usize] += 1;
+        }
+        let expect = draws / n;
+        for (i, &b) in bins.iter().enumerate() {
+            let dev = (b as i64 - expect as i64).abs();
+            assert!(
+                dev < (expect / 10) as i64,
+                "bin {i} = {b}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_probability_matches_h_over_v() {
+        // The sampling core of RHHH: Pr(d < H) = H/V. With V = 10·H the
+        // update rate must be ~10%.
+        let mut rng = FastRng::new(99);
+        let (h, v) = (25u64, 250u64);
+        let draws = 1_000_000;
+        let mut updates = 0u64;
+        for _ in 0..draws {
+            if rng.bounded(v) < h {
+                updates += 1;
+            }
+        }
+        let rate = updates as f64 / draws as f64;
+        assert!((rate - 0.1).abs() < 0.002, "rate = {rate}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = FastRng::new(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded(0)")]
+    fn bounded_zero_panics() {
+        let _ = FastRng::new(1).bounded(0);
+    }
+}

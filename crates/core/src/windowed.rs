@@ -1,0 +1,210 @@
+//! Epoch-rotating RHHH for continuous monitoring.
+//!
+//! The paper measures fixed intervals ("When the minimal measurement
+//! interval is known in advance, the parameter V can be set to satisfy
+//! correctness at the end of the measurement", Section 6.3). Operational
+//! deployments need *rolling* answers: "what are the HHHs over the last W
+//! packets, right now?". [`WindowedRhhh`] provides the standard two-epoch
+//! rotation: a `current` instance absorbs updates while a `previous`
+//! completed epoch serves queries; every `W` packets the epochs rotate.
+//!
+//! Query semantics: estimates cover between `W` (right after a rotation)
+//! and `2·W` packets (right before one) — the usual jumping-window
+//! approximation of a sliding window, with all of RHHH's per-epoch
+//! guarantees intact because each epoch is an independent instance.
+
+use hhh_counters::{FrequencyEstimator, SpaceSaving};
+use hhh_hierarchy::{KeyBits, Lattice};
+
+use crate::output::HeavyHitter;
+use crate::rhhh::{Rhhh, RhhhConfig};
+use crate::HhhAlgorithm;
+
+/// Jumping-window RHHH: rotates a fresh epoch every `window` packets.
+#[derive(Debug, Clone)]
+pub struct WindowedRhhh<K: KeyBits, E: FrequencyEstimator<K> = SpaceSaving<K>> {
+    current: Rhhh<K, E>,
+    previous: Option<Rhhh<K, E>>,
+    window: u64,
+    epochs_completed: u64,
+}
+
+impl<K: KeyBits, E: FrequencyEstimator<K> + Clone> WindowedRhhh<K, E> {
+    /// Creates a windowed instance rotating every `window` packets.
+    ///
+    /// For the per-epoch guarantee to be meaningful, `window` should exceed
+    /// the configuration's ψ (checked at construction in debug builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(lattice: Lattice<K>, config: RhhhConfig, window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        debug_assert!(
+            {
+                let probe = Rhhh::<K, E>::new(lattice.clone(), config);
+                window as f64 >= probe.psi() || cfg!(test)
+            },
+            "window shorter than psi: per-epoch guarantees will not bind"
+        );
+        Self {
+            current: Rhhh::new(lattice, config),
+            previous: None,
+            window,
+            epochs_completed: 0,
+        }
+    }
+
+    /// Processes one packet; rotates epochs at window boundaries.
+    #[inline]
+    pub fn update(&mut self, key: K) {
+        self.current.update(key);
+        if HhhAlgorithm::packets(&self.current) >= self.window {
+            self.rotate();
+        }
+    }
+
+    fn rotate(&mut self) {
+        let lattice = self.current.lattice().clone();
+        let mut config = *self.current.config();
+        // Fresh seed per epoch keeps epochs statistically independent while
+        // remaining fully deterministic.
+        config.seed = config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.epochs_completed + 1);
+        let fresh = Rhhh::new(lattice, config);
+        self.previous = Some(std::mem::replace(&mut self.current, fresh));
+        self.epochs_completed += 1;
+    }
+
+    /// Number of completed epochs so far.
+    #[must_use]
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    /// Packets absorbed by the in-progress epoch.
+    #[must_use]
+    pub fn current_fill(&self) -> u64 {
+        HhhAlgorithm::packets(&self.current)
+    }
+
+    /// HHHs of the last *completed* epoch — the stable answer operators
+    /// alert on. `None` until the first rotation.
+    #[must_use]
+    pub fn query_completed(&self, theta: f64) -> Option<Vec<HeavyHitter<K>>> {
+        self.previous.as_ref().map(|epoch| epoch.output(theta))
+    }
+
+    /// HHHs of the in-progress epoch (partial; noisier early in the epoch).
+    #[must_use]
+    pub fn query_current(&self, theta: f64) -> Vec<HeavyHitter<K>> {
+        self.current.output(theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_hierarchy::pack2;
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+    }
+
+    fn config() -> RhhhConfig {
+        RhhhConfig {
+            epsilon_a: 0.01,
+            epsilon_s: 0.05,
+            delta_s: 0.05,
+            v_scale: 1,
+            updates_per_packet: 1,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn rotates_every_window() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
+        let mut w = WindowedRhhh::<u32>::new(lat, config(), 10_000);
+        let mut rng = Lcg(1);
+        for _ in 0..35_000 {
+            w.update(rng.next() as u32);
+        }
+        assert_eq!(w.epochs_completed(), 3);
+        assert_eq!(w.current_fill(), 5_000);
+    }
+
+    #[test]
+    fn completed_epoch_answers_are_stable() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut w = WindowedRhhh::<u64>::new(lat.clone(), config(), 100_000);
+        assert!(w.query_completed(0.1).is_none(), "no epoch finished yet");
+        let mut rng = Lcg(2);
+        // Epoch 1: heavy subnet A. Epoch 2: heavy subnet B.
+        for i in 0..100_000u64 {
+            let key = if i % 3 == 0 {
+                pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                pack2(rng.next() as u32, rng.next() as u32)
+            };
+            w.update(key);
+        }
+        let epoch1 = w.query_completed(0.1).expect("epoch 1 complete");
+        assert!(
+            epoch1
+                .iter()
+                .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
+            "epoch 1 must show subnet A"
+        );
+        for i in 0..100_000u64 {
+            let key = if i % 3 == 0 {
+                pack2(0x0B15_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                pack2(rng.next() as u32, rng.next() as u32)
+            };
+            w.update(key);
+        }
+        let epoch2 = w.query_completed(0.1).expect("epoch 2 complete");
+        assert!(
+            epoch2
+                .iter()
+                .any(|h| h.prefix.display(&lat).contains("11.21.0.0/16")),
+            "epoch 2 must show subnet B"
+        );
+        assert!(
+            !epoch2
+                .iter()
+                .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
+            "subnet A aged out"
+        );
+    }
+
+    #[test]
+    fn epochs_use_distinct_seeds() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
+        let mut w = WindowedRhhh::<u32>::new(lat, config(), 1_000);
+        for i in 0..2_500u32 {
+            w.update(i);
+        }
+        // After two rotations, current and previous configs differ in seed.
+        let prev_seed = w.previous.as_ref().expect("rotated").config().seed;
+        assert_ne!(prev_seed, w.current.config().seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
+        let _ = WindowedRhhh::<u32>::new(lat, config(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for RHHH and the exact ground truth.
+//!
+//! The probabilistic guarantees (accuracy/coverage at confidence 1−δ) are
+//! exercised with seeded streams — proptest supplies structure (how many
+//! heavy flows, how skewed), while the RHHH seed stays fixed so failures
+//! reproduce deterministically.
+
+use hhh_core::{ExactHhh, HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_hierarchy::{pack2, Lattice, Prefix};
+use proptest::prelude::*;
+
+/// Deterministic stream with proptest-chosen shape: `heavy` flows share a
+/// planted /16 and carry `share`% of traffic.
+fn make_stream(n: u64, heavy_subnet: u8, share_pct: u64, seed: u64) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if i % 100 < share_pct {
+                pack2(
+                    u32::from_be_bytes([10, heavy_subnet, (x >> 24) as u8, (x >> 32) as u8]),
+                    u32::from_be_bytes([8, 8, 8, 8]),
+                )
+            } else {
+                pack2((x >> 16) as u32, (x >> 40) as u32 ^ (i as u32))
+            }
+        })
+        .collect()
+}
+
+fn loose_config(seed: u64) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: 0.01,
+        epsilon_s: 0.04,
+        delta_s: 0.01,
+        v_scale: 1,
+        updates_per_packet: 1,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Coverage (Definition 10): every exact HHH is reported, for any
+    /// planted stream shape, once converged.
+    #[test]
+    fn rhhh_covers_exact_hhh(
+        heavy_subnet in 0u8..255,
+        share in 10u64..60,
+        seed in 1u64..1000,
+    ) {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut algo = Rhhh::<u64>::new(lat.clone(), loose_config(seed));
+        let mut exact = ExactHhh::new(lat.clone());
+        for &k in &make_stream(120_000, heavy_subnet, share, seed) {
+            algo.update(k);
+            exact.insert(k);
+        }
+        prop_assert!(algo.converged());
+        let theta = 0.08;
+        let got: std::collections::HashSet<Prefix<u64>> =
+            algo.output(theta).iter().map(|h| h.prefix).collect();
+        for p in exact.hhh(theta) {
+            prop_assert!(got.contains(&p), "missed {}", p.display(&lat));
+        }
+    }
+
+    /// Output rows are internally consistent for arbitrary θ.
+    #[test]
+    fn output_rows_are_consistent(
+        theta in 0.005f64..0.9,
+        seed in 1u64..500,
+    ) {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut algo = Rhhh::<u64>::new(lat, loose_config(seed));
+        for &k in &make_stream(50_000, 7, 30, seed) {
+            algo.update(k);
+        }
+        for h in algo.output(theta) {
+            prop_assert!(h.freq_lower <= h.freq_upper);
+            prop_assert!(h.freq_lower >= 0.0);
+            prop_assert!(h.conditioned.is_finite());
+            // Admission rule: the conditioned estimate crossed θN.
+            prop_assert!(h.conditioned >= theta * algo.packets() as f64 - 1e-9);
+        }
+    }
+
+    /// Exact-HHH structural laws: conditioned counts never exceed plain
+    /// frequencies, and every selected prefix's conditioned count (w.r.t.
+    /// the prefixes selected before it) reaches θN.
+    #[test]
+    fn exact_hhh_laws(share in 5u64..50, seed in 1u64..500) {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut exact = ExactHhh::new(lat);
+        for &k in &make_stream(40_000, 3, share, seed) {
+            exact.insert(k);
+        }
+        let theta = 0.05;
+        let thr = theta * exact.packets() as f64;
+        let hhh = exact.hhh(theta);
+        for (i, p) in hhh.iter().enumerate() {
+            let before = &hhh[..i];
+            let c = exact.conditioned(p, before);
+            prop_assert!(c as f64 >= thr, "selected below threshold");
+            prop_assert!(c <= exact.frequency(p) as i64, "C > f");
+        }
+        // Residual-mass law: if the root is NOT selected, the mass left
+        // over after subtracting the selected prefixes must be below θN —
+        // otherwise the root's conditioned count would have admitted it.
+        let root = Prefix {
+            key: 0,
+            node: exact.lattice().root(),
+        };
+        if !hhh.iter().any(|p| p.node == exact.lattice().root()) {
+            let residual = exact.conditioned(&root, &hhh);
+            prop_assert!((residual as f64) < thr, "uncovered residual {residual}");
+        }
+    }
+
+    /// Determinism: same seed, same stream → identical output, regardless
+    /// of stream shape.
+    #[test]
+    fn rhhh_is_deterministic(seed in 1u64..200) {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let stream = make_stream(30_000, 9, 25, seed);
+        let mut a = Rhhh::<u64>::new(lat.clone(), loose_config(seed));
+        let mut b = Rhhh::<u64>::new(lat, loose_config(seed));
+        for &k in &stream {
+            a.update(k);
+            b.update(k);
+        }
+        let (oa, ob) = (a.output(0.05), b.output(0.05));
+        prop_assert_eq!(oa.len(), ob.len());
+        for (x, y) in oa.iter().zip(&ob) {
+            prop_assert_eq!(x.prefix, y.prefix);
+            prop_assert_eq!(x.freq_upper, y.freq_upper);
+        }
+    }
+
+    /// Weighted and unit updates agree when all weights are 1.
+    #[test]
+    fn unit_weight_equals_plain_update(seed in 1u64..200) {
+        let lat = Lattice::ipv4_src_bytes();
+        let stream = make_stream(20_000, 1, 20, seed);
+        let mut plain = Rhhh::<u32>::new(lat.clone(), loose_config(seed));
+        let mut weighted = Rhhh::<u32>::new(lat, loose_config(seed));
+        for &k in &stream {
+            plain.update(k as u32);
+            weighted.update_weighted(k as u32, 1);
+        }
+        prop_assert_eq!(plain.total_updates(), weighted.total_updates());
+        prop_assert_eq!(plain.total_weight(), weighted.total_weight());
+        let (oa, ob) = (plain.output(0.05), weighted.output(0.05));
+        prop_assert_eq!(oa.len(), ob.len());
+    }
+}

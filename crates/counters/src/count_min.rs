@@ -1,0 +1,255 @@
+//! Count-Min sketch (Cormode & Muthukrishnan — J. Algorithms 2005) with a
+//! heavy-hitter candidate list.
+//!
+//! Section 3.1 of the RHHH paper: "Sketches [9, 15, 19] can also be
+//! applicable here, but to use them, each sketch should also maintain a list
+//! of heavy hitter items (Definition 5)." This implementation pairs the
+//! sketch with a small Space-Saving-style candidate list keyed by the sketch
+//! estimate, so it exposes the same [`FrequencyEstimator`] interface as the
+//! counter algorithms.
+//!
+//! Guarantees: `f ≤ upper(f)` always, and `upper(f) ≤ f + εN` with
+//! probability `1 − δ` where `ε = e/width` and `δ = e^−depth` — the (ε, δ)
+//! of Definition 4 with a genuinely non-zero δ.
+
+use crate::fast_hash::FastMap;
+use crate::{Candidate, CounterKey, FrequencyEstimator};
+use std::hash::{Hash, Hasher};
+
+/// Rows in the sketch; δ = e^-4 ≈ 1.8%.
+const DEPTH: usize = 4;
+
+/// Count-Min sketch plus candidate list.
+#[derive(Debug, Clone)]
+pub struct CountMin<K> {
+    /// `DEPTH` rows of `width` counters, flattened row-major.
+    table: Vec<u64>,
+    width: usize,
+    /// Per-row 64-bit hash seeds (fixed, derived by splitmix64 so instances
+    /// are deterministic and reproducible).
+    seeds: [u64; DEPTH],
+    /// Candidate heavy hitters: key → last sketch estimate at insert time.
+    candidates: FastMap<K, u64>,
+    /// Maximum number of tracked candidates (= capacity).
+    capacity: usize,
+    updates: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<K: CounterKey> CountMin<K> {
+    fn row_index(&self, row: usize, key: &K) -> usize {
+        let mut hasher = crate::fast_hash::FastHasher::default();
+        self.seeds[row].hash(&mut hasher);
+        key.hash(&mut hasher);
+        (hasher.finish() % self.width as u64) as usize
+    }
+
+    /// Point query: the minimum across rows (never underestimates).
+    #[must_use]
+    pub fn estimate(&self, key: &K) -> u64 {
+        (0..DEPTH)
+            .map(|r| self.table[r * self.width + self.row_index(r, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Evicts the weakest candidate if the list is over capacity.
+    fn trim_candidates(&mut self) {
+        if self.candidates.len() <= self.capacity {
+            return;
+        }
+        if let Some((&weakest, _)) = self
+            .candidates
+            .iter()
+            .min_by_key(|(_, &est)| est)
+        {
+            self.candidates.remove(&weakest);
+        }
+    }
+}
+
+impl<K: CounterKey> FrequencyEstimator<K> for CountMin<K> {
+    fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        // ε = e/width → width = e·capacity for ε = 1/capacity.
+        let width = (std::f64::consts::E * capacity as f64).ceil() as usize;
+        let mut state = 0x5EED_CAFE_F00D_D00Du64;
+        let mut seeds = [0u64; DEPTH];
+        for s in &mut seeds {
+            *s = splitmix64(&mut state);
+        }
+        Self {
+            table: vec![0; DEPTH * width],
+            width,
+            seeds,
+            candidates: FastMap::default(),
+            capacity,
+            updates: 0,
+        }
+    }
+
+    fn increment(&mut self, key: K) {
+        self.updates += 1;
+        for r in 0..DEPTH {
+            let idx = r * self.width + self.row_index(r, &key);
+            self.table[idx] += 1;
+        }
+        let est = self.estimate(&key);
+        // Track as candidate if it would rank among the top `capacity`.
+        let threshold = self.updates / self.capacity as u64;
+        if est > threshold || self.candidates.len() < self.capacity {
+            self.candidates.insert(key, est);
+            self.trim_candidates();
+        } else if let Some(e) = self.candidates.get_mut(&key) {
+            *e = est;
+        }
+    }
+
+    fn add(&mut self, key: K, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.updates += weight;
+        for r in 0..DEPTH {
+            let idx = r * self.width + self.row_index(r, &key);
+            self.table[idx] += weight;
+        }
+        let est = self.estimate(&key);
+        let threshold = self.updates / self.capacity as u64;
+        if est > threshold || self.candidates.len() < self.capacity {
+            self.candidates.insert(key, est);
+            self.trim_candidates();
+        } else if let Some(e) = self.candidates.get_mut(&key) {
+            *e = est;
+        }
+    }
+
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn upper(&self, key: &K) -> u64 {
+        self.estimate(key)
+    }
+
+    /// Count-Min provides no deterministic lower bound; report 0 so the
+    /// consumer stays conservative (RHHH subtracts lower bounds in
+    /// `calcPred`).
+    fn lower(&self, _key: &K) -> u64 {
+        0
+    }
+
+    fn candidates(&self) -> Vec<Candidate<K>> {
+        self.candidates
+            .keys()
+            .map(|&key| Candidate {
+                key,
+                upper: self.estimate(&key),
+                lower: 0,
+            })
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm: CountMin<u64> = CountMin::with_capacity(50);
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        let mut x = 1u64;
+        for _ in 0..30_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = x % 3_000;
+            cm.increment(key);
+            *exact.entry(key).or_default() += 1;
+        }
+        for (key, &f) in &exact {
+            assert!(cm.upper(key) >= f, "CM underestimated {key}");
+        }
+    }
+
+    #[test]
+    fn error_mostly_within_epsilon() {
+        let cap = 100;
+        let mut cm: CountMin<u64> = CountMin::with_capacity(cap);
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        let mut x = 9u64;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
+            let key = x % 5_000;
+            cm.increment(key);
+            *exact.entry(key).or_default() += 1;
+        }
+        let n = cm.updates();
+        let eps_n = n / cap as u64; // ε = 1/capacity by construction
+        let violations = exact
+            .iter()
+            .filter(|(key, &f)| cm.upper(key) > f + eps_n)
+            .count();
+        // δ = e^-4 ≈ 1.8% per query; allow generous slack.
+        assert!(
+            violations as f64 <= 0.05 * exact.len() as f64,
+            "{violations}/{} beyond εN",
+            exact.len()
+        );
+    }
+
+    #[test]
+    fn heavy_key_in_candidates() {
+        let mut cm: CountMin<u32> = CountMin::with_capacity(10);
+        let mut x = 3u64;
+        for i in 0..10_000u64 {
+            if i % 3 == 0 {
+                cm.increment(7);
+            } else {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                cm.increment((x % 2_000) as u32 + 100);
+            }
+        }
+        assert!(cm.candidates().iter().any(|c| c.key == 7));
+        assert!(cm.candidates.len() <= 11); // capacity + transient slot
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a: CountMin<u64> = CountMin::with_capacity(20);
+        let mut b: CountMin<u64> = CountMin::with_capacity(20);
+        for i in 0..1_000u64 {
+            a.increment(i % 37);
+            b.increment(i % 37);
+        }
+        for k in 0..37u64 {
+            assert_eq!(a.upper(&k), b.upper(&k));
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_conservative_zero() {
+        let mut cm: CountMin<u32> = CountMin::with_capacity(10);
+        for _ in 0..100 {
+            cm.increment(1);
+        }
+        assert_eq!(cm.lower(&1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: CountMin<u32> = CountMin::with_capacity(0);
+    }
+}

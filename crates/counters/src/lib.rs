@@ -1,0 +1,173 @@
+//! Heavy-hitter counter algorithms — the per-lattice-node substrate of RHHH.
+//!
+//! The paper plugs one instance of a counter algorithm into every lattice
+//! node (Section 3.2, following the structure of Mitzenmacher et al.). Any
+//! algorithm that solves the **(ε, δ)-Frequency Estimation** problem of
+//! Definition 4 works:
+//!
+//! > an algorithm solves (ε, δ)-Frequency Estimation if for any prefix `x`
+//! > it provides `f̂_x` such that `Pr(|f_x − f̂_x| ≤ εN) ≥ 1 − δ`.
+//!
+//! The paper uses **Space Saving** "because it is believed to have an
+//! empirical edge over other algorithms" and because its unit update is
+//! O(1) worst-case — which is what makes RHHH's whole update O(1)
+//! (Theorem 6.18). This crate provides:
+//!
+//! * [`SpaceSaving`] — the stream-summary implementation with true O(1)
+//!   worst-case updates (doubly linked count buckets, Metwally et al. 2005).
+//! * [`HeapSpaceSaving`] — the same semantics on a binary heap
+//!   (O(log 1/ε) updates); kept as an ablation target.
+//! * [`MisraGries`] — the Frequent algorithm (deterministic underestimates,
+//!   amortized O(1)).
+//! * [`LossyCounting`] — Manku–Motwani buckets (deterministic, δ = 0).
+//! * [`CountMin`] — a Count-Min sketch with a candidate list, the
+//!   "sketches can also be applicable here" remark of Section 3.1
+//!   (Definition 5 requires maintaining a heavy-hitter list alongside).
+//!
+//! All of them implement [`FrequencyEstimator`], the crate's rendering of
+//! Definition 4 plus the candidate enumeration RHHH's `Output` needs.
+//!
+//! # Example
+//!
+//! ```
+//! use hhh_counters::{FrequencyEstimator, SpaceSaving};
+//!
+//! let mut ss: SpaceSaving<u32> = SpaceSaving::with_capacity(100); // ε_a = 1%
+//! for _ in 0..900 { ss.increment(7); }
+//! for i in 0..100 { ss.increment(i + 1000); }
+//!
+//! assert!(ss.upper(&7) >= 900);              // never underestimates
+//! assert!(ss.lower(&7) <= 900);              // never overestimates
+//! assert!(ss.upper(&7) - ss.lower(&7) <= 10); // error ≤ N/capacity
+//! ```
+
+mod count_min;
+mod fast_hash;
+mod heap_space_saving;
+mod lossy_counting;
+mod misra_gries;
+mod space_saving;
+
+pub use count_min::CountMin;
+pub use fast_hash::{FastHasher, IntHashBuilder};
+pub use heap_space_saving::HeapSpaceSaving;
+pub use lossy_counting::LossyCounting;
+pub use misra_gries::MisraGries;
+pub use space_saving::SpaceSaving;
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Key types accepted by the counter algorithms: cheap to copy, hash and
+/// compare. Blanket-implemented for anything suitable (the packed integer
+/// keys of `hhh-hierarchy` in particular).
+pub trait CounterKey: Copy + Eq + Hash + Debug + Send + 'static {}
+impl<T: Copy + Eq + Hash + Debug + Send + 'static> CounterKey for T {}
+
+/// One monitored candidate reported by a counter algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate<K> {
+    /// The monitored key.
+    pub key: K,
+    /// Upper bound on the number of updates for this key (`X̂⁺`).
+    pub upper: u64,
+    /// Lower bound on the number of updates for this key (`X̂⁻`).
+    pub lower: u64,
+}
+
+/// The (ε, δ)-Frequency Estimation interface of Definition 4, extended with
+/// the candidate enumeration that `Output` (Algorithm 1) requires.
+///
+/// Implementations count *updates* (the paper's `X_p`); RHHH scales them by
+/// `V` to estimate frequencies (Definition 11).
+pub trait FrequencyEstimator<K: CounterKey>: Send {
+    /// Creates an instance with `capacity` counters, i.e. `ε_a ≈ 1/capacity`
+    /// for the deterministic algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `capacity == 0`.
+    fn with_capacity(capacity: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Processes one occurrence of `key` — the `INCREMENT` of Algorithm 1
+    /// line 5.
+    fn increment(&mut self, key: K);
+
+    /// Processes `weight` occurrences of `key` at once — the paper's
+    /// weighted-input setting (Section 2 notes MST costs `O(H·log 1/ε)`
+    /// per weighted update; the stream-summary implementation here walks
+    /// at most the number of distinct counts crossed).
+    ///
+    /// The default implementation loops [`Self::increment`]; structures
+    /// with a cheaper native path override it.
+    fn add(&mut self, key: K, weight: u64) {
+        for _ in 0..weight {
+            self.increment(key);
+        }
+    }
+
+    /// Total number of updates processed (the per-instance `X_i`).
+    fn updates(&self) -> u64;
+
+    /// Upper bound `X̂⁺_x` on the number of updates of `key`; must satisfy
+    /// `X_x ≤ upper(x)` (deterministically, or with the algorithm's δ).
+    fn upper(&self, key: &K) -> u64;
+
+    /// Lower bound `X̂⁻_x`; must satisfy `lower(x) ≤ X_x`.
+    fn lower(&self, key: &K) -> u64;
+
+    /// All currently monitored candidates with their bounds. Every key whose
+    /// update count exceeds `updates()/capacity` is guaranteed to appear
+    /// (the heavy-hitter property of Definition 5).
+    fn candidates(&self) -> Vec<Candidate<K>>;
+
+    /// Number of counters the instance was built with.
+    fn capacity(&self) -> usize;
+
+    /// The deterministic additive error guarantee after `n` updates:
+    /// `n / capacity` for the counter algorithms in this crate.
+    fn error_bound(&self) -> u64 {
+        self.updates() / self.capacity() as u64
+    }
+}
+
+/// Number of counters needed for error `epsilon_a`, adjusted for RHHH's
+/// over-sampling per Corollary 6.5: a node may receive up to
+/// `(1 + ε_s)·N/V` updates instead of `N/V`, so the instance is sized for
+/// `ε'_a = ε_a / (1 + ε_s)`.
+///
+/// The paper's example: "Space Saving requires 1,000 counters for
+/// ε_a = 0.001. If we set ε_s = 0.001, we now require 1001 counters."
+///
+/// # Panics
+///
+/// Panics when `epsilon_a` is not in `(0, 1]` or `epsilon_s` is negative.
+#[must_use]
+pub fn counters_for(epsilon_a: f64, epsilon_s: f64) -> usize {
+    assert!(
+        epsilon_a > 0.0 && epsilon_a <= 1.0,
+        "epsilon_a must lie in (0, 1], got {epsilon_a}"
+    );
+    assert!(epsilon_s >= 0.0, "epsilon_s must be non-negative");
+    ((1.0 + epsilon_s) / epsilon_a).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_for_matches_paper_example() {
+        assert_eq!(counters_for(0.001, 0.001), 1001);
+        assert_eq!(counters_for(0.001, 0.0), 1000);
+        assert_eq!(counters_for(0.01, 0.0), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon_a must lie in (0, 1]")]
+    fn counters_for_rejects_zero() {
+        let _ = counters_for(0.0, 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests: every counter algorithm must honour the
+//! (ε, δ)-Frequency Estimation contract of Definition 4 against an exact
+//! reference count, on arbitrary streams.
+
+use hhh_counters::{
+    FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Streams drawn from a small key universe so that collisions and evictions
+/// actually happen.
+fn arb_stream() -> impl Strategy<Value = Vec<u64>> {
+    vec(0u64..64, 1..2_000)
+}
+
+fn exact_counts(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &k in stream {
+        *m.entry(k).or_insert(0u64) += 1;
+    }
+    m
+}
+
+/// Checks the deterministic sandwich `lower ≤ f ≤ upper` and the
+/// `upper − f ≤ εN` / `f − lower ≤ εN` error bounds (with `slack` extra
+/// allowance for algorithms whose bound constant differs).
+fn check_bounds<E: FrequencyEstimator<u64>>(
+    stream: &[u64],
+    capacity: usize,
+    overestimating: bool,
+) -> Result<(), TestCaseError> {
+    let mut est = E::with_capacity(capacity);
+    for &k in stream {
+        est.increment(k);
+    }
+    let exact = exact_counts(stream);
+    let n = stream.len() as u64;
+    let eps_n = n / capacity as u64 + 1;
+    for (key, &f) in &exact {
+        prop_assert!(est.upper(key) >= f, "upper < f for {key}");
+        prop_assert!(est.lower(key) <= f, "lower > f for {key}");
+        if overestimating {
+            prop_assert!(
+                est.upper(key) <= f + eps_n,
+                "over-estimate beyond eps*N for {key}: upper={} f={f} epsN={eps_n}",
+                est.upper(key)
+            );
+        } else {
+            prop_assert!(
+                f - est.lower(key) <= eps_n,
+                "under-estimate beyond eps*N for {key}: lower={} f={f} epsN={eps_n}",
+                est.lower(key)
+            );
+        }
+    }
+    // A key that never appeared still gets sound bounds.
+    prop_assert!(est.lower(&u64::MAX) == 0);
+    prop_assert!(est.updates() == n);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn space_saving_contract(stream in arb_stream(), cap in 1usize..32) {
+        check_bounds::<SpaceSaving<u64>>(&stream, cap, true)?;
+    }
+
+    #[test]
+    fn heap_space_saving_contract(stream in arb_stream(), cap in 1usize..32) {
+        check_bounds::<HeapSpaceSaving<u64>>(&stream, cap, true)?;
+    }
+
+    #[test]
+    fn misra_gries_contract(stream in arb_stream(), cap in 1usize..32) {
+        check_bounds::<MisraGries<u64>>(&stream, cap, false)?;
+    }
+
+    #[test]
+    fn lossy_counting_contract(stream in arb_stream(), cap in 2usize..32) {
+        check_bounds::<LossyCounting<u64>>(&stream, cap, false)?;
+    }
+
+    /// The stream-summary internals stay consistent under arbitrary streams.
+    #[test]
+    fn space_saving_structure_invariants(stream in arb_stream(), cap in 1usize..16) {
+        let mut ss: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+        for &k in &stream {
+            ss.increment(k);
+        }
+        ss.debug_validate();
+    }
+
+    /// Heap internals stay consistent too.
+    #[test]
+    fn heap_structure_invariants(stream in arb_stream(), cap in 1usize..16) {
+        let mut ss: HeapSpaceSaving<u64> = HeapSpaceSaving::with_capacity(cap);
+        for &k in &stream {
+            ss.increment(k);
+        }
+        ss.debug_validate();
+    }
+
+    /// Both Space Saving variants report identical upper bounds for keys
+    /// they both monitor with the same count structure — and identical
+    /// min-counts, since the count multiset evolution is deterministic.
+    #[test]
+    fn space_saving_variants_equivalent_total_mass(
+        stream in arb_stream(), cap in 1usize..16,
+    ) {
+        let mut a: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+        let mut b: HeapSpaceSaving<u64> = HeapSpaceSaving::with_capacity(cap);
+        for &k in &stream {
+            a.increment(k);
+            b.increment(k);
+        }
+        let mass_a: u64 = a.candidates().iter().map(|c| c.upper).sum();
+        let mass_b: u64 = b.candidates().iter().map(|c| c.upper).sum();
+        prop_assert_eq!(mass_a, mass_b, "count multisets diverged");
+    }
+
+    /// Space Saving's heavy-hitter property (Definition 5): every key with
+    /// f > N/capacity is among the candidates.
+    #[test]
+    fn space_saving_keeps_heavy_hitters(stream in arb_stream(), cap in 1usize..32) {
+        let mut ss: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+        for &k in &stream {
+            ss.increment(k);
+        }
+        let exact = exact_counts(&stream);
+        let n = stream.len() as u64;
+        let monitored: std::collections::HashSet<u64> =
+            ss.candidates().iter().map(|c| c.key).collect();
+        for (key, &f) in &exact {
+            if f > n / cap as u64 {
+                prop_assert!(monitored.contains(key), "heavy key {key} evicted");
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 4 — False positive rate vs stream length.
+//!
+//! Paper: six panels, {SanJose14, Chicago16} × {1D bytes, 1D bits,
+//! 2D bytes}, ε = 0.1%, θ = 1%: the fraction of reported prefixes that are
+//! not exact HHHs.
+//!
+//! Expected shape: RHHH/10-RHHH start near 1 (the sampling slack admits
+//! everything pre-convergence) and decay toward parity with — sometimes
+//! below — the deterministic baselines once N passes ψ.
+
+use hhh_eval::{quality_sweep, AlgoKind, Args, Report};
+use hhh_hierarchy::Lattice;
+use hhh_traces::{Packet, TraceConfig};
+
+fn main() {
+    let mut args = Args::parse(4_000_000, 1);
+    if args.epsilon == 0.001 && std::env::args().all(|a| a != "--epsilon") {
+        args.epsilon = 0.005; // laptop-scale default, see fig2 docs
+    }
+    let mut report = Report::new(
+        "fig4_false_positives",
+        &["trace", "hierarchy", "n", "algorithm", "run", "false_positive_rate"],
+    );
+    report.comment(&format!(
+        "fig4: theta={}, eps_a=eps_s={}, packets<={}, runs={}",
+        args.theta, args.epsilon, args.packets, args.runs
+    ));
+
+    let traces = [TraceConfig::sanjose14(), TraceConfig::chicago16()];
+    for trace in &traces {
+        for run in 0..args.runs {
+            let seed = 0xF16_4 + u64::from(run);
+
+            // Panel column 1: 1D bytes (H = 5).
+            let lat = Lattice::ipv4_src_bytes();
+            for p in quality_sweep(&lat, trace, &AlgoKind::roster(), &args, Packet::key1, seed)
+            {
+                report.row(&[
+                    p.trace,
+                    "1d-bytes".into(),
+                    p.n.to_string(),
+                    p.algo,
+                    run.to_string(),
+                    format!("{:.6}", p.false_positive),
+                ]);
+            }
+
+            // Panel column 2: 1D bits (H = 33).
+            let lat = Lattice::ipv4_src_bits();
+            for p in quality_sweep(&lat, trace, &AlgoKind::roster(), &args, Packet::key1, seed)
+            {
+                report.row(&[
+                    p.trace,
+                    "1d-bits".into(),
+                    p.n.to_string(),
+                    p.algo,
+                    run.to_string(),
+                    format!("{:.6}", p.false_positive),
+                ]);
+            }
+
+            // Panel column 3: 2D bytes (H = 25).
+            let lat = Lattice::ipv4_src_dst_bytes();
+            for p in quality_sweep(&lat, trace, &AlgoKind::roster(), &args, Packet::key2, seed)
+            {
+                report.row(&[
+                    p.trace,
+                    "2d-bytes".into(),
+                    p.n.to_string(),
+                    p.algo,
+                    run.to_string(),
+                    format!("{:.6}", p.false_positive),
+                ]);
+            }
+        }
+    }
+}

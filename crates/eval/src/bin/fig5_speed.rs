@@ -1,0 +1,111 @@
+//! Figure 5 — Update speed (million packets per second) vs ε.
+//!
+//! Paper: six panels, {SanJose14, Chicago16} × {1D bytes H=5, 1D bits
+//! H=33, 2D bytes H=25}; algorithms MST, Full/Partial Ancestry, RHHH,
+//! 10-RHHH; each point on 250M-packet traces.
+//!
+//! Expected shape (Section 4.3): RHHH/10-RHHH flat in ε and fastest; MST
+//! flat but ~H× slower; the Ancestry algorithms speed up as ε shrinks; the
+//! gap widens with H (speedups up to ×3.5/×10 for 1D bytes, ×21/×62 for 1D
+//! bits, ×20/×60 for 2D bytes). The final columns print RHHH's and
+//! 10-RHHH's speedup over the slowest baseline at each ε, the paper's
+//! headline numbers.
+
+use hhh_core::HhhAlgorithm;
+use hhh_eval::{measure_mpps, AlgoKind, Args, Report};
+use hhh_hierarchy::{KeyBits, Lattice};
+use hhh_stats::Summary;
+use hhh_traces::{Packet, TraceConfig, TraceGenerator};
+
+const EPSILONS: [f64; 5] = [0.00025, 0.0005, 0.001, 0.002, 0.004];
+
+fn panel<K: KeyBits>(
+    report: &mut Report,
+    trace: &TraceConfig,
+    hierarchy: &str,
+    lattice: &Lattice<K>,
+    keys: &[K],
+    runs: u32,
+) {
+    for eps in EPSILONS {
+        let mut speeds: Vec<(String, f64)> = Vec::new();
+        for kind in AlgoKind::roster() {
+            let mut summary = Summary::new();
+            for run in 0..runs {
+                let mut algo: Box<dyn HhhAlgorithm<K>> =
+                    kind.build(lattice.clone(), eps, 0xF16_5 + u64::from(run));
+                summary.add(measure_mpps(algo.as_mut(), keys));
+            }
+            let ci = summary.confidence_interval(0.95);
+            report.row(&[
+                trace.name.clone(),
+                hierarchy.into(),
+                format!("{eps}"),
+                kind.label(),
+                format!("{:.3}", summary.mean()),
+                format!("{:.3}", ci.half_width()),
+            ]);
+            speeds.push((kind.label(), summary.mean()));
+        }
+        // Speedup headline: RHHH and 10-RHHH vs the slowest baseline.
+        let slowest = speeds
+            .iter()
+            .filter(|(l, _)| l == "MST" || l.ends_with("Ancestry"))
+            .map(|(_, s)| *s)
+            .fold(f64::INFINITY, f64::min);
+        for target in ["RHHH", "10-RHHH"] {
+            if let Some((_, s)) = speeds.iter().find(|(l, _)| l == target) {
+                report.comment(&format!(
+                    "{} {} eps={eps}: {target} speedup x{:.1}",
+                    trace.name,
+                    hierarchy,
+                    s / slowest
+                ));
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse(1_000_000, 1);
+    let mut report = Report::new(
+        "fig5_speed",
+        &["trace", "hierarchy", "epsilon", "algorithm", "mpps", "ci95_half"],
+    );
+    report.comment(&format!(
+        "fig5: packets/point={}, runs={}",
+        args.packets, args.runs
+    ));
+
+    for trace in [TraceConfig::sanjose14(), TraceConfig::chicago16()] {
+        let packets: Vec<Packet> =
+            TraceGenerator::new(&trace).take_packets(args.packets as usize);
+        let keys1: Vec<u32> = packets.iter().map(Packet::key1).collect();
+        let keys2: Vec<u64> = packets.iter().map(Packet::key2).collect();
+
+        panel(
+            &mut report,
+            &trace,
+            "1d-bytes",
+            &Lattice::ipv4_src_bytes(),
+            &keys1,
+            args.runs,
+        );
+        panel(
+            &mut report,
+            &trace,
+            "1d-bits",
+            &Lattice::ipv4_src_bits(),
+            &keys1,
+            args.runs,
+        );
+        panel(
+            &mut report,
+            &trace,
+            "2d-bytes",
+            &Lattice::ipv4_src_dst_bytes(),
+            &keys2,
+            args.runs,
+        );
+    }
+}

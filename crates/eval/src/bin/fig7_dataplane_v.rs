@@ -1,0 +1,65 @@
+//! Figure 7 — Dataplane throughput vs the performance parameter V.
+//!
+//! Paper: V swept from H = 25 (RHHH) to 10·H = 250 (10-RHHH) with the
+//! measurement inline in the datapath; throughput improves monotonically
+//! with V because a larger V means fewer counter updates per packet
+//! (`Pr(update) = H/V`).
+
+use std::time::Instant;
+
+use hhh_core::{Rhhh, RhhhConfig};
+use hhh_eval::{Args, Report};
+use hhh_hierarchy::Lattice;
+use hhh_stats::Summary;
+use hhh_traces::{Packet, TraceConfig, TraceGenerator};
+use hhh_vswitch::{AlgoMonitor, Datapath};
+
+fn main() {
+    let args = Args::parse(4_000_000, 3);
+    let mut report = Report::new(
+        "fig7_dataplane_v",
+        &["v", "v_scale", "mpps", "ci95_half"],
+    );
+    report.comment(&format!(
+        "fig7: 2D bytes (H=25), chicago16, eps=delta=0.001, packets={}, runs={}",
+        args.packets, args.runs
+    ));
+
+    let packets: Vec<Packet> =
+        TraceGenerator::new(&TraceConfig::chicago16()).take_packets(args.packets as usize);
+    let lattice = Lattice::ipv4_src_dst_bytes();
+
+    // Warm-up pass: touch every packet once outside the timed region.
+    let warm: u64 = packets.iter().map(|p| u64::from(p.src) ^ u64::from(p.dst)).sum();
+    std::hint::black_box(warm);
+
+    for v_scale in 1..=10u64 {
+        let mut summary = Summary::new();
+        for run in 0..args.runs {
+            let algo = Rhhh::<u64>::new(
+                lattice.clone(),
+                RhhhConfig {
+                    epsilon_a: 0.001,
+                    epsilon_s: 0.001,
+                    delta_s: 0.0005,
+                    v_scale,
+                    updates_per_packet: 1,
+                    seed: 0xF16_7 + u64::from(run),
+                },
+            );
+            let mut dp = Datapath::new(AlgoMonitor::new(algo));
+            let start = Instant::now();
+            for p in &packets {
+                dp.process_packet(p);
+            }
+            summary.add(packets.len() as f64 / start.elapsed().as_secs_f64() / 1e6);
+        }
+        let ci = summary.confidence_interval(0.95);
+        report.row(&[
+            (v_scale * 25).to_string(),
+            v_scale.to_string(),
+            format!("{:.3}", summary.mean()),
+            format!("{:.3}", ci.half_width()),
+        ]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Theorem 6.3 / Corollary 6.4 — empirical convergence against the ψ bound.
+//!
+//! For each stream-length checkpoint this prints (a) the worst per-node
+//! sampling error of RHHH's level selection, `max_i |X_i·V − N| / N`
+//! (every node's total update count estimates `N/V`), and (b) the
+//! theoretical envelope `ε_s(N) = √(Z_{1-δ_s/2}·V/N)`. The empirical error
+//! must hug or undercut the envelope, and cross below `ε_s` exactly when
+//! `N` passes `ψ = Z·V·ε_s⁻²` — the paper's "about 100 million packets"
+//! claim, scaled to the configured ε_s.
+
+use hhh_core::{Rhhh, RhhhConfig};
+use hhh_eval::{checkpoints, Args, Report};
+use hhh_hierarchy::Lattice;
+use hhh_stats::epsilon_s_at;
+use hhh_traces::{TraceConfig, TraceGenerator};
+
+fn main() {
+    let args = Args::parse(16_000_000, 1);
+    let epsilon_s = 0.005;
+    let delta_s = 0.001;
+    let mut report = Report::new(
+        "psi_convergence",
+        &["variant", "n", "max_node_error", "envelope", "psi", "converged"],
+    );
+    report.comment(&format!(
+        "psi: 2D bytes, eps_s={epsilon_s}, delta_s={delta_s}, packets<={}",
+        args.packets
+    ));
+
+    for (variant, v_scale) in [("RHHH", 1u64), ("10-RHHH", 10u64)] {
+        let lattice = Lattice::ipv4_src_dst_bytes();
+        let mut algo = Rhhh::<u64>::new(
+            lattice.clone(),
+            RhhhConfig {
+                epsilon_a: 0.001,
+                epsilon_s,
+                delta_s,
+                v_scale,
+                updates_per_packet: 1,
+                seed: 0x5150,
+            },
+        );
+        let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+        let cps = checkpoints((args.packets / 64).max(1), args.packets);
+        let mut streamed = 0u64;
+        for &cp in &cps {
+            while streamed < cp {
+                algo.update(gen.generate().key2());
+                streamed += 1;
+            }
+            let v = algo.v() as f64;
+            let worst = lattice
+                .node_ids()
+                .map(|n| {
+                    let x = algo.node_updates(n) as f64;
+                    ((x * v) - cp as f64).abs() / cp as f64
+                })
+                .fold(0.0f64, f64::max);
+            let envelope = epsilon_s_at(cp, algo.v(), delta_s);
+            report.row(&[
+                variant.into(),
+                cp.to_string(),
+                format!("{:.6}", worst),
+                format!("{:.6}", envelope),
+                format!("{:.0}", algo.psi()),
+                algo.converged().to_string(),
+            ]);
+        }
+    }
+}

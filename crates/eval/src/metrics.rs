@@ -1,0 +1,212 @@
+//! Quality metrics against exact ground truth — the y-axes of Figures 2–4.
+
+use std::collections::HashSet;
+
+use hhh_core::{ExactHhh, HeavyHitter};
+use hhh_hierarchy::{KeyBits, Prefix};
+
+/// Figure 2's metric: the fraction of reported HHH candidates whose
+/// frequency-estimation error exceeds `ε·N`.
+///
+/// The point estimate is the reported upper bound `f̂⁺` (Space Saving's
+/// count, scaled), matching the paper's implementation.
+#[must_use]
+pub fn accuracy_error_ratio<K: KeyBits>(
+    output: &[HeavyHitter<K>],
+    exact: &ExactHhh<K>,
+    epsilon: f64,
+) -> f64 {
+    if output.is_empty() {
+        return 0.0;
+    }
+    let n = exact.packets() as f64;
+    let bad = output
+        .iter()
+        .filter(|h| {
+            let truth = exact.frequency(&h.prefix) as f64;
+            (h.freq_upper - truth).abs() > epsilon * n
+        })
+        .count();
+    bad as f64 / output.len() as f64
+}
+
+/// Figure 3's metric: coverage errors (false negatives) — prefixes `q ∉ P`
+/// whose exact conditioned frequency w.r.t. the reported set still reaches
+/// `θ·N`, as a fraction of the exact HHH count.
+///
+/// Candidates are every prefix with exact frequency ≥ `θ·N` (a superset of
+/// possible violations, since `C_{q|P} ≤ f_q`).
+#[must_use]
+pub fn coverage_error_ratio<K: KeyBits>(
+    output: &[HeavyHitter<K>],
+    exact: &ExactHhh<K>,
+    theta: f64,
+) -> f64 {
+    let n = exact.packets();
+    if n == 0 {
+        return 0.0;
+    }
+    let threshold = theta * n as f64;
+    let reported: Vec<Prefix<K>> = output.iter().map(|h| h.prefix).collect();
+    let reported_set: HashSet<Prefix<K>> = reported.iter().copied().collect();
+
+    let lattice = exact.lattice();
+    let mut violations = 0usize;
+    for level in 0..=lattice.depth() {
+        for &node in lattice.nodes_at_level(level) {
+            // Candidates: heavy prefixes at this node.
+            for p in exact_heavy_at(exact, node, threshold) {
+                if reported_set.contains(&p) {
+                    continue;
+                }
+                if exact.conditioned(&p, &reported) as f64 >= threshold {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    let denom = exact.hhh(theta).len().max(1);
+    violations as f64 / denom as f64
+}
+
+/// Figure 4's metric: the fraction of reported prefixes that are not in
+/// the exact HHH set.
+#[must_use]
+pub fn false_positive_ratio<K: KeyBits>(
+    output: &[HeavyHitter<K>],
+    exact: &ExactHhh<K>,
+    theta: f64,
+) -> f64 {
+    if output.is_empty() {
+        return 0.0;
+    }
+    let truth: HashSet<Prefix<K>> = exact.hhh(theta).into_iter().collect();
+    let fp = output
+        .iter()
+        .filter(|h| !truth.contains(&h.prefix))
+        .count();
+    fp as f64 / output.len() as f64
+}
+
+/// All prefixes at `node` whose exact frequency reaches `threshold`.
+fn exact_heavy_at<K: KeyBits>(
+    exact: &ExactHhh<K>,
+    node: hhh_hierarchy::NodeId,
+    threshold: f64,
+) -> Vec<Prefix<K>> {
+    exact.heavy_prefixes_at(node, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_core::{HhhAlgorithm, Rhhh, RhhhConfig};
+    use hhh_hierarchy::{pack2, Lattice};
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+    }
+
+    fn planted_stream(n: u64) -> Vec<u64> {
+        let mut rng = Lcg(5);
+        (0..n)
+            .map(|i| {
+                if i % 5 == 0 {
+                    pack2(
+                        0x0A14_0000 | (rng.next() as u32 & 0xFFFF),
+                        u32::from_be_bytes([8, 8, 8, 8]),
+                    )
+                } else {
+                    pack2(rng.next() as u32, rng.next() as u32)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_output_scores_zero_errors() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut exact = ExactHhh::new(lat);
+        for k in planted_stream(50_000) {
+            exact.insert(k);
+        }
+        let theta = 0.1;
+        let perfect = exact.hhh_records(theta);
+        assert!(!perfect.is_empty());
+        assert_eq!(accuracy_error_ratio(&perfect, &exact, 0.001), 0.0);
+        assert_eq!(coverage_error_ratio(&perfect, &exact, theta), 0.0);
+        assert_eq!(false_positive_ratio(&perfect, &exact, theta), 0.0);
+    }
+
+    #[test]
+    fn empty_output_has_full_coverage_error() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut exact = ExactHhh::new(lat);
+        for k in planted_stream(50_000) {
+            exact.insert(k);
+        }
+        let cov = coverage_error_ratio(&[], &exact, 0.1);
+        // With nothing reported, at least every exact HHH is uncovered...
+        assert!(cov >= 1.0, "coverage error = {cov}");
+        // ...while accuracy/FP over an empty set are vacuously zero.
+        assert_eq!(accuracy_error_ratio(&[], &exact, 0.001), 0.0);
+        assert_eq!(false_positive_ratio(&[], &exact, 0.1), 0.0);
+    }
+
+    #[test]
+    fn converged_rhhh_scores_low_errors() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let config = RhhhConfig {
+            epsilon_a: 0.01,
+            epsilon_s: 0.04,
+            delta_s: 0.05,
+            ..RhhhConfig::default()
+        };
+        let mut algo = Rhhh::<u64>::new(lat.clone(), config);
+        let mut exact = ExactHhh::new(lat);
+        let stream = planted_stream(300_000);
+        for &k in &stream {
+            algo.insert(k);
+            exact.insert(k);
+        }
+        assert!(algo.converged());
+        let theta = 0.1;
+        let out = algo.query(theta);
+        assert_eq!(
+            coverage_error_ratio(&out, &exact, theta),
+            0.0,
+            "converged RHHH must cover the exact set"
+        );
+        assert!(accuracy_error_ratio(&out, &exact, config.epsilon()) < 0.35);
+    }
+
+    #[test]
+    fn false_positive_detects_spurious_prefix() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut exact = ExactHhh::new(lat);
+        for k in planted_stream(50_000) {
+            exact.insert(k);
+        }
+        let mut out = exact.hhh_records(0.1);
+        let clean = out.len();
+        // Inject a prefix that is certainly not an exact HHH.
+        out.push(HeavyHitter {
+            prefix: Prefix {
+                key: pack2(0xDEAD_0000, 0),
+                node: exact.lattice().node_by_spec(&[2, 0]),
+            },
+            freq_lower: 1.0,
+            freq_upper: 1.0,
+            conditioned: 1.0,
+        });
+        let fp = false_positive_ratio(&out, &exact, 0.1);
+        assert!((fp - 1.0 / (clean + 1) as f64).abs() < 1e-12);
+    }
+}

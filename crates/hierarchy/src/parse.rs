@@ -1,0 +1,195 @@
+//! Textual prefix parsing — the inverse of [`Lattice::format`].
+//!
+//! Accepted syntax per dimension (comma-separated for multi-dimensional
+//! lattices): `*` for fully general, or `a.b.c.d/len` for 32-bit IPv4
+//! fields. The prefix length must be a multiple of the dimension's
+//! generalization step (e.g. /8, /16, /24, /32 on a byte lattice).
+
+use crate::key::KeyBits;
+use crate::lattice::Lattice;
+use crate::prefix::Prefix;
+
+/// Errors from [`Lattice::parse_prefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// Wrong number of comma-separated dimensions.
+    DimensionCount {
+        /// Dimensions the lattice has.
+        expected: usize,
+        /// Dimensions found in the input.
+        found: usize,
+    },
+    /// A dimension failed to parse.
+    BadDimension(String),
+    /// Prefix length not representable on this lattice.
+    BadLength(String),
+    /// Parsing is only implemented for 32-bit dotted-quad fields.
+    UnsupportedField,
+}
+
+impl std::fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefixParseError::DimensionCount { expected, found } => {
+                write!(f, "expected {expected} comma-separated dimensions, found {found}")
+            }
+            PrefixParseError::BadDimension(s) => write!(f, "cannot parse dimension `{s}`"),
+            PrefixParseError::BadLength(s) => write!(f, "bad prefix length in `{s}`"),
+            PrefixParseError::UnsupportedField => {
+                f.write_str("textual parsing supports 32-bit IPv4 fields only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl<K: KeyBits> Lattice<K> {
+    /// Parses a prefix like `"181.7.0.0/16"` (1D) or
+    /// `"10.0.0.0/8,*"` (2D) into a [`Prefix`] on this lattice.
+    ///
+    /// # Errors
+    ///
+    /// [`PrefixParseError`] for arity/syntax/length problems.
+    pub fn parse_prefix(&self, text: &str) -> Result<Prefix<K>, PrefixParseError> {
+        let parts: Vec<&str> = text.split(',').collect();
+        if parts.len() != self.dims() {
+            return Err(PrefixParseError::DimensionCount {
+                expected: self.dims(),
+                found: parts.len(),
+            });
+        }
+
+        let mut spec = Vec::with_capacity(self.dims());
+        let mut key = K::zero();
+        let mut lo_from_msb = 0u32;
+        for (d, raw) in parts.iter().enumerate() {
+            let field = self.field(d);
+            if field.width != 32 {
+                return Err(PrefixParseError::UnsupportedField);
+            }
+            let part = raw.trim();
+            if part == "*" {
+                spec.push(0);
+            } else {
+                let (addr, len) = part
+                    .split_once('/')
+                    .ok_or_else(|| PrefixParseError::BadDimension(part.to_string()))?;
+                let ip: std::net::Ipv4Addr = addr
+                    .parse()
+                    .map_err(|_| PrefixParseError::BadDimension(part.to_string()))?;
+                let bits: u32 = len
+                    .parse()
+                    .map_err(|_| PrefixParseError::BadLength(part.to_string()))?;
+                if bits == 0 || bits > 32 || bits % field.step != 0 {
+                    return Err(PrefixParseError::BadLength(part.to_string()));
+                }
+                spec.push(bits / field.step);
+                // Place the address into the key at this dimension's
+                // position (MSB-first packing).
+                let shift = K::BITS - lo_from_msb - field.width;
+                key = key.or(K::from_u64(u64::from(u32::from(ip))).shl(shift));
+            }
+            lo_from_msb += field.width;
+        }
+        let node = self.node_by_spec(&spec);
+        Ok(Prefix::of(self, node, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::pack2;
+
+    #[test]
+    fn parse_one_dimensional() {
+        let lat = Lattice::ipv4_src_bytes();
+        let p = lat.parse_prefix("181.7.0.0/16").expect("parse");
+        assert_eq!(p.node, lat.node_by_spec(&[2]));
+        assert_eq!(p.key, u32::from_be_bytes([181, 7, 0, 0]));
+        assert_eq!(p.display(&lat), "181.7.0.0/16");
+    }
+
+    #[test]
+    fn parse_star() {
+        let lat = Lattice::ipv4_src_bytes();
+        let p = lat.parse_prefix("*").expect("parse");
+        assert_eq!(p.node, lat.root());
+        assert_eq!(p.key, 0);
+    }
+
+    #[test]
+    fn parse_two_dimensional_roundtrips_format() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        for text in [
+            "10.0.0.0/8,*",
+            "*,8.8.8.8/32",
+            "181.7.0.0/16,208.67.222.0/24",
+            "*,*",
+        ] {
+            let p = lat.parse_prefix(text).expect(text);
+            assert_eq!(p.display(&lat), text, "roundtrip of {text}");
+        }
+    }
+
+    #[test]
+    fn parse_masks_host_bits() {
+        // Host bits beyond the prefix length are masked away.
+        let lat = Lattice::ipv4_src_bytes();
+        let p = lat.parse_prefix("10.20.30.40/16").expect("parse");
+        assert_eq!(p.key, u32::from_be_bytes([10, 20, 0, 0]));
+    }
+
+    #[test]
+    fn parse_respects_bit_granularity() {
+        let lat = Lattice::ipv4_src_bits();
+        let p = lat.parse_prefix("192.168.0.0/13").expect("parse");
+        assert_eq!(p.node, lat.node_by_spec(&[13]));
+        // On the byte lattice /13 is invalid.
+        let byte_lat = Lattice::ipv4_src_bytes();
+        assert!(matches!(
+            byte_lat.parse_prefix("192.168.0.0/13"),
+            Err(PrefixParseError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        assert!(matches!(
+            lat.parse_prefix("10.0.0.0/8"),
+            Err(PrefixParseError::DimensionCount { expected: 2, found: 1 })
+        ));
+        assert!(matches!(
+            lat.parse_prefix("banana,*"),
+            Err(PrefixParseError::BadDimension(_))
+        ));
+        assert!(matches!(
+            lat.parse_prefix("10.0.0.0/0,*"),
+            Err(PrefixParseError::BadLength(_))
+        ));
+        assert!(matches!(
+            lat.parse_prefix("10.0.0.0/40,*"),
+            Err(PrefixParseError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn parsed_prefix_generalizes_matching_traffic() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let filter = lat.parse_prefix("10.0.0.0/8,*").expect("parse");
+        let inside = crate::prefix::Prefix::of(
+            &lat,
+            lat.bottom(),
+            pack2(u32::from_be_bytes([10, 1, 2, 3]), 42),
+        );
+        let outside = crate::prefix::Prefix::of(
+            &lat,
+            lat.bottom(),
+            pack2(u32::from_be_bytes([11, 1, 2, 3]), 42),
+        );
+        assert!(filter.generalizes(&inside, &lat));
+        assert!(!filter.generalizes(&outside, &lat));
+    }
+}

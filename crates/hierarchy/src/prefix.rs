@@ -1,0 +1,201 @@
+//! Concrete prefixes: a masked key plus its lattice node.
+//!
+//! A [`Prefix`] is the paper's `p` — e.g. `(181.7.20.*, 208.67.*)`. The
+//! generalization relation of Definition 1 and the greatest lower bound of
+//! Definition 12 are implemented here; both need the [`Lattice`] for mask
+//! and pattern information, so they take it as an explicit argument rather
+//! than carrying a reference (prefixes are tiny `Copy` values that live in
+//! hot per-packet paths and result sets).
+
+use crate::key::KeyBits;
+use crate::lattice::{Lattice, NodeId};
+
+/// A concrete prefix: `key` is already masked to the node's pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix<K> {
+    /// The masked key (bits outside the node's mask are zero).
+    pub key: K,
+    /// The lattice node (prefix pattern) this key belongs to.
+    pub node: NodeId,
+}
+
+impl<K: KeyBits> Prefix<K> {
+    /// Creates a prefix from a fully-specified key by masking it with the
+    /// node's pattern.
+    #[inline]
+    #[must_use]
+    pub fn of(lattice: &Lattice<K>, node: NodeId, full_key: K) -> Self {
+        Self {
+            key: lattice.mask_key(node, full_key),
+            node,
+        }
+    }
+
+    /// Whether `self` generalizes `other` (`self ≼ other`, Definition 1):
+    /// in every dimension `self` is a (possibly equal) prefix of `other`.
+    #[must_use]
+    pub fn generalizes(&self, other: &Self, lattice: &Lattice<K>) -> bool {
+        lattice.node_generalizes(self.node, other.node)
+            && other.key.and(lattice.mask(self.node)) == self.key
+    }
+
+    /// Whether `self` strictly generalizes `other` (`self ≺ other`).
+    #[must_use]
+    pub fn strictly_generalizes(&self, other: &Self, lattice: &Lattice<K>) -> bool {
+        self != other && self.generalizes(other, lattice)
+    }
+
+    /// Greatest lower bound of two prefixes (Definition 12): the unique most
+    /// general common descendant, or `None` when they have no common
+    /// descendant (the paper then treats it as an item of count 0).
+    #[must_use]
+    pub fn glb(&self, other: &Self, lattice: &Lattice<K>) -> Option<Self> {
+        // The prefixes are compatible iff they agree on the bits where both
+        // are specified — equivalently, where the *less* specific of the two
+        // is specified in each dimension, i.e. under the join (lub) mask.
+        let lub = lattice.lub_node(self.node, other.node);
+        let lub_mask = lattice.mask(lub);
+        if self.key.and(lub_mask) != other.key.and(lub_mask) {
+            return None;
+        }
+        // Compatible: the union of specified bits is exactly the glb node's
+        // pattern, and OR-ing the masked keys assembles its key.
+        Some(Self {
+            key: self.key.or(other.key),
+            node: lattice.glb_node(self.node, other.node),
+        })
+    }
+
+    /// Renders the prefix using the lattice's formatter.
+    #[must_use]
+    pub fn display(&self, lattice: &Lattice<K>) -> String {
+        lattice.format(self.node, self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::pack2;
+    use crate::lattice::FieldSpec;
+
+    fn lat2d() -> Lattice<u64> {
+        Lattice::new(
+            "2d-bytes",
+            vec![FieldSpec::new(32, 8), FieldSpec::new(32, 8)],
+        )
+    }
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    #[test]
+    fn masking_on_construction() {
+        let lat = lat2d();
+        let key = pack2(ip(181, 7, 20, 6), ip(208, 67, 222, 222));
+        let p = Prefix::of(&lat, lat.node_by_spec(&[2, 0]), key);
+        assert_eq!(p.key, pack2(ip(181, 7, 0, 0), 0));
+    }
+
+    #[test]
+    fn generalization_examples_from_paper() {
+        // (<181.7.20.*>, <208.67.222.222>) and (<181.7.20.6>, <208.67.222.*>)
+        // are both parents of the fully-specified pair.
+        let lat = lat2d();
+        let full = pack2(ip(181, 7, 20, 6), ip(208, 67, 222, 222));
+        let e = Prefix::of(&lat, lat.bottom(), full);
+        let p1 = Prefix::of(&lat, lat.node_by_spec(&[3, 4]), full);
+        let p2 = Prefix::of(&lat, lat.node_by_spec(&[4, 3]), full);
+        assert!(p1.strictly_generalizes(&e, &lat));
+        assert!(p2.strictly_generalizes(&e, &lat));
+        assert!(!p1.generalizes(&p2, &lat));
+        assert!(!p2.generalizes(&p1, &lat));
+        // A different destination is not generalized by p1.
+        let other = Prefix::of(&lat, lat.bottom(), pack2(ip(181, 7, 20, 6), ip(8, 8, 8, 8)));
+        assert!(!p1.generalizes(&other, &lat));
+    }
+
+    #[test]
+    fn generalizes_requires_matching_bits_not_just_pattern() {
+        let lat = lat2d();
+        let a = Prefix::of(
+            &lat,
+            lat.node_by_spec(&[1, 0]),
+            pack2(ip(10, 0, 0, 0), 0),
+        );
+        let b = Prefix::of(
+            &lat,
+            lat.node_by_spec(&[2, 0]),
+            pack2(ip(11, 1, 0, 0), 0),
+        );
+        // Pattern-wise a's node generalizes b's node, but the first byte
+        // differs.
+        assert!(lat.node_generalizes(a.node, b.node));
+        assert!(!a.generalizes(&b, &lat));
+    }
+
+    #[test]
+    fn glb_of_compatible_prefixes() {
+        let lat = lat2d();
+        let full = pack2(ip(181, 7, 20, 6), ip(208, 67, 222, 222));
+        // h = (181.7.*, 208.67.222.222), h' = (181.7.20.6, 208.*)
+        let h = Prefix::of(&lat, lat.node_by_spec(&[2, 4]), full);
+        let hp = Prefix::of(&lat, lat.node_by_spec(&[4, 1]), full);
+        let glb = h.glb(&hp, &lat).expect("compatible prefixes have a glb");
+        assert_eq!(glb.node, lat.bottom());
+        assert_eq!(glb.key, full);
+        // glb is a common descendant...
+        assert!(h.generalizes(&glb, &lat));
+        assert!(hp.generalizes(&glb, &lat));
+    }
+
+    #[test]
+    fn glb_is_greatest_among_common_descendants() {
+        let lat = lat2d();
+        let full = pack2(ip(1, 2, 3, 4), ip(5, 6, 7, 8));
+        let h = Prefix::of(&lat, lat.node_by_spec(&[3, 1]), full);
+        let hp = Prefix::of(&lat, lat.node_by_spec(&[1, 3]), full);
+        let glb = h.glb(&hp, &lat).unwrap();
+        assert_eq!(lat.spec(glb.node), &[3, 3]);
+        // Any common descendant must be generalized by the glb
+        // (Definition 12's uniqueness property) — check with the bottom.
+        let e = Prefix::of(&lat, lat.bottom(), full);
+        assert!(glb.generalizes(&e, &lat));
+    }
+
+    #[test]
+    fn glb_of_incompatible_prefixes_is_none() {
+        let lat = lat2d();
+        let h = Prefix::of(
+            &lat,
+            lat.node_by_spec(&[2, 0]),
+            pack2(ip(10, 1, 0, 0), 0),
+        );
+        let hp = Prefix::of(
+            &lat,
+            lat.node_by_spec(&[2, 1]),
+            pack2(ip(10, 2, 0, 0), ip(9, 0, 0, 0)),
+        );
+        assert!(h.glb(&hp, &lat).is_none());
+    }
+
+    #[test]
+    fn glb_is_commutative_and_idempotent() {
+        let lat = lat2d();
+        let full = pack2(ip(1, 2, 3, 4), ip(5, 6, 7, 8));
+        let h = Prefix::of(&lat, lat.node_by_spec(&[2, 3]), full);
+        let hp = Prefix::of(&lat, lat.node_by_spec(&[4, 0]), full);
+        assert_eq!(h.glb(&hp, &lat), hp.glb(&h, &lat));
+        assert_eq!(h.glb(&h, &lat), Some(h));
+    }
+
+    #[test]
+    fn one_dim_glb_reduces_to_more_specific() {
+        let lat: Lattice<u32> = Lattice::new("1d", vec![FieldSpec::new(32, 8)]);
+        let full = ip(192, 168, 1, 1);
+        let short = Prefix::of(&lat, lat.node_by_spec(&[1]), full);
+        let long = Prefix::of(&lat, lat.node_by_spec(&[3]), full);
+        assert_eq!(short.glb(&long, &lat), Some(long));
+    }
+}

@@ -1,0 +1,115 @@
+//! Preset hierarchies.
+//!
+//! These cover every configuration the paper evaluates (Section 4: "source
+//! hierarchies in byte (1D Bytes) and bit (1D Bits) granularities, as well as
+//! a source/destination byte hierarchy (2D Bytes)"), plus IPv6 hierarchies
+//! motivated by the introduction ("The transition to IPv6 is expected to
+//! increase hierarchies' sizes and render existing approaches even slower")
+//! and a 2D bit hierarchy for stress testing (H = 1089).
+
+use crate::lattice::{FieldSpec, Lattice};
+
+impl Lattice<u32> {
+    /// 1D source IPv4 hierarchy at byte granularity — `H = 5`.
+    #[must_use]
+    pub fn ipv4_src_bytes() -> Self {
+        Lattice::new("ipv4-1d-bytes", vec![FieldSpec::new(32, 8)])
+    }
+
+    /// 1D source IPv4 hierarchy at bit granularity — `H = 33`.
+    #[must_use]
+    pub fn ipv4_src_bits() -> Self {
+        Lattice::new("ipv4-1d-bits", vec![FieldSpec::new(32, 1)])
+    }
+}
+
+impl Lattice<u64> {
+    /// 2D source × destination IPv4 hierarchy at byte granularity —
+    /// `H = 25`, the lattice of Table 1.
+    #[must_use]
+    pub fn ipv4_src_dst_bytes() -> Self {
+        Lattice::new(
+            "ipv4-2d-bytes",
+            vec![FieldSpec::new(32, 8), FieldSpec::new(32, 8)],
+        )
+    }
+
+    /// 2D source × destination IPv4 hierarchy at bit granularity —
+    /// `H = 1089`. Not evaluated in the paper; included as a stress
+    /// configuration for the O(1)-vs-O(H) gap.
+    #[must_use]
+    pub fn ipv4_src_dst_bits() -> Self {
+        Lattice::new(
+            "ipv4-2d-bits",
+            vec![FieldSpec::new(32, 1), FieldSpec::new(32, 1)],
+        )
+    }
+}
+
+impl Lattice<u128> {
+    /// 1D source IPv6 hierarchy at byte granularity — `H = 17`.
+    #[must_use]
+    pub fn ipv6_src_bytes() -> Self {
+        Lattice::new("ipv6-1d-bytes", vec![FieldSpec::new(128, 8)])
+    }
+
+    /// 1D source IPv6 hierarchy at nibble granularity — `H = 33`.
+    #[must_use]
+    pub fn ipv6_src_nibbles() -> Self {
+        Lattice::new("ipv6-1d-nibbles", vec![FieldSpec::new(128, 4)])
+    }
+
+    /// 1D source IPv6 hierarchy at bit granularity — `H = 129`.
+    #[must_use]
+    pub fn ipv6_src_bits() -> Self {
+        Lattice::new("ipv6-1d-bits", vec![FieldSpec::new(128, 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_hierarchy_sizes() {
+        // The three configurations of the evaluation section.
+        assert_eq!(Lattice::ipv4_src_bytes().num_nodes(), 5);
+        assert_eq!(Lattice::ipv4_src_bits().num_nodes(), 33);
+        assert_eq!(Lattice::ipv4_src_dst_bytes().num_nodes(), 25);
+    }
+
+    #[test]
+    fn extension_hierarchy_sizes() {
+        assert_eq!(Lattice::ipv4_src_dst_bits().num_nodes(), 33 * 33);
+        assert_eq!(Lattice::ipv6_src_bytes().num_nodes(), 17);
+        assert_eq!(Lattice::ipv6_src_nibbles().num_nodes(), 33);
+        assert_eq!(Lattice::ipv6_src_bits().num_nodes(), 129);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Lattice::ipv4_src_bytes().name().to_string(),
+            Lattice::ipv4_src_bits().name().to_string(),
+            Lattice::ipv4_src_dst_bytes().name().to_string(),
+            Lattice::ipv4_src_dst_bits().name().to_string(),
+            Lattice::ipv6_src_bytes().name().to_string(),
+            Lattice::ipv6_src_nibbles().name().to_string(),
+            Lattice::ipv6_src_bits().name().to_string(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn ipv6_masks_cover_full_width() {
+        let lat = Lattice::ipv6_src_bytes();
+        assert_eq!(lat.mask(lat.bottom()), u128::MAX);
+        assert_eq!(lat.mask(lat.root()), 0);
+        // /64 boundary node.
+        let node = lat.node_by_spec(&[8]);
+        assert_eq!(lat.mask(node), u128::MAX << 64);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for lattice laws and prefix algebra.
+
+use hhh_hierarchy::{pack2, FieldSpec, Lattice, NodeId, Prefix};
+use proptest::prelude::*;
+
+fn lat2d() -> Lattice<u64> {
+    Lattice::ipv4_src_dst_bytes()
+}
+
+fn arb_node(h: usize) -> impl Strategy<Value = NodeId> {
+    (0..h as u16).prop_map(NodeId)
+}
+
+proptest! {
+    /// Masking is idempotent: masking a masked key changes nothing.
+    #[test]
+    fn mask_idempotent(key in any::<u64>(), node in arb_node(25)) {
+        let lat = lat2d();
+        let once = lat.mask_key(node, key);
+        prop_assert_eq!(lat.mask_key(node, once), once);
+    }
+
+    /// A node's mask keeps exactly `spec·step` bits per dimension.
+    #[test]
+    fn mask_popcount_matches_spec(node in arb_node(25)) {
+        let lat = lat2d();
+        let expected: u32 = lat.spec(node).iter().map(|s| s * 8).sum();
+        prop_assert_eq!(lat.mask(node).count_ones(), expected);
+    }
+
+    /// The glb node is a true greatest lower bound on patterns: it is below
+    /// both inputs, and any node below both is below the glb.
+    #[test]
+    fn glb_node_is_greatest_lower_bound(a in arb_node(25), b in arb_node(25)) {
+        let lat = lat2d();
+        let g = lat.glb_node(a, b);
+        prop_assert!(lat.node_generalizes(a, g));
+        prop_assert!(lat.node_generalizes(b, g));
+        for c in lat.node_ids() {
+            if lat.node_generalizes(a, c) && lat.node_generalizes(b, c) {
+                prop_assert!(lat.node_generalizes(g, c));
+            }
+        }
+    }
+
+    /// Every ancestor prefix of a key generalizes every descendant prefix of
+    /// the same key.
+    #[test]
+    fn prefixes_of_same_key_form_chain_per_node_order(
+        src in any::<u32>(), dst in any::<u32>(),
+        a in arb_node(25), b in arb_node(25),
+    ) {
+        let lat = lat2d();
+        let key = pack2(src, dst);
+        let pa = Prefix::of(&lat, a, key);
+        let pb = Prefix::of(&lat, b, key);
+        if lat.node_generalizes(a, b) {
+            prop_assert!(pa.generalizes(&pb, &lat));
+        }
+    }
+
+    /// glb of two prefixes of the same underlying key always exists and sits
+    /// at the glb node.
+    #[test]
+    fn glb_of_same_key_prefixes(
+        src in any::<u32>(), dst in any::<u32>(),
+        a in arb_node(25), b in arb_node(25),
+    ) {
+        let lat = lat2d();
+        let key = pack2(src, dst);
+        let pa = Prefix::of(&lat, a, key);
+        let pb = Prefix::of(&lat, b, key);
+        let g = pa.glb(&pb, &lat).expect("same-key prefixes always meet");
+        prop_assert_eq!(g.node, lat.glb_node(a, b));
+        prop_assert_eq!(g.key, lat.mask_key(g.node, key));
+        prop_assert!(pa.generalizes(&g, &lat));
+        prop_assert!(pb.generalizes(&g, &lat));
+    }
+
+    /// When a glb exists it is generalized by both inputs; when it does not,
+    /// no fully-specified key is generalized by both (spot-checked on the
+    /// inputs' own keys).
+    #[test]
+    fn glb_soundness(
+        src1 in any::<u32>(), dst1 in any::<u32>(),
+        src2 in any::<u32>(), dst2 in any::<u32>(),
+        a in arb_node(25), b in arb_node(25),
+    ) {
+        let lat = lat2d();
+        let pa = Prefix::of(&lat, a, pack2(src1, dst1));
+        let pb = Prefix::of(&lat, b, pack2(src2, dst2));
+        match pa.glb(&pb, &lat) {
+            Some(g) => {
+                prop_assert!(pa.generalizes(&g, &lat));
+                prop_assert!(pb.generalizes(&g, &lat));
+            }
+            None => {
+                // Incompatible: neither input's key extends to a common
+                // descendant.
+                let ea = Prefix::of(&lat, lat.bottom(), pack2(src1, dst1));
+                let eb = Prefix::of(&lat, lat.bottom(), pack2(src2, dst2));
+                prop_assert!(!(pa.generalizes(&ea, &lat) && pb.generalizes(&ea, &lat)));
+                prop_assert!(!(pa.generalizes(&eb, &lat) && pb.generalizes(&eb, &lat)));
+            }
+        }
+    }
+
+    /// The 1D bit lattice orders prefixes by length: shorter generalizes
+    /// longer when bits agree.
+    #[test]
+    fn one_dim_bits_prefix_order(key in any::<u32>(), la in 0u32..=32, lb in 0u32..=32) {
+        let lat = Lattice::ipv4_src_bits();
+        let (short, long) = if la <= lb { (la, lb) } else { (lb, la) };
+        let ps = Prefix::of(&lat, lat.node_by_spec(&[short]), key);
+        let pl = Prefix::of(&lat, lat.node_by_spec(&[long]), key);
+        prop_assert!(ps.generalizes(&pl, &lat));
+    }
+
+    /// Lattice construction sanity across granularities: H and L match the
+    /// closed forms.
+    #[test]
+    fn lattice_size_formula(step in prop::sample::select(vec![1u32, 2, 4, 8, 16, 32])) {
+        let lat: Lattice<u32> = Lattice::new("t", vec![FieldSpec::new(32, step)]);
+        prop_assert_eq!(lat.num_nodes() as u32, 32 / step + 1);
+        prop_assert_eq!(lat.depth(), 32 / step);
+    }
+}

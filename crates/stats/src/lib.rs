@@ -1,0 +1,141 @@
+//! Statistical primitives used throughout the RHHH reproduction.
+//!
+//! The paper's analysis (Section 6 of *Constant Time Updates in Hierarchical
+//! Heavy Hitters*, SIGCOMM 2017) leans on three pieces of classical
+//! statistics, all of which are implemented here from scratch so the
+//! workspace has no external numerical dependencies:
+//!
+//! * **Normal quantiles** `Z_α` (`z_quantile`) — the `2·Z_{1-δ}·√(N·V)`
+//!   sampling-slack term in Algorithm 1 line 13 and the convergence bound
+//!   `ψ = Z_{1-δ_s/2}·V·ε_s⁻²` of Theorem 6.3.
+//! * **Student-t confidence intervals** (`Summary::confidence_interval`) —
+//!   the evaluation methodology: "We ran each data point 5 times and used
+//!   two-sided Student's t-test to determine 95% confidence intervals."
+//! * **Poisson confidence limits** (`poisson_confidence`) — Lemma 6.2 uses
+//!   the Schwertman–Martinez normal approximation for Poisson intervals;
+//!   we expose the same approximation for the analysis-validation tests.
+//!
+//! # Example
+//!
+//! ```
+//! use hhh_stats::{z_quantile, Summary};
+//!
+//! // Z_{0.975} ≈ 1.9600 — the familiar two-sided 95% normal quantile.
+//! assert!((z_quantile(0.975) - 1.959964).abs() < 1e-4);
+//!
+//! let runs = [10.2, 9.8, 10.1, 10.4, 9.9];
+//! let summary = Summary::from_samples(&runs);
+//! let ci = summary.confidence_interval(0.95);
+//! assert!(ci.lower < summary.mean() && summary.mean() < ci.upper);
+//! ```
+
+mod normal;
+mod poisson;
+mod student_t;
+mod summary;
+
+pub use normal::{normal_cdf, z_quantile};
+pub use poisson::{poisson_confidence, PoissonInterval};
+pub use student_t::t_quantile;
+pub use summary::{ConfidenceInterval, Summary};
+
+/// The additive sampling-error slack of Algorithm 1 line 13: `2·Z_{1-δ}·√(N·V)`.
+///
+/// RHHH adds this term to every conditioned-frequency estimate so that the
+/// estimate remains conservative despite the randomized level selection
+/// (Lemma 6.10 in one dimension, Lemma 6.14 in two).
+///
+/// `n` is the stream length so far, `v` the performance parameter (`V ≥ H`),
+/// and `delta` the target confidence parameter δ.
+#[must_use]
+pub fn sampling_slack(n: u64, v: u64, delta: f64) -> f64 {
+    2.0 * z_quantile(1.0 - delta) * ((n as f64) * (v as f64)).sqrt()
+}
+
+/// The convergence bound of Theorem 6.3: `ψ = Z_{1-δ_s/2} · V · ε_s⁻²`.
+///
+/// Once the stream length exceeds `ψ`, RHHH's sampling error is below `ε_s`
+/// with probability at least `1 - δ_s` and the full (δ, ε, θ) guarantee of
+/// Theorem 6.17 holds. For the paper's operating point
+/// (`V = 25`, `ε_s = δ_s = 0.001`) this evaluates to ≈ 8.2·10⁷, matching the
+/// "about 100 million packets" the paper quotes for RHHH in 2D bytes.
+#[must_use]
+pub fn psi(v: u64, epsilon_s: f64, delta_s: f64) -> f64 {
+    assert!(epsilon_s > 0.0, "epsilon_s must be positive");
+    assert!(
+        delta_s > 0.0 && delta_s < 1.0,
+        "delta_s must be in (0, 1)"
+    );
+    z_quantile(1.0 - delta_s / 2.0) * (v as f64) / (epsilon_s * epsilon_s)
+}
+
+/// The residual sampling error after `n` packets (Corollary 6.4):
+/// `ε_s(N) = √(Z_{1-δ_s/2} · V / N)`.
+///
+/// This is the inverse view of [`psi`]: given a measurement interval of `n`
+/// packets, the achievable sampling error. It is used by the
+/// `psi_convergence` experiment to plot the theoretical envelope against the
+/// empirically measured error.
+#[must_use]
+pub fn epsilon_s_at(n: u64, v: u64, delta_s: f64) -> f64 {
+    assert!(n > 0, "n must be positive");
+    (z_quantile(1.0 - delta_s / 2.0) * (v as f64) / (n as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psi_matches_paper_operating_points() {
+        // RHHH in 2D bytes: V = H = 25, eps_s = delta_s = 0.001
+        // -> "about 100 million packets".
+        let p = psi(25, 1e-3, 1e-3);
+        assert!(p > 7.5e7 && p < 9.0e7, "psi = {p}");
+        // 10-RHHH: V = 250 -> "about 1 billion packets".
+        let p10 = psi(250, 1e-3, 1e-3);
+        assert!(p10 > 7.5e8 && p10 < 9.0e8, "psi10 = {p10}");
+        assert!((p10 / p - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_s_inverts_psi() {
+        // At N = psi the residual error equals eps_s.
+        let v = 25;
+        let (eps, delta) = (1e-3, 1e-3);
+        let n = psi(v, eps, delta).ceil() as u64;
+        let residual = epsilon_s_at(n, v, delta);
+        assert!((residual - eps).abs() / eps < 1e-2, "residual = {residual}");
+    }
+
+    #[test]
+    fn epsilon_s_decreases_with_n() {
+        let mut last = f64::INFINITY;
+        for n in [1_000u64, 10_000, 100_000, 1_000_000] {
+            let e = epsilon_s_at(n, 25, 1e-3);
+            assert!(e < last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn sampling_slack_scales_with_sqrt_nv() {
+        let base = sampling_slack(1_000_000, 25, 0.001);
+        let quad = sampling_slack(4_000_000, 25, 0.001);
+        assert!((quad / base - 2.0).abs() < 1e-9);
+        let vbig = sampling_slack(1_000_000, 100, 0.001);
+        assert!((vbig / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon_s must be positive")]
+    fn psi_rejects_zero_epsilon() {
+        let _ = psi(25, 0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta_s must be in (0, 1)")]
+    fn psi_rejects_bad_delta() {
+        let _ = psi(25, 0.1, 1.0);
+    }
+}

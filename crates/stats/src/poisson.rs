@@ -1,0 +1,97 @@
+//! Approximate Poisson confidence limits.
+//!
+//! Lemma 6.2 of the paper bounds a Poisson variable `X` around its mean by
+//! `Z_{1-δ}·√(E(X))` using the Schwertman–Martinez normal approximation
+//! (reference [40] of the paper). The experiment-validation tests use these
+//! limits to check that the balls-and-bins behaviour of RHHH's sampled
+//! sub-streams is consistent with the Poisson model of Section 6.
+
+use crate::normal::z_quantile;
+
+/// A two-sided confidence interval for a Poisson mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonInterval {
+    /// Lower confidence limit (clamped at zero).
+    pub lower: f64,
+    /// Upper confidence limit.
+    pub upper: f64,
+}
+
+impl PoissonInterval {
+    /// Whether `x` lies within the interval (inclusive).
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lower <= x && x <= self.upper
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Two-sided confidence interval around a Poisson mean `lambda` at
+/// confidence `1 - delta`, per Lemma 6.2:
+/// `Pr(|X − E(X)| ≥ Z_{1−δ}·√E(X)) ≤ δ` (with the two-sided split applied,
+/// i.e. `Z_{1−δ/2}` on each side).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or `delta` is outside `(0, 1)`.
+#[must_use]
+pub fn poisson_confidence(lambda: f64, delta: f64) -> PoissonInterval {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    let z = z_quantile(1.0 - delta / 2.0);
+    let half = z * lambda.sqrt();
+    PoissonInterval {
+        lower: (lambda - half).max(0.0),
+        upper: lambda + half,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_centered_on_lambda_when_wide_enough() {
+        let iv = poisson_confidence(10_000.0, 0.05);
+        assert!(iv.contains(10_000.0));
+        // z(0.975) * sqrt(10000) = 1.96 * 100 = 196.
+        assert!((iv.upper - 10_196.0).abs() < 0.5, "upper = {}", iv.upper);
+        assert!((iv.lower - 9_804.0).abs() < 0.5, "lower = {}", iv.lower);
+    }
+
+    #[test]
+    fn lower_limit_clamped_at_zero() {
+        let iv = poisson_confidence(1.0, 0.01);
+        assert_eq!(iv.lower, 0.0);
+        assert!(iv.upper > 1.0);
+    }
+
+    #[test]
+    fn smaller_delta_widens_interval() {
+        let wide = poisson_confidence(400.0, 0.001);
+        let narrow = poisson_confidence(400.0, 0.10);
+        assert!(wide.width() > narrow.width());
+    }
+
+    #[test]
+    fn relative_width_shrinks_with_lambda() {
+        // The relative error Z*sqrt(lambda)/lambda = Z/sqrt(lambda) shrinks —
+        // the statistical heart of why RHHH converges (Theorem 6.3).
+        let small = poisson_confidence(100.0, 0.05);
+        let large = poisson_confidence(1_000_000.0, 0.05);
+        let rel_small = small.width() / 100.0;
+        let rel_large = large.width() / 1_000_000.0;
+        assert!(rel_large < rel_small / 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be non-negative")]
+    fn rejects_negative_lambda() {
+        let _ = poisson_confidence(-1.0, 0.05);
+    }
+}

@@ -1,0 +1,221 @@
+//! Sample summaries and Student-t confidence intervals for the experiment
+//! harness (each evaluation point is run 5 times, as in the paper).
+
+use crate::student_t::t_quantile;
+
+/// A two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint of the interval.
+    pub lower: f64,
+    /// Upper endpoint of the interval.
+    pub upper: f64,
+    /// The confidence level the interval was built for, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval (the "±" the paper's error bars show).
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether `x` falls inside the interval (inclusive).
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lower <= x && x <= self.upper
+    }
+}
+
+/// Streaming-friendly summary of a set of repeated measurements.
+///
+/// Uses Welford's online algorithm so it can also absorb values one at a
+/// time without catastrophic cancellation.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice of samples.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in samples {
+            s.add(x);
+        }
+        s
+    }
+
+    /// Absorbs one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations absorbed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean. Zero for an empty summary.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n−1 denominator). Zero when fewer than two
+    /// observations exist.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Two-sided Student-t confidence interval at `level` (e.g. `0.95`),
+    /// matching the paper's evaluation methodology.
+    ///
+    /// With fewer than two samples the interval degenerates to the mean.
+    #[must_use]
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level must lie in (0, 1)"
+        );
+        if self.count < 2 {
+            return ConfidenceInterval {
+                lower: self.mean,
+                upper: self.mean,
+                level,
+            };
+        }
+        let df = (self.count - 1) as u32;
+        let t = t_quantile(0.5 + level / 2.0, df);
+        let half = t * self.std_err();
+        ConfidenceInterval {
+            lower: self.mean - half,
+            upper: self.mean + half,
+            level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic data set is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+        let s = Summary::from_samples(&data);
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.variance() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn five_run_interval_matches_hand_computation() {
+        // Five throughput runs; t*(df=4, 97.5%) = 2.776.
+        let runs = [10.0, 10.5, 9.5, 10.2, 9.8];
+        let s = Summary::from_samples(&runs);
+        let ci = s.confidence_interval(0.95);
+        let t = crate::t_quantile(0.975, 4);
+        let half = t * s.std_err();
+        assert!((ci.half_width() - half).abs() < 1e-9);
+        assert!(ci.contains(s.mean()));
+        assert_eq!(ci.level, 0.95);
+    }
+
+    #[test]
+    fn interval_degenerates_for_single_sample() {
+        let s = Summary::from_samples(&[42.0]);
+        let ci = s.confidence_interval(0.95);
+        assert_eq!(ci.lower, 42.0);
+        assert_eq!(ci.upper, 42.0);
+        assert_eq!(ci.half_width(), 0.0);
+    }
+
+    #[test]
+    fn higher_level_widens_interval() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ci90 = s.confidence_interval(0.90);
+        let ci99 = s.confidence_interval(0.99);
+        assert!(ci99.half_width() > ci90.half_width());
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+}

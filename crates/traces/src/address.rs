@@ -1,0 +1,165 @@
+//! Hierarchical address synthesis.
+//!
+//! A flow rank must map to a *stable* (source, destination) address pair —
+//! the same flow always gets the same addresses — with mass concentrating
+//! along prefixes so that interior lattice nodes have heavy aggregates.
+//!
+//! Every address byte is drawn as `⌊256·u^α⌋` from a rank-derived uniform
+//! `u`: with `α > 1` low byte *indices* are more likely, producing a
+//! popularity gradient at every level of the byte hierarchy. A per-level
+//! byte permutation (seeded) then scatters which concrete byte values are
+//! the popular ones, so different presets have different hot prefixes and
+//! nothing magic lives at `0.0.0.0`.
+
+/// Deterministic mapping from flow ranks to hierarchically skewed IPv4
+/// address pairs.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    /// Per level (4 src + 4 dst) byte permutations.
+    perms: [[u8; 256]; 8],
+    /// Skew exponent α: larger → more mass in fewer prefixes.
+    alpha: f64,
+    seed: u64,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl AddressSpace {
+    /// Creates an address space with the given seed and skew `alpha`
+    /// (sensible range 1.5–4.0; the presets use ~2.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha < 1.0` (would invert the skew).
+    #[must_use]
+    pub fn new(seed: u64, alpha: f64) -> Self {
+        assert!(alpha >= 1.0, "alpha must be at least 1.0, got {alpha}");
+        let mut perms = [[0u8; 256]; 8];
+        let mut state = seed ^ 0xDEAD_BEEF_CAFE_F00D;
+        for perm in &mut perms {
+            for (i, p) in perm.iter_mut().enumerate() {
+                *p = i as u8;
+            }
+            // Fisher–Yates with the seeded splitmix stream.
+            for i in (1..256usize).rev() {
+                let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+                perm.swap(i, j);
+            }
+        }
+        Self { perms, alpha, seed }
+    }
+
+    /// One skewed byte for hierarchy level `level` (0–7) from 64 bits of
+    /// rank-derived entropy.
+    fn byte(&self, level: usize, entropy: u64) -> u8 {
+        let u = (entropy >> 11) as f64 / (1u64 << 53) as f64;
+        let idx = (256.0 * u.powf(self.alpha)) as usize;
+        self.perms[level][idx.min(255)]
+    }
+
+    /// The stable (source, destination) pair for a flow rank.
+    #[must_use]
+    pub fn flow(&self, rank: u64) -> (u32, u32) {
+        let mut state = self.seed ^ rank.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut bytes = [0u8; 8];
+        for (level, b) in bytes.iter_mut().enumerate() {
+            *b = self.byte(level, splitmix(&mut state));
+        }
+        let src = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let dst = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        (src, dst)
+    }
+
+    /// The skew exponent.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn flows_are_stable() {
+        let a = AddressSpace::new(1, 2.5);
+        for rank in [1u64, 2, 17, 1_000_000] {
+            assert_eq!(a.flow(rank), a.flow(rank));
+        }
+        let b = AddressSpace::new(1, 2.5);
+        assert_eq!(a.flow(42), b.flow(42), "same seed, same mapping");
+        let c = AddressSpace::new(2, 2.5);
+        assert_ne!(a.flow(42), c.flow(42), "different seed, different map");
+    }
+
+    #[test]
+    fn top_byte_distribution_is_skewed() {
+        // With α = 2.5, a handful of /8s must dominate.
+        let a = AddressSpace::new(7, 3.0);
+        let mut counts: HashMap<u8, u32> = HashMap::new();
+        for rank in 0..20_000u64 {
+            let (src, _) = a.flow(rank);
+            *counts.entry((src >> 24) as u8).or_insert(0) += 1;
+        }
+        let mut freq: Vec<u32> = counts.values().copied().collect();
+        freq.sort_unstable_by(|x, y| y.cmp(x));
+        let top5: u32 = freq.iter().take(5).sum();
+        // With α = 3.0 the top-5 indices carry (5/256)^(1/3) ≈ 27% of the
+        // mass in expectation.
+        assert!(
+            f64::from(top5) > 0.22 * 20_000.0,
+            "top-5 /8s carry only {top5}/20000"
+        );
+        // But not degenerate: many /8s still appear.
+        assert!(counts.len() > 40, "only {} distinct /8s", counts.len());
+    }
+
+    #[test]
+    fn hierarchical_mass_decays_with_depth() {
+        // The most popular /8 must carry more flows than the most popular
+        // /16, which carries more than the most popular /24.
+        let a = AddressSpace::new(3, 3.0);
+        let mut c8: HashMap<u32, u32> = HashMap::new();
+        let mut c16: HashMap<u32, u32> = HashMap::new();
+        let mut c24: HashMap<u32, u32> = HashMap::new();
+        for rank in 0..30_000u64 {
+            let (src, _) = a.flow(rank);
+            *c8.entry(src >> 24).or_insert(0) += 1;
+            *c16.entry(src >> 16).or_insert(0) += 1;
+            *c24.entry(src >> 8).or_insert(0) += 1;
+        }
+        let max8 = *c8.values().max().unwrap();
+        let max16 = *c16.values().max().unwrap();
+        let max24 = *c24.values().max().unwrap();
+        assert!(max8 > max16 && max16 > max24, "{max8} / {max16} / {max24}");
+        // And /16 aggregates are substantial (interior HHHs exist):
+        // expectation is (1/256)^(2/3)·30000 ≈ 740 flows.
+        assert!(f64::from(max16) > 0.012 * 30_000.0, "max16 = {max16}");
+    }
+
+    #[test]
+    fn src_and_dst_are_independent_levels() {
+        let a = AddressSpace::new(11, 2.0);
+        // Same source-side entropy should not force the destination.
+        let mut dsts = std::collections::HashSet::new();
+        for rank in 0..1000u64 {
+            let (_, dst) = a.flow(rank);
+            dsts.insert(dst);
+        }
+        assert!(dsts.len() > 500, "destinations collapse: {}", dsts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be at least 1.0")]
+    fn rejects_inverted_skew() {
+        let _ = AddressSpace::new(1, 0.5);
+    }
+}

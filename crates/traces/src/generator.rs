@@ -1,0 +1,388 @@
+//! Trace configuration, packet records and the generator iterator.
+
+use hhh_hierarchy::pack2;
+use serde::{Deserialize, Serialize};
+
+use crate::address::AddressSpace;
+use crate::zipf::Zipf;
+
+/// One packet record — the fields the algorithms and the virtual switch
+/// consume. (Payloads are irrelevant to HHH measurement; the OVS evaluation
+/// in the paper likewise fixes 64-byte payloads.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Source IPv4 address.
+    pub src: u32,
+    /// Destination IPv4 address.
+    pub dst: u32,
+    /// Source UDP/TCP port.
+    pub src_port: u16,
+    /// Destination UDP/TCP port.
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP, 1 = ICMP).
+    pub proto: u8,
+    /// Frame length on the wire in bytes (IMIX-style mix), for
+    /// volume-weighted measurement.
+    pub wire_len: u16,
+}
+
+impl Packet {
+    /// Key for one-dimensional source hierarchies.
+    #[inline]
+    #[must_use]
+    pub fn key1(&self) -> u32 {
+        self.src
+    }
+
+    /// Packed key for two-dimensional source × destination hierarchies.
+    #[inline]
+    #[must_use]
+    pub fn key2(&self) -> u64 {
+        pack2(self.src, self.dst)
+    }
+}
+
+/// DDoS overlay: a fraction of packets get a source drawn uniformly from
+/// one subnet and a fixed victim destination — the paper's motivating
+/// detection scenario ("each device generates a small portion of the
+/// traffic but their combined volume is overwhelming").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Network address of the attacking subnet (e.g. `10.20.0.0`).
+    pub subnet: u32,
+    /// Prefix length of the attacking subnet in bits (0–32).
+    pub subnet_bits: u8,
+    /// Victim destination address.
+    pub victim: u32,
+    /// Fraction of total traffic that is attack traffic, in `[0, 1)`.
+    pub fraction: f64,
+}
+
+/// Full description of a synthetic trace; serializable so experiment
+/// configurations can be stored alongside results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Human-readable name ("chicago16", …).
+    pub name: String,
+    /// Master seed — every byte of the trace is a pure function of
+    /// (config, packet index).
+    pub seed: u64,
+    /// Number of distinct flows in the universe.
+    pub flows: u64,
+    /// Zipf exponent of the flow-size distribution.
+    pub zipf_exponent: f64,
+    /// Address-hierarchy skew (see [`AddressSpace`]).
+    pub alpha: f64,
+    /// Optional DDoS overlay.
+    pub attack: Option<AttackConfig>,
+}
+
+impl TraceConfig {
+    /// Synthetic stand-in for the CAIDA equinix-chicago 2015 trace.
+    #[must_use]
+    pub fn chicago15() -> Self {
+        Self {
+            name: "chicago15".into(),
+            seed: 0xC215_0001,
+            flows: 1_000_000,
+            zipf_exponent: 1.02,
+            alpha: 2.9,
+            attack: None,
+        }
+    }
+
+    /// Synthetic stand-in for the CAIDA equinix-chicago 2016 trace.
+    #[must_use]
+    pub fn chicago16() -> Self {
+        Self {
+            name: "chicago16".into(),
+            seed: 0xC216_0002,
+            flows: 1_200_000,
+            zipf_exponent: 1.05,
+            alpha: 2.7,
+            attack: None,
+        }
+    }
+
+    /// Synthetic stand-in for the CAIDA equinix-sanjose 2013 trace.
+    #[must_use]
+    pub fn sanjose13() -> Self {
+        Self {
+            name: "sanjose13".into(),
+            seed: 0x5A13_0003,
+            flows: 800_000,
+            zipf_exponent: 0.98,
+            alpha: 3.1,
+            attack: None,
+        }
+    }
+
+    /// Synthetic stand-in for the CAIDA equinix-sanjose 2014 trace.
+    #[must_use]
+    pub fn sanjose14() -> Self {
+        Self {
+            name: "sanjose14".into(),
+            seed: 0x5A14_0004,
+            flows: 900_000,
+            zipf_exponent: 1.08,
+            alpha: 2.8,
+            attack: None,
+        }
+    }
+
+    /// All four named presets, in the order the paper's figures use them.
+    #[must_use]
+    pub fn presets() -> Vec<Self> {
+        vec![
+            Self::chicago15(),
+            Self::chicago16(),
+            Self::sanjose13(),
+            Self::sanjose14(),
+        ]
+    }
+
+    /// Adds a DDoS overlay to this configuration.
+    #[must_use]
+    pub fn with_attack(mut self, attack: AttackConfig) -> Self {
+        self.attack = Some(attack);
+        self
+    }
+}
+
+/// Streaming packet generator: `Iterator<Item = Packet>`, fully
+/// deterministic for a given config.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    zipf: Zipf,
+    addresses: AddressSpace,
+    attack: Option<AttackConfig>,
+    state: u64,
+    produced: u64,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceGenerator {
+    /// Creates a generator for the given configuration.
+    #[must_use]
+    pub fn new(config: &TraceConfig) -> Self {
+        Self {
+            zipf: Zipf::new(config.flows.max(1), config.zipf_exponent),
+            addresses: AddressSpace::new(config.seed, config.alpha),
+            attack: config.attack,
+            state: config.seed ^ 0x7261_6365_5F67_656E,
+            produced: 0,
+        }
+    }
+
+    /// Number of packets produced so far.
+    #[must_use]
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Generates the next packet (never exhausts).
+    pub fn generate(&mut self) -> Packet {
+        self.produced += 1;
+        let r = splitmix(&mut self.state);
+        // Attack overlay first: a biased coin on the top 53 bits.
+        if let Some(atk) = self.attack {
+            let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+            if u < atk.fraction {
+                let host_bits = 32 - u32::from(atk.subnet_bits);
+                let host_mask = if host_bits >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << host_bits) - 1
+                };
+                let host = (splitmix(&mut self.state) as u32) & host_mask;
+                let e = splitmix(&mut self.state);
+                return Packet {
+                    src: (atk.subnet & !host_mask) | host,
+                    dst: atk.victim,
+                    src_port: (e >> 16) as u16,
+                    dst_port: 80,
+                    proto: 17,
+                    wire_len: 64, // floods are minimum-size packets
+                };
+            }
+        }
+        let rank = self.zipf.sample(|| {
+            let v = splitmix(&mut self.state);
+            (v >> 11) as f64 / (1u64 << 53) as f64
+        });
+        let (src, dst) = self.addresses.flow(rank);
+        // Ports and protocol are flow attributes: a five-tuple stays stable
+        // across a flow's packets (this is what lets exact-match flow caches
+        // like OVS's EMC hit).
+        let mut fstate = rank.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ 0xF10E;
+        let e = splitmix(&mut fstate);
+        // Per-packet size from the classic IMIX mix (7:4:1 of 64/576/1500).
+        let size_draw = splitmix(&mut self.state) % 12;
+        Packet {
+            src,
+            dst,
+            src_port: 1024 + ((e >> 48) as u16 % 60_000),
+            dst_port: match e % 5 {
+                0 => 80,
+                1 => 443,
+                2 => 53,
+                _ => (e >> 32) as u16,
+            },
+            proto: match e % 10 {
+                0 => 1,           // ~10% ICMP
+                1..=3 => 17,      // ~30% UDP
+                _ => 6,           // ~60% TCP
+            },
+            wire_len: match size_draw {
+                0..=6 => 64,
+                7..=10 => 576,
+                _ => 1500,
+            },
+        }
+    }
+
+    /// Pre-generates `n` packets into a vector (benchmarks pre-materialize
+    /// traces so generation cost stays out of the timed loop).
+    #[must_use]
+    pub fn take_packets(&mut self, n: usize) -> Vec<Packet> {
+        (0..n).map(|_| self.generate()).collect()
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        Some(self.generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_per_config() {
+        let cfg = TraceConfig::chicago16();
+        let a: Vec<Packet> = TraceGenerator::new(&cfg).take(1_000).collect();
+        let b: Vec<Packet> = TraceGenerator::new(&cfg).take(1_000).collect();
+        assert_eq!(a, b);
+        let c: Vec<Packet> = TraceGenerator::new(&TraceConfig::sanjose13())
+            .take(1_000)
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn presets_have_distinct_names_and_seeds() {
+        let presets = TraceConfig::presets();
+        assert_eq!(presets.len(), 4);
+        let mut names: Vec<&str> = presets.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn flow_sizes_are_heavy_tailed() {
+        let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+        let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            let p = gen.generate();
+            *counts.entry((p.src, p.dst)).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<u32> = counts.values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        // Top flow carries a few percent; the tail is a sea of small flows.
+        assert!(sizes[0] > (n / 100) as u32, "top flow = {}", sizes[0]);
+        let singletons = sizes.iter().filter(|&&s| s <= 2).count();
+        assert!(
+            singletons as f64 > 0.5 * sizes.len() as f64,
+            "tail too fat: {singletons}/{}",
+            sizes.len()
+        );
+    }
+
+    #[test]
+    fn attack_overlay_hits_requested_fraction() {
+        let atk = AttackConfig {
+            subnet: u32::from_be_bytes([10, 20, 0, 0]),
+            subnet_bits: 16,
+            victim: u32::from_be_bytes([8, 8, 8, 8]),
+            fraction: 0.25,
+        };
+        let cfg = TraceConfig::chicago15().with_attack(atk);
+        let mut gen = TraceGenerator::new(&cfg);
+        let n = 50_000;
+        let mut hits = 0u32;
+        for _ in 0..n {
+            let p = gen.generate();
+            if p.dst == atk.victim && (p.src >> 16) == (atk.subnet >> 16) {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(n);
+        assert!((rate - 0.25).abs() < 0.02, "attack rate {rate}");
+    }
+
+    #[test]
+    fn attack_sources_spread_within_subnet() {
+        let atk = AttackConfig {
+            subnet: u32::from_be_bytes([10, 20, 0, 0]),
+            subnet_bits: 16,
+            victim: u32::from_be_bytes([8, 8, 8, 8]),
+            fraction: 1.0 - f64::EPSILON,
+        };
+        let cfg = TraceConfig::chicago15().with_attack(atk);
+        let mut gen = TraceGenerator::new(&cfg);
+        let mut sources = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            sources.insert(gen.generate().src);
+        }
+        // Many distinct sources — no single heavy hitter, only the subnet
+        // aggregate (the HHH detection premise).
+        assert!(sources.len() > 5_000, "{} sources", sources.len());
+    }
+
+    #[test]
+    fn protocol_mix_is_plausible() {
+        let mut gen = TraceGenerator::new(&TraceConfig::sanjose14());
+        let mut tcp = 0u32;
+        let mut udp = 0u32;
+        let mut icmp = 0u32;
+        for _ in 0..30_000 {
+            match gen.generate().proto {
+                6 => tcp += 1,
+                17 => udp += 1,
+                1 => icmp += 1,
+                other => panic!("unexpected proto {other}"),
+            }
+        }
+        assert!(tcp > udp && udp > icmp, "{tcp}/{udp}/{icmp}");
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = TraceConfig::chicago16().with_attack(AttackConfig {
+            subnet: 0x0A14_0000,
+            subnet_bits: 16,
+            victim: 0x0808_0808,
+            fraction: 0.1,
+        });
+        // serde-roundtrip through the self-describing JSON-ish value layer
+        // is covered by serialization into the binary trace header; here we
+        // check Clone/PartialEq plumbing of the attack payload.
+        let again = cfg.clone();
+        assert_eq!(cfg.attack, again.attack);
+        assert_eq!(cfg.name, again.name);
+    }
+}

@@ -1,0 +1,181 @@
+//! Compact binary trace format.
+//!
+//! Layout: an 8-byte magic (`RHHHTRC2`), a little-endian `u64` packet
+//! count, then 15-byte records (`src`, `dst`, `src_port`, `dst_port`,
+//! `wire_len` LE, `proto`). The format exists so expensive traces can be materialized once
+//! and replayed across experiments — the same role the CAIDA pcap files
+//! play for the paper.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::generator::Packet;
+
+/// File magic identifying version 2 of the format (adds wire_len).
+pub const MAGIC: [u8; 8] = *b"RHHHTRC2";
+
+/// Writes packets to `path`, returning how many were written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_trace(path: &Path, packets: &[Packet]) -> io::Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC)?;
+    w.write_all(&(packets.len() as u64).to_le_bytes())?;
+    for p in packets {
+        write_packet(&mut w, p)?;
+    }
+    w.flush()?;
+    Ok(packets.len() as u64)
+}
+
+fn write_packet<W: Write>(w: &mut W, p: &Packet) -> io::Result<()> {
+    w.write_all(&p.src.to_le_bytes())?;
+    w.write_all(&p.dst.to_le_bytes())?;
+    w.write_all(&p.src_port.to_le_bytes())?;
+    w.write_all(&p.dst_port.to_le_bytes())?;
+    w.write_all(&p.wire_len.to_le_bytes())?;
+    w.write_all(&[p.proto])
+}
+
+/// Streaming reader over a trace file.
+#[derive(Debug)]
+pub struct TraceReader {
+    inner: BufReader<File>,
+    remaining: u64,
+}
+
+impl TraceReader {
+    /// Opens a trace file and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for wrong magic, otherwise propagates I/O
+    /// errors.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut inner = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        inner.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an RHHH trace file (bad magic)",
+            ));
+        }
+        let mut count = [0u8; 8];
+        inner.read_exact(&mut count)?;
+        Ok(Self {
+            inner,
+            remaining: u64::from_le_bytes(count),
+        })
+    }
+
+    /// Packets left to read.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn read_packet(&mut self) -> io::Result<Packet> {
+        let mut buf = [0u8; 15];
+        self.inner.read_exact(&mut buf)?;
+        Ok(Packet {
+            src: u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]),
+            dst: u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            src_port: u16::from_le_bytes([buf[8], buf[9]]),
+            dst_port: u16::from_le_bytes([buf[10], buf[11]]),
+            wire_len: u16::from_le_bytes([buf[12], buf[13]]),
+            proto: buf[14],
+        })
+    }
+}
+
+impl Iterator for TraceReader {
+    type Item = io::Result<Packet>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.read_packet())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rhhh-trace-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_packets() {
+        let path = tmp("roundtrip");
+        let packets: Vec<Packet> = TraceGenerator::new(&TraceConfig::chicago16())
+            .take(5_000)
+            .collect();
+        write_trace(&path, &packets).expect("write");
+        let back: Vec<Packet> = TraceReader::open(&path)
+            .expect("open")
+            .map(|r| r.expect("read"))
+            .collect();
+        assert_eq!(packets, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let path = tmp("empty");
+        write_trace(&path, &[]).expect("write");
+        let mut r = TraceReader::open(&path).expect("open");
+        assert_eq!(r.remaining(), 0);
+        assert!(r.next().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOTATRACE-AT-ALL").expect("write");
+        let err = TraceReader::open(&path).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_surfaces_io_error() {
+        let path = tmp("truncated");
+        let packets: Vec<Packet> = TraceGenerator::new(&TraceConfig::sanjose13())
+            .take(10)
+            .collect();
+        write_trace(&path, &packets).expect("write");
+        // Chop the last record in half.
+        let data = std::fs::read(&path).expect("read file");
+        std::fs::write(&path, &data[..data.len() - 6]).expect("rewrite");
+        let results: Vec<io::Result<Packet>> =
+            TraceReader::open(&path).expect("open").collect();
+        assert!(results.last().expect("non-empty").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let path = tmp("remaining");
+        let packets: Vec<Packet> = TraceGenerator::new(&TraceConfig::chicago15())
+            .take(3)
+            .collect();
+        write_trace(&path, &packets).expect("write");
+        let mut r = TraceReader::open(&path).expect("open");
+        assert_eq!(r.remaining(), 3);
+        r.next();
+        assert_eq!(r.remaining(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic Internet-backbone-like packet traces.
+//!
+//! The RHHH paper evaluates on four CAIDA anonymized backbone traces
+//! (Chicago 2015/2016, San Jose 2013/2014 — references [24–27]), each a mix
+//! of one billion UDP/TCP/ICMP packets. Those traces are distribution-gated,
+//! so this crate synthesizes the closest open equivalent — the substitution
+//! DESIGN.md documents:
+//!
+//! * **Flow sizes** follow a Zipf law ([`Zipf`], rejection–inversion
+//!   sampling), matching the well-established heavy-tailed nature of
+//!   backbone flow-size distributions.
+//! * **Addresses** are synthesized hierarchically ([`AddressSpace`]): every
+//!   byte of an address is drawn from a skewed per-level distribution with a
+//!   seed-derived permutation, so prefix aggregates at /8, /16 and /24 carry
+//!   realistic mass and the exact HHH sets are non-trivial at every level —
+//!   what the algorithms actually exercise.
+//! * **Presets** ([`TraceConfig::chicago16`] etc.) fix seeds and skew
+//!   parameters per named trace, so "Chicago16" always denotes the same
+//!   reproducible packet sequence.
+//! * **Attack mixing** ([`AttackConfig`]) overlays a DDoS pattern — many
+//!   sources inside one subnet targeting one victim — the paper's
+//!   motivating detection scenario where no individual flow is heavy.
+//!
+//! Traces can be generated on the fly ([`TraceGenerator`] is an iterator)
+//! or persisted to a compact binary format ([`io`]).
+//!
+//! ```
+//! use hhh_traces::{TraceConfig, TraceGenerator};
+//!
+//! let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+//! let pkt = gen.next().unwrap();
+//! assert!(pkt.src != 0);
+//! // 2D key for the source/destination lattice:
+//! let _key: u64 = pkt.key2();
+//! ```
+
+mod address;
+mod generator;
+pub mod io;
+pub mod pcap;
+mod zipf;
+
+pub use address::AddressSpace;
+pub use generator::{AttackConfig, Packet, TraceConfig, TraceGenerator};
+pub use pcap::{write_pcap, PcapReader};
+pub use zipf::Zipf;

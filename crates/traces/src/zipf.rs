@@ -1,0 +1,187 @@
+//! Zipf-distributed rank sampling by rejection–inversion
+//! (W. Hörmann, G. Derflinger: "Rejection-inversion to generate variates
+//! from monotone discrete distributions", TOMACS 1996).
+//!
+//! Samples ranks `k ∈ {1, …, n}` with `P(k) ∝ k^{-s}` in O(1) expected time
+//! and without any precomputed table — the generator produces tens of
+//! millions of packets, so inverse-CDF tables over million-flow universes
+//! would dominate memory traffic.
+
+/// Zipf sampler over `{1, …, n}` with exponent `s > 0`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// `H(n + 1/2)` — upper end of the inversion range.
+    h_sup: f64,
+    /// `H(1/2)` — lower end of the inversion range.
+    h_inf: f64,
+    /// Acceptance shortcut threshold `s = 1 − H⁻¹(H(3/2) − 2^{-s})`.
+    shortcut: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler for universe size `n` and exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `s <= 0`.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "universe size must be positive");
+        assert!(s > 0.0, "exponent must be positive");
+        let h_sup = Self::h(s, n as f64 + 0.5);
+        let h_inf = Self::h(s, 0.5);
+        let shortcut = 1.0 - Self::h_inv(s, Self::h(s, 1.5) - (2.0f64).powf(-s));
+        Self {
+            n,
+            s,
+            h_sup,
+            h_inf,
+            shortcut,
+        }
+    }
+
+    /// `H(x) = ∫ x^{-s} dx`, the antiderivative used for inversion.
+    fn h(s: f64, x: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            x.powf(1.0 - s) / (1.0 - s)
+        }
+    }
+
+    /// Inverse of [`Self::h`].
+    fn h_inv(s: f64, v: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            v.exp()
+        } else {
+            (v * (1.0 - s)).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    /// Universe size `n`.
+    #[must_use]
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank using the caller's uniform source (`uniform()` must
+    /// return values in `[0, 1)`).
+    pub fn sample(&self, mut uniform: impl FnMut() -> f64) -> u64 {
+        loop {
+            let u = self.h_sup + (self.h_inf - self.h_sup) * uniform();
+            let x = Self::h_inv(self.s, u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.shortcut {
+                return k as u64;
+            }
+            if u >= Self::h(self.s, k + 0.5) - (k).powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic uniform source for the tests.
+    struct U(u64);
+    impl U {
+        fn next(&mut self) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn histogram(n: u64, s: f64, draws: usize) -> Vec<u64> {
+        let z = Zipf::new(n, s);
+        let mut u = U(42);
+        let mut h = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            let k = z.sample(|| u.next());
+            assert!((1..=n).contains(&k));
+            h[k as usize] += 1;
+        }
+        h
+    }
+
+    fn zeta(n: u64, s: f64) -> f64 {
+        (1..=n).map(|k| (k as f64).powf(-s)).sum()
+    }
+
+    #[test]
+    fn matches_zipf_pmf_small_universe() {
+        let (n, s, draws) = (10u64, 1.2f64, 400_000usize);
+        let h = histogram(n, s, draws);
+        let z = zeta(n, s);
+        for k in 1..=n {
+            let expected = (k as f64).powf(-s) / z;
+            let got = h[k as usize] as f64 / draws as f64;
+            assert!(
+                (got - expected).abs() < 0.01 + 0.05 * expected,
+                "rank {k}: got {got:.4}, expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_one_special_case() {
+        let (n, s, draws) = (100u64, 1.0f64, 300_000usize);
+        let h = histogram(n, s, draws);
+        let z = zeta(n, s);
+        let p1 = h[1] as f64 / draws as f64;
+        assert!((p1 - 1.0 / z).abs() < 0.01, "p1 = {p1}");
+        // Monotone non-increasing in expectation (allow noise on the tail).
+        assert!(h[1] > h[10]);
+        assert!(h[10] > h[100].saturating_sub(200));
+    }
+
+    #[test]
+    fn large_universe_heavy_head() {
+        let (n, s) = (1_000_000u64, 1.05f64);
+        let h = histogram(n, s, 100_000);
+        // Rank 1 share ≈ 1/zeta; for s=1.05 and n=1e6 zeta ≈ 12.9, so ~7.7%.
+        let p1 = h[1] as f64 / 100_000.0;
+        assert!(p1 > 0.04 && p1 < 0.12, "p1 = {p1}");
+    }
+
+    #[test]
+    fn steeper_exponent_concentrates_mass() {
+        let flat = histogram(1000, 0.8, 100_000);
+        let steep = histogram(1000, 2.0, 100_000);
+        assert!(steep[1] > flat[1]);
+    }
+
+    #[test]
+    fn single_element_universe() {
+        let z = Zipf::new(1, 1.5);
+        let mut u = U(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(|| u.next()), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size must be positive")]
+    fn rejects_empty_universe() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn rejects_non_positive_exponent() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! The two OVS lookup tiers.
+//!
+//! Open vSwitch resolves most packets in an exact-match cache (the EMC /
+//! microflow cache) and falls back to the megaflow classifier — one hash
+//! table per distinct wildcard mask, searched in priority order (tuple
+//! space search). This module reproduces both tiers over the five-tuple
+//! [`FlowKey`].
+
+use std::collections::HashMap;
+
+use hhh_counters::IntHashBuilder;
+
+type Map<K, V> = HashMap<K, V, IntHashBuilder>;
+
+/// The five-tuple key the datapath classifies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src: u32,
+    /// Destination IPv4 address.
+    pub dst: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// IP protocol.
+    pub proto: u8,
+}
+
+impl FlowKey {
+    /// Applies a wildcard mask field-by-field.
+    #[must_use]
+    pub fn masked(&self, mask: &FlowMask) -> FlowKey {
+        FlowKey {
+            src: self.src & mask.src,
+            dst: self.dst & mask.dst,
+            src_port: self.src_port & mask.src_port,
+            dst_port: self.dst_port & mask.dst_port,
+            proto: self.proto & mask.proto,
+        }
+    }
+}
+
+/// Per-field wildcard mask for megaflow entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowMask {
+    /// Source address mask.
+    pub src: u32,
+    /// Destination address mask.
+    pub dst: u32,
+    /// Source port mask.
+    pub src_port: u16,
+    /// Destination port mask.
+    pub dst_port: u16,
+    /// Protocol mask.
+    pub proto: u8,
+}
+
+impl FlowMask {
+    /// Match everything exactly.
+    #[must_use]
+    pub fn exact() -> Self {
+        Self {
+            src: u32::MAX,
+            dst: u32::MAX,
+            src_port: u16::MAX,
+            dst_port: u16::MAX,
+            proto: u8::MAX,
+        }
+    }
+
+    /// Match on IP prefixes only (ports/proto wildcarded).
+    #[must_use]
+    pub fn prefixes(src_bits: u8, dst_bits: u8) -> Self {
+        let pm = |bits: u8| -> u32 {
+            if bits == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(bits.min(32)))
+            }
+        };
+        Self {
+            src: pm(src_bits),
+            dst: pm(dst_bits),
+            src_port: 0,
+            dst_port: 0,
+            proto: 0,
+        }
+    }
+
+    /// Wildcard everything (default route).
+    #[must_use]
+    pub fn any() -> Self {
+        Self {
+            src: 0,
+            dst: 0,
+            src_port: 0,
+            dst_port: 0,
+            proto: 0,
+        }
+    }
+}
+
+/// Forwarding decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Emit on a port.
+    Output(u16),
+    /// Drop the packet.
+    Drop,
+}
+
+/// Exact-match cache in front of the classifier (OVS's EMC analogue):
+/// bounded, evicting by simple hash-slot replacement like the real EMC.
+#[derive(Debug, Clone)]
+pub struct MicroflowCache {
+    slots: Vec<Option<(FlowKey, Action)>>,
+    mask: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl MicroflowCache {
+    /// Creates a cache with `capacity` slots (rounded up to a power of
+    /// two; OVS's EMC uses 8192).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let cap = capacity.next_power_of_two();
+        Self {
+            slots: vec![None; cap],
+            mask: cap - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn slot_of(&self, key: &FlowKey) -> usize {
+        // One multiply-fold over the packed tuple.
+        let packed = (u64::from(key.src) << 32) | u64::from(key.dst);
+        let ports = (u64::from(key.src_port) << 24)
+            | (u64::from(key.dst_port) << 8)
+            | u64::from(key.proto);
+        let mut x = packed ^ ports.rotate_left(17);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        (x as usize) & self.mask
+    }
+
+    /// Looks the key up, recording hit/miss statistics.
+    pub fn lookup(&mut self, key: &FlowKey) -> Option<Action> {
+        match &self.slots[self.slot_of(key)] {
+            Some((k, action)) if k == key => {
+                self.hits += 1;
+                Some(*action)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs (or replaces) the entry in the key's slot.
+    pub fn install(&mut self, key: FlowKey, action: Action) {
+        let slot = self.slot_of(&key);
+        self.slots[slot] = Some((key, action));
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Tuple-space-search classifier: one exact-match table per distinct mask,
+/// searched in descending priority order.
+#[derive(Debug, Clone, Default)]
+pub struct MegaflowTable {
+    /// (priority, mask, table) sorted by descending priority.
+    tiers: Vec<(i32, FlowMask, Map<FlowKey, Action>)>,
+}
+
+impl MegaflowTable {
+    /// Creates an empty classifier.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a rule. Rules with the same mask and priority share a hash
+    /// table; higher priority wins on lookup.
+    pub fn insert(&mut self, priority: i32, mask: FlowMask, key: FlowKey, action: Action) {
+        let masked = key.masked(&mask);
+        if let Some((_, _, table)) = self
+            .tiers
+            .iter_mut()
+            .find(|(p, m, _)| *p == priority && *m == mask)
+        {
+            table.insert(masked, action);
+            return;
+        }
+        let mut table = Map::default();
+        table.insert(masked, action);
+        self.tiers.push((priority, mask, table));
+        self.tiers.sort_by_key(|(p, _, _)| std::cmp::Reverse(*p));
+    }
+
+    /// Finds the highest-priority matching rule.
+    #[must_use]
+    pub fn lookup(&self, key: &FlowKey) -> Option<Action> {
+        for (_, mask, table) in &self.tiers {
+            if let Some(action) = table.get(&key.masked(mask)) {
+                return Some(*action);
+            }
+        }
+        None
+    }
+
+    /// Number of (priority, mask) tiers — the quantity tuple-space lookup
+    /// cost scales with.
+    #[must_use]
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: u32, dst: u32) -> FlowKey {
+        FlowKey {
+            src,
+            dst,
+            src_port: 1000,
+            dst_port: 80,
+            proto: 17,
+        }
+    }
+
+    #[test]
+    fn microflow_hit_after_install() {
+        let mut cache = MicroflowCache::new(1024);
+        let k = key(1, 2);
+        assert_eq!(cache.lookup(&k), None);
+        cache.install(k, Action::Output(3));
+        assert_eq!(cache.lookup(&k), Some(Action::Output(3)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn microflow_slot_replacement() {
+        // A 1-slot cache: the second key evicts the first.
+        let mut cache = MicroflowCache::new(1);
+        cache.install(key(1, 1), Action::Output(1));
+        cache.install(key(2, 2), Action::Output(2));
+        assert_eq!(cache.lookup(&key(2, 2)), Some(Action::Output(2)));
+        assert_eq!(cache.lookup(&key(1, 1)), None);
+    }
+
+    #[test]
+    fn megaflow_prefix_match() {
+        let mut table = MegaflowTable::new();
+        let mask = FlowMask::prefixes(16, 0);
+        table.insert(
+            10,
+            mask,
+            key(u32::from_be_bytes([10, 20, 0, 0]), 0),
+            Action::Output(7),
+        );
+        // Any source inside 10.20/16 matches.
+        assert_eq!(
+            table.lookup(&key(u32::from_be_bytes([10, 20, 99, 1]), 55)),
+            Some(Action::Output(7))
+        );
+        assert_eq!(
+            table.lookup(&key(u32::from_be_bytes([10, 21, 0, 1]), 55)),
+            None
+        );
+    }
+
+    #[test]
+    fn megaflow_priority_order() {
+        let mut table = MegaflowTable::new();
+        let specific = FlowMask::prefixes(24, 0);
+        let broad = FlowMask::any();
+        let k = key(u32::from_be_bytes([10, 20, 30, 40]), 5);
+        table.insert(0, broad, k, Action::Output(1));
+        table.insert(100, specific, k, Action::Drop);
+        assert_eq!(table.lookup(&k), Some(Action::Drop), "priority wins");
+        // A non-matching specific key falls through to the default.
+        assert_eq!(
+            table.lookup(&key(u32::from_be_bytes([99, 0, 0, 1]), 5)),
+            Some(Action::Output(1))
+        );
+    }
+
+    #[test]
+    fn megaflow_shares_tables_per_mask() {
+        let mut table = MegaflowTable::new();
+        let mask = FlowMask::prefixes(8, 8);
+        for i in 0..50u32 {
+            table.insert(1, mask, key(i << 24, i << 24), Action::Output(i as u16));
+        }
+        assert_eq!(table.tier_count(), 1, "same mask+priority share a tier");
+    }
+
+    #[test]
+    fn prefix_mask_edge_cases() {
+        assert_eq!(FlowMask::prefixes(0, 0).src, 0);
+        assert_eq!(FlowMask::prefixes(32, 0).src, u32::MAX);
+        assert_eq!(FlowMask::prefixes(8, 0).src, 0xFF00_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_cache_rejected() {
+        let _ = MicroflowCache::new(0);
+    }
+}

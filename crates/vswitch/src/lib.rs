@@ -1,0 +1,43 @@
+//! A simulated Open-vSwitch-like software dataplane.
+//!
+//! Section 5 of the RHHH paper integrates the algorithm into the DPDK build
+//! of Open vSwitch and measures dataplane throughput (Figures 6–8). The
+//! physical testbed (two Xeon servers, 10 GbE NICs, MoonGen) is hardware we
+//! substitute per DESIGN.md: this crate reproduces the *architecture* that
+//! determines the result — a fast per-packet pipeline whose measurement hook
+//! cost is what separates the algorithms:
+//!
+//! ```text
+//!   frame bytes ──► parse (Ethernet/IPv4/UDP views)
+//!               ──► measurement hook (DataplaneMonitor)
+//!               ──► microflow cache (exact-match, like OVS's EMC)
+//!               ──► megaflow table (per-mask hash tables, tuple-space search)
+//!               ──► action (output port / drop)
+//! ```
+//!
+//! * [`packet`] — zero-copy packet views in the smoltcp style: checked
+//!   constructors over `&[u8]`, accessor methods, and builders for the
+//!   64-byte UDP test frames the paper's generator produces.
+//! * [`flow_table`] — the two OVS lookup tiers: an exact-match
+//!   [`flow_table::MicroflowCache`] backed by a hash map, and a
+//!   [`flow_table::MegaflowTable`] that searches one hash table per
+//!   distinct wildcard mask (OVS's tuple-space design).
+//! * [`datapath`] — the pipeline plus [`datapath::DataplaneMonitor`], the
+//!   measurement hook; [`monitor`] adapts any [`hhh_core::HhhAlgorithm`]
+//!   into a monitor (inline dataplane integration, Figure 6/7).
+//! * [`distributed`] — the paper's second integration: the switch only
+//!   *samples* (`d < H`) and forwards sampled headers over a bounded
+//!   channel to a measurement thread standing in for the monitoring VM
+//!   (Figure 8).
+
+pub mod datapath;
+pub mod distributed;
+pub mod flow_table;
+pub mod monitor;
+pub mod packet;
+
+pub use datapath::{Datapath, DataplaneMonitor, DatapathStats};
+pub use distributed::{spawn_shared, Backpressure, DistributedRhhh, SharedCollector, SharedFrontend};
+pub use flow_table::{Action, FlowKey, MegaflowTable, MicroflowCache};
+pub use monitor::{AlgoMonitor, NoOpMonitor};
+pub use packet::{build_udp_frame, EthernetFrame, Ipv4View, ParseError, UdpView};

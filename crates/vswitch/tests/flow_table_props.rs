@@ -1,0 +1,103 @@
+//! Property tests for the classifier tiers: masking laws and lookup
+//! consistency under arbitrary rule sets.
+
+use hhh_vswitch::flow_table::FlowMask;
+use hhh_vswitch::{Action, FlowKey, MegaflowTable, MicroflowCache};
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
+        |(src, dst, src_port, dst_port, proto)| FlowKey {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto,
+        },
+    )
+}
+
+fn arb_mask() -> impl Strategy<Value = FlowMask> {
+    (0u8..=32, 0u8..=32, any::<bool>()).prop_map(|(s, d, ports)| {
+        let mut m = FlowMask::prefixes(s, d);
+        if ports {
+            m.src_port = u16::MAX;
+            m.dst_port = u16::MAX;
+            m.proto = u8::MAX;
+        }
+        m
+    })
+}
+
+proptest! {
+    /// Masking is idempotent and monotone: masking twice equals once, and
+    /// a masked key always matches its own rule.
+    #[test]
+    fn masking_laws(key in arb_key(), mask in arb_mask()) {
+        let once = key.masked(&mask);
+        prop_assert_eq!(once.masked(&mask), once);
+        let mut table = MegaflowTable::new();
+        table.insert(1, mask, key, Action::Output(9));
+        prop_assert_eq!(table.lookup(&key), Some(Action::Output(9)));
+    }
+
+    /// A key differing only in masked-out bits still matches; a key
+    /// differing in a kept bit does not match a fully-exact rule.
+    #[test]
+    fn wildcard_semantics(key in arb_key(), flip_port in any::<u16>()) {
+        let mask = FlowMask::prefixes(32, 32); // exact IPs, wild ports
+        let mut table = MegaflowTable::new();
+        table.insert(1, mask, key, Action::Drop);
+        let mut other = key;
+        other.src_port ^= flip_port;
+        prop_assert_eq!(table.lookup(&other), Some(Action::Drop));
+
+        let exact = FlowMask::exact();
+        let mut table = MegaflowTable::new();
+        table.insert(1, exact, key, Action::Drop);
+        let mut diff = key;
+        diff.src = !diff.src;
+        prop_assert_eq!(table.lookup(&diff), None);
+    }
+
+    /// Highest priority wins regardless of insertion order.
+    #[test]
+    fn priority_total_order(
+        key in arb_key(),
+        priorities in proptest::collection::vec(-100i32..100, 1..8),
+    ) {
+        let mut table = MegaflowTable::new();
+        for (i, &p) in priorities.iter().enumerate() {
+            table.insert(p, FlowMask::exact(), key, Action::Output(i as u16));
+        }
+        let best = priorities
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &p)| (p, *i as i64))
+            .map(|(i, _)| i as u16)
+            .expect("non-empty");
+        // Ties share one hash table (later insert overwrites), so the
+        // winner is the max priority with the latest insertion among ties.
+        prop_assert_eq!(table.lookup(&key), Some(Action::Output(best)));
+    }
+
+    /// The microflow cache never returns an action that was not installed
+    /// for exactly that key.
+    #[test]
+    fn microflow_exactness(
+        keys in proptest::collection::vec(arb_key(), 1..64),
+        probe in arb_key(),
+    ) {
+        let mut cache = MicroflowCache::new(16);
+        for (i, k) in keys.iter().enumerate() {
+            cache.install(*k, Action::Output(i as u16));
+        }
+        if let Some(Action::Output(port)) = cache.lookup(&probe) {
+            prop_assert_eq!(
+                keys.get(port as usize),
+                Some(&probe),
+                "cache returned an action for a different key"
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Property tests: the packet parser must never panic on arbitrary bytes,
+//! and build→parse must round-trip every field.
+
+use hhh_vswitch::{build_udp_frame, EthernetFrame, Ipv4View, UdpView};
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever bytes arrive off the wire, checked constructors return
+    /// errors — they never panic or read out of bounds.
+    #[test]
+    fn parser_never_panics(buf in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = EthernetFrame::new_checked(&buf)
+            .and_then(|e| Ipv4View::new_checked(e.payload()))
+            .and_then(|i| UdpView::new_checked(i.payload()));
+    }
+
+    /// Round-trip: every header field survives build → parse.
+    #[test]
+    fn build_parse_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in 0usize..512,
+    ) {
+        let frame = build_udp_frame(src, dst, sport, dport, payload);
+        let eth = EthernetFrame::new_checked(&frame).expect("eth");
+        let ip = Ipv4View::new_checked(eth.payload()).expect("ip");
+        prop_assert_eq!(ip.src(), src);
+        prop_assert_eq!(ip.dst(), dst);
+        prop_assert_eq!(ip.protocol(), 17);
+        let udp = UdpView::new_checked(ip.payload()).expect("udp");
+        prop_assert_eq!(udp.src_port(), sport);
+        prop_assert_eq!(udp.dst_port(), dport);
+        prop_assert_eq!(ip.payload().len(), 8 + payload);
+    }
+
+    /// Truncating a valid frame anywhere yields an error or a shorter
+    /// parse, never a panic.
+    #[test]
+    fn truncation_is_graceful(cut in 0usize..64) {
+        let frame = build_udp_frame(0x0A000001, 0x08080808, 53, 53, 22);
+        let cut = cut.min(frame.len());
+        let _ = EthernetFrame::new_checked(&frame[..cut])
+            .and_then(|e| Ipv4View::new_checked(e.payload()))
+            .and_then(|i| UdpView::new_checked(i.payload()));
+    }
+}

@@ -1,0 +1,93 @@
+//! Continuous monitoring with epoch rotation — operating RHHH the way a
+//! deployment would.
+//!
+//! A fixed-interval `WindowedRhhh` watches the link; every completed epoch
+//! produces a stable HHH report. Midway through the run a DDoS starts: the
+//! per-epoch reports show the attack aggregate appearing (and the victim
+//! prefix lighting up) within one epoch of onset, then disappearing after
+//! mitigation — while per-flow views never show anything.
+//!
+//! ```sh
+//! cargo run --release --example continuous_monitor
+//! ```
+
+use hhh_core::{RhhhConfig, WindowedRhhh};
+use hhh_hierarchy::Lattice;
+use hhh_traces::{AttackConfig, TraceConfig, TraceGenerator};
+
+fn main() {
+    let lattice = Lattice::ipv4_src_dst_bytes();
+    let window = 1_000_000u64;
+    let config = RhhhConfig {
+        // ψ ≈ 0.82M < window: each epoch individually converges.
+        epsilon_a: 0.01,
+        epsilon_s: 0.01,
+        delta_s: 0.001,
+        v_scale: 1,
+        updates_per_packet: 1,
+        seed: 2026,
+    };
+    let mut monitor = WindowedRhhh::<u64>::new(lattice.clone(), config, window);
+
+    let baseline = TraceConfig::chicago16();
+    let attack = AttackConfig {
+        subnet: u32::from_be_bytes([45, 137, 0, 0]),
+        subnet_bits: 16,
+        victim: u32::from_be_bytes([203, 0, 113, 10]),
+        fraction: 0.35,
+    };
+    let attacked = baseline.clone().with_attack(attack);
+
+    // Six epochs: clean, clean, ATTACK, ATTACK, clean, clean.
+    let phases = [
+        ("baseline", &baseline),
+        ("baseline", &baseline),
+        ("ATTACK", &attacked),
+        ("ATTACK", &attacked),
+        ("mitigated", &baseline),
+        ("mitigated", &baseline),
+    ];
+    let theta = 0.05;
+
+    for (phase, trace) in phases {
+        // Fresh generator per epoch keeps the example brief; a deployment
+        // would feed the live packet stream.
+        let mut gen = TraceGenerator::new(trace);
+        for _ in 0..window {
+            monitor.update(gen.generate().key2());
+        }
+        let report = monitor
+            .query_completed(theta)
+            .expect("epoch just completed");
+        let attack_rows: Vec<String> = report
+            .iter()
+            .filter(|h| {
+                let s = h.prefix.display(&lattice);
+                s.contains("45.137.0.0/16") || s.contains("203.0.113.10")
+            })
+            .map(|h| {
+                format!(
+                    "{} (~{:.1}% of traffic)",
+                    h.prefix.display(&lattice),
+                    100.0 * h.freq_upper / window as f64
+                )
+            })
+            .collect();
+        println!(
+            "epoch {:>2} [{phase:>9}]: {:>2} HHH prefixes | attack-related: {}",
+            monitor.epochs_completed(),
+            report.len(),
+            if attack_rows.is_empty() {
+                "none".to_string()
+            } else {
+                attack_rows.join("; ")
+            }
+        );
+    }
+
+    println!(
+        "\nThe attack aggregate enters the per-epoch HHH report the epoch it\n\
+         starts and leaves the epoch after mitigation — continuous detection\n\
+         with O(1) per-packet cost."
+    );
+}

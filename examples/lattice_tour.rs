@@ -1,0 +1,72 @@
+//! A tour of the two-dimensional generalization lattice — Table 1 of the
+//! paper, live.
+//!
+//! ```sh
+//! cargo run --example lattice_tour
+//! ```
+
+use hhh_hierarchy::{pack2, Lattice, Prefix};
+
+fn main() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    println!(
+        "lattice `{}`: H = {} nodes, depth L = {}, {} dimensions\n",
+        lat.name(),
+        lat.num_nodes(),
+        lat.depth(),
+        lat.dims()
+    );
+
+    // Table 1: rows are source prefix lengths, columns destination prefix
+    // lengths. Each cell names a prefix pattern; parents sit above and to
+    // the left.
+    println!("the 5x5 grid of prefix patterns (src bytes x dst bytes):");
+    for s in 0..=4u32 {
+        let mut row = String::new();
+        for d in 0..=4u32 {
+            let node = lat.node_by_spec(&[s, d]);
+            row.push_str(&format!("(s/{},d/{}) L{}  ", s, d, lat.level(node)));
+        }
+        println!("  {row}");
+    }
+
+    // A concrete packet and its generalizations — the paper's running
+    // example addresses.
+    let src = u32::from(std::net::Ipv4Addr::new(181, 7, 20, 6));
+    let dst = u32::from(std::net::Ipv4Addr::new(208, 67, 222, 222));
+    let key = pack2(src, dst);
+
+    println!("\nfully specified: {}", lat.format(lat.bottom(), key));
+    let e = Prefix::of(&lat, lat.bottom(), key);
+    println!("its two parents:");
+    for &p in lat.parents(lat.bottom()) {
+        let parent = Prefix::of(&lat, p, key);
+        println!(
+            "  {}   (generalizes e: {})",
+            parent.display(&lat),
+            parent.generalizes(&e, &lat)
+        );
+    }
+
+    // Greatest lower bound (Definition 12): the unique most-general common
+    // descendant.
+    let h = Prefix::of(&lat, lat.node_by_spec(&[2, 4]), key); // (181.7.*, full dst)
+    let hp = Prefix::of(&lat, lat.node_by_spec(&[4, 1]), key); // (full src, 208.*)
+    let glb = h.glb(&hp, &lat).expect("same packet's prefixes always meet");
+    println!("\nglb of {} and {}:", h.display(&lat), hp.display(&lat));
+    println!("  = {}", glb.display(&lat));
+
+    // Incompatible prefixes have no common descendant: glb is None and the
+    // paper treats it as an item of count zero.
+    let other = Prefix::of(
+        &lat,
+        lat.node_by_spec(&[2, 0]),
+        pack2(u32::from(std::net::Ipv4Addr::new(10, 0, 0, 0)), 0),
+    );
+    println!(
+        "\nglb of {} and {}: {:?} (incompatible sources)",
+        h.display(&lat),
+        other.display(&lat),
+        h.glb(&other, &lat).map(|g| g.display(&lat))
+    );
+}

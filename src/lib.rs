@@ -1,0 +1,15 @@
+//! Workspace root crate: re-exports the RHHH reproduction's public crates so
+//! the examples and cross-crate integration tests can use one import root.
+//!
+//! Library users should depend on the individual crates (`hhh-core`,
+//! `hhh-hierarchy`, …) directly; this crate only exists to host
+//! `examples/` and `tests/` at the workspace root.
+
+pub use hhh_baselines as baselines;
+pub use hhh_core as core;
+pub use hhh_counters as counters;
+pub use hhh_eval as eval;
+pub use hhh_hierarchy as hierarchy;
+pub use hhh_stats as stats;
+pub use hhh_traces as traces;
+pub use hhh_vswitch as vswitch;

@@ -1,0 +1,288 @@
+//! Validates the conditioned-frequency formulas against the set-based
+//! Definition 6, by brute force.
+//!
+//! `C_{q|P} = Σ_{e ∈ H(P∪{q}) \ H(P)} f_e` is the definition; Lemma 6.9
+//! (one dimension) and Lemma 6.13 (two dimensions, inclusion–exclusion
+//! over pairwise glbs) are the formulas `ExactHhh::conditioned` implements.
+//! These tests enumerate fully-specified keys directly and check the
+//! formulas reproduce the definition on dense random workloads.
+
+use std::collections::HashMap;
+
+use hhh_core::ExactHhh;
+use hhh_hierarchy::{pack2, Lattice, Prefix};
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// Set-based Definition 6, computed key by key.
+fn brute_force_conditioned<K: hhh_hierarchy::KeyBits>(
+    lattice: &Lattice<K>,
+    counts: &HashMap<K, u64>,
+    q: &Prefix<K>,
+    selected: &[Prefix<K>],
+) -> i64 {
+    let mut total = 0i64;
+    for (&key, &f) in counts {
+        let e = Prefix::of(lattice, lattice.bottom(), key);
+        let under_q = q.generalizes(&e, lattice);
+        let under_p = selected.iter().any(|p| p.generalizes(&e, lattice));
+        if under_q && !under_p {
+            total += f as i64;
+        }
+    }
+    total
+}
+
+/// Dense small-universe 1D stream: all prefix relationships get exercised.
+#[test]
+fn one_dim_formula_equals_definition() {
+    let lat = Lattice::ipv4_src_bytes();
+    let mut exact = ExactHhh::new(lat.clone());
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    let mut rng = Lcg(11);
+    for _ in 0..4_000 {
+        let key = u32::from_be_bytes([
+            1 + (rng.next() % 2) as u8,
+            1 + (rng.next() % 2) as u8,
+            1 + (rng.next() % 2) as u8,
+            1 + (rng.next() % 2) as u8,
+        ]);
+        exact.insert(key);
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    // Try every prefix at every level as q, against several selected sets.
+    let selected_sets: Vec<Vec<Prefix<u32>>> = vec![
+        vec![],
+        vec![Prefix::of(&lat, lat.node_by_spec(&[3]), 0x0101_0100)],
+        vec![
+            Prefix::of(&lat, lat.node_by_spec(&[4]), 0x0101_0101),
+            Prefix::of(&lat, lat.node_by_spec(&[3]), 0x0102_0100),
+            Prefix::of(&lat, lat.node_by_spec(&[2]), 0x0201_0000),
+        ],
+    ];
+    for node in lat.node_ids() {
+        for base in [0x0101_0101u32, 0x0202_0202, 0x0102_0201] {
+            let q = Prefix::of(&lat, node, base);
+            for selected in &selected_sets {
+                let formula = exact.conditioned(&q, selected);
+                let brute = brute_force_conditioned(&lat, &counts, &q, selected);
+                // In one dimension the formula matches set semantics for
+                // every q and P (incomparable 1D prefixes are disjoint, and
+                // the generalizer case short-circuits to 0).
+                assert_eq!(
+                    formula,
+                    brute,
+                    "1D mismatch at q={} |P|={}",
+                    q.display(&lat),
+                    selected.len()
+                );
+            }
+        }
+    }
+}
+
+/// Dense small-universe 2D stream: the inclusion–exclusion path (pairwise
+/// glbs, maximality filtering, the covered rule) must reproduce the
+/// definition.
+#[test]
+fn two_dim_formula_equals_definition() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut exact = ExactHhh::new(lat.clone());
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut rng = Lcg(13);
+    for _ in 0..6_000 {
+        let src = u32::from_be_bytes([1 + (rng.next() % 2) as u8, 1, 1, 1 + (rng.next() % 2) as u8]);
+        let dst = u32::from_be_bytes([9, 1 + (rng.next() % 2) as u8, 1, 1]);
+        let key = pack2(src, dst);
+        exact.insert(key);
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let s1 = pack2(0x0101_0101, 0x0901_0101);
+    let s2 = pack2(0x0201_0102, 0x0902_0101);
+
+    // Selected sets chosen to create overlapping descendants (the
+    // glb-add-back path) and chains (the maximality filter).
+    let selected_sets: Vec<Vec<Prefix<u64>>> = vec![
+        vec![],
+        // Two overlapping descendants of the root: (src/8, *) and (*, dst/16).
+        vec![
+            Prefix::of(&lat, lat.node_by_spec(&[1, 0]), s1),
+            Prefix::of(&lat, lat.node_by_spec(&[0, 2]), s1),
+        ],
+        // A chain plus an incomparable element.
+        vec![
+            Prefix::of(&lat, lat.node_by_spec(&[2, 1]), s1),
+            Prefix::of(&lat, lat.node_by_spec(&[1, 1]), s1),
+            Prefix::of(&lat, lat.node_by_spec(&[1, 0]), s2),
+        ],
+        // Three incomparable descendants with pairwise glbs.
+        vec![
+            Prefix::of(&lat, lat.node_by_spec(&[1, 0]), s1),
+            Prefix::of(&lat, lat.node_by_spec(&[0, 2]), s2),
+            Prefix::of(&lat, lat.node_by_spec(&[4, 0]), s1),
+        ],
+    ];
+    for &(snode, dnode) in &[(0u32, 0u32), (1, 0), (0, 1), (1, 1), (2, 2), (4, 4)] {
+        for &base in &[s1, s2] {
+            let q = Prefix::of(&lat, lat.node_by_spec(&[snode, dnode]), base);
+            for selected in &selected_sets {
+                let formula = exact.conditioned(&q, selected);
+                let brute = brute_force_conditioned(&lat, &counts, &q, selected);
+                // Three regimes (see ExactHhh::conditioned docs):
+                let covered = selected.iter().any(|h| h.generalizes(&q, &lat));
+                let overlapping_incomparable = selected.iter().any(|h| {
+                    !h.generalizes(&q, &lat)
+                        && !q.generalizes(h, &lat)
+                        && q.glb(h, &lat).is_some()
+                });
+                if covered {
+                    assert_eq!(formula, 0, "covered q must be 0");
+                } else if overlapping_incomparable {
+                    // Formula is conservative: counts shared overlap mass.
+                    assert!(
+                        formula >= brute,
+                        "2D conservative bound violated at q={} |P|={}: {} < {}",
+                        q.display(&lat),
+                        selected.len(),
+                        formula,
+                        brute
+                    );
+                } else {
+                    assert_eq!(
+                        formula,
+                        brute,
+                        "2D mismatch at q={} |P|={}",
+                        q.display(&lat),
+                        selected.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The Algorithm 3 line-8 "covered" rule, isolated: three pairwise
+/// incomparable descendants where `glb(h1, h2)` is generalized by `h3` —
+/// the add-back for the (h1, h2) pair must be skipped, and doing so makes
+/// the formula match set semantics exactly (the skipped term compensates
+/// for the missing triple-intersection correction).
+#[test]
+fn covered_rule_matches_set_semantics() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut exact = ExactHhh::new(lat.clone());
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut rng = Lcg(23);
+    // Dense traffic inside 10.1.x→20.1.x so every region of the
+    // three-descendant construction has mass.
+    for _ in 0..8_000 {
+        let src = u32::from_be_bytes([
+            10,
+            1 + (rng.next() % 2) as u8,
+            1 + (rng.next() % 2) as u8,
+            1,
+        ]);
+        let dst = u32::from_be_bytes([
+            20,
+            1 + (rng.next() % 2) as u8,
+            1 + (rng.next() % 2) as u8,
+            1,
+        ]);
+        let key = pack2(src, dst);
+        exact.insert(key);
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let base = pack2(0x0A01_0101, 0x1401_0101); // 10.1.1.1 -> 20.1.1.1
+    // h1 = (10.1.1/24, 20/8), h2 = (10/8, 20.1.1/24),
+    // h3 = (10.1/16, 20.1/16): pairwise incomparable, and
+    // glb(h1,h2) = (10.1.1/24, 20.1.1/24) is generalized by h3.
+    let h1 = Prefix::of(&lat, lat.node_by_spec(&[3, 1]), base);
+    let h2 = Prefix::of(&lat, lat.node_by_spec(&[1, 3]), base);
+    let h3 = Prefix::of(&lat, lat.node_by_spec(&[2, 2]), base);
+    let glb12 = h1.glb(&h2, &lat).expect("compatible");
+    assert!(
+        h3.generalizes(&glb12, &lat),
+        "construction must trigger the covered rule"
+    );
+    for h in [&h1, &h2, &h3] {
+        for other in [&h1, &h2, &h3] {
+            if h != other {
+                assert!(!h.generalizes(other, &lat), "must be incomparable");
+            }
+        }
+    }
+    let selected = vec![h1, h2, h3];
+    // q = root: all three are descendants, the covered rule fires for
+    // (h1, h2).
+    let q = Prefix::of(&lat, lat.root(), 0);
+    let formula = exact.conditioned(&q, &selected);
+    let brute = brute_force_conditioned(&lat, &counts, &q, &selected);
+    assert_eq!(formula, brute, "covered rule must keep the formula exact");
+    // And at an intermediate ancestor covering all three.
+    let q = Prefix::of(&lat, lat.node_by_spec(&[1, 1]), base);
+    let formula = exact.conditioned(&q, &selected);
+    let brute = brute_force_conditioned(&lat, &counts, &q, &selected);
+    assert_eq!(formula, brute, "covered rule at (10/8, 20/8)");
+}
+
+/// The exact HHH extraction only depends on Definition 6 semantics:
+/// rebuilding the selection level by level with the brute-force definition
+/// must give the same set.
+#[test]
+fn exact_hhh_set_matches_brute_force_selection() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut exact = ExactHhh::new(lat.clone());
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut rng = Lcg(17);
+    for _ in 0..5_000 {
+        let key = pack2(
+            u32::from_be_bytes([1 + (rng.next() % 2) as u8, 1, 1, (rng.next() % 4) as u8]),
+            u32::from_be_bytes([9, (rng.next() % 2) as u8, 1, 1]),
+        );
+        exact.insert(key);
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let theta = 0.05;
+    let thr = theta * exact.packets() as f64;
+
+    // Brute-force Definition 8.
+    let mut selected: Vec<Prefix<u64>> = Vec::new();
+    for level in 0..=lat.depth() {
+        for &node in lat.nodes_at_level(level) {
+            // Candidates: every distinct masked key at this node.
+            let mut cands: Vec<Prefix<u64>> = counts
+                .keys()
+                .map(|&k| Prefix::of(&lat, node, k))
+                .collect();
+            cands.sort_unstable();
+            cands.dedup();
+            for q in cands {
+                if !selected.contains(&q)
+                    && brute_force_conditioned(&lat, &counts, &q, &selected) as f64 >= thr
+                {
+                    selected.push(q);
+                }
+            }
+        }
+    }
+
+    let fast = exact.hhh(theta);
+    assert_eq!(
+        fast.len(),
+        selected.len(),
+        "selection sizes differ: formula {:?} vs brute {:?}",
+        fast.iter().map(|p| p.display(&lat)).collect::<Vec<_>>(),
+        selected.iter().map(|p| p.display(&lat)).collect::<Vec<_>>()
+    );
+    for p in &fast {
+        assert!(selected.contains(p), "extra {}", p.display(&lat));
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration: every algorithm against exact ground truth on
+//! seeded synthetic traces, across the paper's hierarchy configurations.
+
+use hhh_core::{ExactHhh, HhhAlgorithm};
+use hhh_eval::{accuracy_error_ratio, coverage_error_ratio, false_positive_ratio, AlgoKind};
+use hhh_hierarchy::{KeyBits, Lattice};
+use hhh_traces::{Packet, TraceConfig, TraceGenerator};
+
+const N: u64 = 300_000;
+/// ε must sit well below θ: the deterministic baselines only track prefixes
+/// with f ≥ εN, so coverage of every exact HHH needs εN < θN (the paper
+/// uses ε = 0.1% against θ = 1% for the same reason).
+const THETA: f64 = 0.04;
+const EPS: f64 = 0.01;
+
+fn run_case<K: KeyBits>(
+    lattice: &Lattice<K>,
+    kind: AlgoKind,
+    key_of: impl Fn(&Packet) -> K,
+) -> (f64, f64, f64) {
+    let mut algo = kind.build(lattice.clone(), EPS, 0xE2E);
+    let mut exact = ExactHhh::new(lattice.clone());
+    let mut gen = TraceGenerator::new(&TraceConfig::sanjose14());
+    for _ in 0..N {
+        let k = key_of(&gen.generate());
+        algo.insert(k);
+        exact.insert(k);
+    }
+    let out = algo.query(THETA);
+    assert!(!out.is_empty(), "{} returned nothing", kind.label());
+    (
+        accuracy_error_ratio(&out, &exact, 2.0 * EPS),
+        coverage_error_ratio(&out, &exact, THETA),
+        false_positive_ratio(&out, &exact, THETA),
+    )
+}
+
+#[test]
+fn all_algorithms_cover_exact_hhh_1d_bytes() {
+    let lat = Lattice::ipv4_src_bytes();
+    for kind in AlgoKind::roster() {
+        let (acc, cov, _) = run_case(&lat, kind, Packet::key1);
+        assert_eq!(cov, 0.0, "{} coverage error on 1d-bytes", kind.label());
+        assert!(acc < 0.5, "{} accuracy error {acc} on 1d-bytes", kind.label());
+    }
+}
+
+#[test]
+fn all_algorithms_cover_exact_hhh_1d_bits() {
+    let lat = Lattice::ipv4_src_bits();
+    for kind in AlgoKind::roster() {
+        let (_, cov, _) = run_case(&lat, kind, Packet::key1);
+        assert_eq!(cov, 0.0, "{} coverage error on 1d-bits", kind.label());
+    }
+}
+
+#[test]
+fn all_algorithms_cover_exact_hhh_2d_bytes() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    for kind in AlgoKind::roster() {
+        let (_, cov, fp) = run_case(&lat, kind, Packet::key2);
+        assert_eq!(cov, 0.0, "{} coverage error on 2d-bytes", kind.label());
+        assert!(fp <= 1.0, "{} fp", kind.label());
+    }
+}
+
+#[test]
+fn deterministic_algorithms_have_zero_accuracy_error() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    for kind in [AlgoKind::Mst, AlgoKind::FullAncestry, AlgoKind::PartialAncestry] {
+        let (acc, _, _) = run_case(&lat, kind, Packet::key2);
+        assert_eq!(acc, 0.0, "{} must estimate within epsilon*N", kind.label());
+    }
+}
+
+#[test]
+fn rhhh_matches_mst_quality_once_converged() {
+    // The paper's core claim: randomization costs speed of convergence, not
+    // final quality. Compare the reported sets after ψ.
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut rhhh = AlgoKind::Rhhh { v_scale: 1 }.build(lat.clone(), EPS, 0xE2E);
+    let mut mst = AlgoKind::Mst.build(lat.clone(), EPS, 0xE2E);
+    let mut exact = ExactHhh::new(lat);
+    let mut gen = TraceGenerator::new(&TraceConfig::chicago15());
+    for _ in 0..N {
+        let k = gen.generate().key2();
+        rhhh.insert(k);
+        mst.insert(k);
+        exact.insert(k);
+    }
+    let truth: std::collections::HashSet<_> = exact.hhh(THETA).into_iter().collect();
+    for (label, out) in [("RHHH", rhhh.query(THETA)), ("MST", mst.query(THETA))] {
+        let got: std::collections::HashSet<_> = out.iter().map(|h| h.prefix).collect();
+        for p in &truth {
+            assert!(got.contains(p), "{label} missed a true HHH");
+        }
+    }
+}
+
+#[test]
+fn ten_rhhh_converges_slower_but_eventually() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    // ε_s = 0.06 -> ψ(V=250) ≈ 229k < 300k: even 10-RHHH converges here.
+    let mut ten = hhh_core::Rhhh::<u64>::new(
+        lat.clone(),
+        hhh_core::RhhhConfig {
+            epsilon_a: 0.01,
+            epsilon_s: 0.06,
+            delta_s: 0.01,
+            v_scale: 10,
+            updates_per_packet: 1,
+            seed: 0xE2E,
+        },
+    );
+    let mut exact = ExactHhh::new(lat);
+    let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+    for _ in 0..N {
+        let k = gen.generate().key2();
+        ten.update(k);
+        exact.insert(k);
+    }
+    assert!(ten.converged());
+    let out = ten.output(THETA);
+    assert_eq!(
+        coverage_error_ratio(&out, &exact, THETA),
+        0.0,
+        "converged 10-RHHH must cover"
+    );
+}

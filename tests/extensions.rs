@@ -1,0 +1,157 @@
+//! Integration tests for the documented extensions: weighted (volume)
+//! measurement, windowed monitoring, and the pcap path — each exercised
+//! end to end across crates.
+
+use hhh_core::{ExactHhh, Rhhh, RhhhConfig, WindowedRhhh};
+use hhh_hierarchy::{Lattice, Prefix};
+use hhh_traces::pcap::{write_pcap, PcapReader};
+use hhh_traces::{AttackConfig, TraceConfig, TraceGenerator};
+
+fn loose(seed: u64) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: 0.01,
+        epsilon_s: 0.03,
+        delta_s: 0.01,
+        v_scale: 1,
+        updates_per_packet: 1,
+        seed,
+    }
+}
+
+/// Volume-weighted HHH end to end: a few large-packet flows dominate by
+/// bytes while being unremarkable by packet count.
+#[test]
+fn volume_hhh_differs_from_packet_hhh() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut by_packets = Rhhh::<u64>::new(lat.clone(), loose(1));
+    let mut by_bytes = Rhhh::<u64>::new(lat.clone(), loose(1));
+    let mut gen = TraceGenerator::new(&TraceConfig::chicago15());
+    // 5% of packets are a bulk-transfer /32 pair at 1500B; background is
+    // the IMIX mix (mean ~450B).
+    let elephant = hhh_hierarchy::pack2(
+        u32::from_be_bytes([198, 51, 100, 7]),
+        u32::from_be_bytes([198, 51, 100, 8]),
+    );
+    let n = 400_000u64;
+    for i in 0..n {
+        if i % 20 == 0 {
+            by_packets.update(elephant);
+            by_bytes.update_weighted(elephant, 1500);
+        } else {
+            let p = gen.generate();
+            by_packets.update(p.key2());
+            by_bytes.update_weighted(p.key2(), u64::from(p.wire_len));
+        }
+    }
+    let theta = 0.10;
+    let in_packets = by_packets
+        .output(theta)
+        .iter()
+        .any(|h| h.prefix.key == elephant);
+    let in_bytes = by_bytes
+        .output(theta)
+        .iter()
+        .any(|h| h.prefix.key == elephant);
+    assert!(
+        !in_packets,
+        "5% of packets must not be a θ=10% packet-count HHH"
+    );
+    assert!(
+        in_bytes,
+        "~15% of bytes must be a θ=10% volume HHH"
+    );
+}
+
+/// Windowed monitoring detects onset and decay of an attack across epochs.
+#[test]
+fn windowed_detects_attack_onset_and_decay() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let window = 150_000u64;
+    let mut monitor = WindowedRhhh::<u64>::new(lat.clone(), loose(2), window);
+    let clean = TraceConfig::sanjose14();
+    let attacked = clean.clone().with_attack(AttackConfig {
+        subnet: u32::from_be_bytes([10, 20, 0, 0]),
+        subnet_bits: 16,
+        victim: u32::from_be_bytes([8, 8, 8, 8]),
+        fraction: 0.3,
+    });
+    let has_attack = |report: &[hhh_core::HeavyHitter<u64>]| {
+        report
+            .iter()
+            .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16"))
+    };
+    for (phase, expect) in [(&clean, false), (&attacked, true), (&clean, false)] {
+        let mut gen = TraceGenerator::new(phase);
+        for _ in 0..window {
+            monitor.update(gen.generate().key2());
+        }
+        let report = monitor.query_completed(0.1).expect("epoch complete");
+        assert_eq!(
+            has_attack(&report),
+            expect,
+            "epoch {} attack visibility",
+            monitor.epochs_completed()
+        );
+    }
+}
+
+/// pcap round-trip feeding the full algorithm: export a synthetic trace as
+/// pcap, read it back, and verify the HHH set matches the direct run.
+#[test]
+fn pcap_replay_matches_direct_run() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("rhhh-ext-pcap-{}.pcap", std::process::id()));
+    let trace = TraceConfig::chicago16().with_attack(AttackConfig {
+        subnet: u32::from_be_bytes([10, 20, 0, 0]),
+        subnet_bits: 16,
+        victim: u32::from_be_bytes([8, 8, 8, 8]),
+        fraction: 0.25,
+    });
+    let packets: Vec<_> = TraceGenerator::new(&trace).take(120_000).collect();
+    write_pcap(&path, &packets).expect("write pcap");
+
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut direct = Rhhh::<u64>::new(lat.clone(), loose(3));
+    for p in &packets {
+        direct.update(p.key2());
+    }
+    let mut replayed = Rhhh::<u64>::new(lat.clone(), loose(3));
+    for p in PcapReader::open(&path).expect("open pcap") {
+        replayed.update(p.expect("read").key2());
+    }
+    let theta = 0.1;
+    let a: std::collections::HashSet<Prefix<u64>> =
+        direct.output(theta).iter().map(|h| h.prefix).collect();
+    let b: std::collections::HashSet<Prefix<u64>> =
+        replayed.output(theta).iter().map(|h| h.prefix).collect();
+    assert_eq!(a, b, "pcap replay must reproduce the HHH set exactly");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Prefix parsing ties into ground truth: a parsed filter prefix measures
+/// exactly the traffic the generator planted under it.
+#[test]
+fn parsed_prefix_frequency_matches_plant() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut exact = ExactHhh::new(lat.clone());
+    let trace = TraceConfig::sanjose13().with_attack(AttackConfig {
+        subnet: u32::from_be_bytes([172, 16, 0, 0]),
+        subnet_bits: 16,
+        victim: u32::from_be_bytes([203, 0, 113, 99]),
+        fraction: 0.2,
+    });
+    let mut gen = TraceGenerator::new(&trace);
+    let n = 100_000u64;
+    let mut planted = 0u64;
+    for _ in 0..n {
+        let p = gen.generate();
+        if p.dst == u32::from_be_bytes([203, 0, 113, 99]) && (p.src >> 16) == 0xAC10 {
+            planted += 1;
+        }
+        exact.insert(p.key2());
+    }
+    let filter = lat
+        .parse_prefix("172.16.0.0/16,203.0.113.99/32")
+        .expect("parse");
+    assert_eq!(exact.frequency(&filter), planted);
+}

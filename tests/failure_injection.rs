@@ -1,0 +1,149 @@
+//! Adversarial and degenerate inputs: the algorithms must stay sound (never
+//! panic, never violate their conservative bounds) far outside the happy
+//! path.
+
+use hhh_core::{ExactHhh, HhhAlgorithm};
+use hhh_eval::AlgoKind;
+use hhh_hierarchy::{pack2, Lattice};
+
+/// A single key flooding the stream — maximal skew.
+#[test]
+fn single_key_flood() {
+    for kind in AlgoKind::roster() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut algo = kind.build(lat.clone(), 0.02, 1);
+        for _ in 0..100_000u64 {
+            algo.insert(pack2(0x0101_0101, 0x0202_0202));
+        }
+        let out = algo.query(0.5);
+        assert!(
+            out.iter().any(|h| h.prefix.node == lat.bottom()),
+            "{}: the flooding flow itself must be reported",
+            kind.label()
+        );
+    }
+}
+
+/// All-distinct keys — zero skew, nothing should qualify except the root
+/// (whose conditioned count is the entire stream).
+///
+/// N must sit clearly past the slack/θN crossover `(2Z/θ)²·V ≈ 207k` for
+/// 10-RHHH (V = 250): below it the conservative sampling slack legitimately
+/// admits every monitored candidate, fully-specified junk included.
+#[test]
+fn all_distinct_keys() {
+    for kind in AlgoKind::roster() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut algo = kind.build(lat.clone(), 0.02, 2);
+        let mut x = 0x9E37_79B9u64;
+        for i in 0..400_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            algo.insert(pack2((x >> 32) as u32, (i as u32) ^ (x as u32)));
+        }
+        let out = algo.query(0.2);
+        // Spread traffic can still aggregate at coarse levels (skewed /8
+        // draws), but no fully-specified flow is heavy.
+        assert!(
+            out.iter().all(|h| h.prefix.node != lat.bottom()),
+            "{}: no single flow is heavy in an all-distinct stream",
+            kind.label()
+        );
+    }
+}
+
+/// V far larger than N: almost no updates happen; output must stay sane
+/// (pre-convergence behaviour degrades gracefully).
+#[test]
+fn v_much_larger_than_stream() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut algo = hhh_core::Rhhh::<u64>::new(
+        lat,
+        hhh_core::RhhhConfig {
+            epsilon_a: 0.01,
+            epsilon_s: 0.01,
+            delta_s: 0.001,
+            v_scale: 1000, // V = 25_000 with only 10_000 packets
+            updates_per_packet: 1,
+            seed: 3,
+        },
+    );
+    for i in 0..10_000u64 {
+        algo.update(i);
+    }
+    assert!(!algo.converged());
+    assert!(algo.total_updates() <= 10_000);
+    // Everything the output says is conservative garbage-in-garbage-out,
+    // but it must not panic or produce non-finite numbers.
+    for h in algo.output(0.01) {
+        assert!(h.conditioned.is_finite());
+        assert!(h.freq_upper.is_finite());
+    }
+}
+
+/// Alternating heavy prefixes — a workload that churns Space Saving's
+/// bucket structure and the ancestry tries.
+#[test]
+fn alternating_phases() {
+    for kind in AlgoKind::roster() {
+        let lat = Lattice::ipv4_src_bytes();
+        let mut algo = kind.build(lat.clone(), 0.02, 4);
+        let mut exact = ExactHhh::new(lat.clone());
+        let mut x = 17u64;
+        for phase in 0..10u32 {
+            let hot = u32::from_be_bytes([(phase % 5) as u8 + 10, 0, 0, 0]);
+            for _ in 0..20_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                let key = if x % 2 == 0 {
+                    hot | ((x as u32) & 0x00FF_FFFF)
+                } else {
+                    x as u32
+                };
+                algo.insert(key);
+                exact.insert(key);
+            }
+        }
+        // Every phase's hot /8 ends at ~10% of total traffic; all five must
+        // be covered by every algorithm (they are exact HHHs at theta=5%).
+        let out = algo.query(0.05);
+        let got: std::collections::HashSet<_> = out.iter().map(|h| h.prefix).collect();
+        for p in exact.hhh(0.05) {
+            assert!(
+                got.contains(&p),
+                "{} lost {} after phase churn",
+                kind.label(),
+                p.display(&lat)
+            );
+        }
+    }
+}
+
+/// Zero-length streams and immediate queries.
+#[test]
+fn empty_stream_queries() {
+    for kind in AlgoKind::roster() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let algo = kind.build(lat, 0.01, 5);
+        assert_eq!(algo.packets(), 0);
+        assert!(algo.query(0.01).is_empty(), "{}", kind.label());
+    }
+}
+
+/// Extreme thresholds.
+#[test]
+fn extreme_thetas() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut algo = AlgoKind::Mst.build(lat, 0.01, 6);
+    for i in 0..50_000u64 {
+        algo.insert(i % 100);
+    }
+    // theta = 1.0: only prefixes covering the whole stream can qualify.
+    let out = algo.query(1.0);
+    for h in &out {
+        assert!(h.conditioned >= 50_000.0);
+    }
+    // Tiny theta: lots of output, but every row internally consistent.
+    let out = algo.query(1e-6);
+    for h in &out {
+        assert!(h.freq_lower <= h.freq_upper);
+    }
+}

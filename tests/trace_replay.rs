@@ -1,0 +1,71 @@
+//! Trace persistence: algorithms must produce bit-identical results whether
+//! fed from the generator or from a replayed trace file.
+
+use hhh_core::{HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_hierarchy::Lattice;
+use hhh_traces::io::{write_trace, TraceReader};
+use hhh_traces::{Packet, TraceConfig, TraceGenerator};
+
+fn config() -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: 0.01,
+        epsilon_s: 0.02,
+        delta_s: 0.01,
+        v_scale: 1,
+        updates_per_packet: 1,
+        seed: 0x7E57,
+    }
+}
+
+#[test]
+fn replay_equals_direct_generation() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("rhhh-replay-{}.trc", std::process::id()));
+
+    let packets: Vec<Packet> =
+        TraceGenerator::new(&TraceConfig::sanjose14()).take_packets(100_000);
+    write_trace(&path, &packets).expect("write trace");
+
+    let lattice = Lattice::ipv4_src_dst_bytes();
+    let mut direct = Rhhh::<u64>::new(lattice.clone(), config());
+    for p in &packets {
+        direct.update(p.key2());
+    }
+
+    let mut replayed = Rhhh::<u64>::new(lattice, config());
+    for p in TraceReader::open(&path).expect("open") {
+        replayed.update(p.expect("read").key2());
+    }
+
+    assert_eq!(direct.packets(), replayed.packets());
+    assert_eq!(direct.total_updates(), replayed.total_updates());
+    let (a, b) = (direct.output(0.05), replayed.output(0.05));
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.prefix, y.prefix);
+        assert_eq!(x.freq_upper, y.freq_upper);
+        assert_eq!(x.freq_lower, y.freq_lower);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_file_streams_without_full_materialization() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("rhhh-stream-{}.trc", std::process::id()));
+    let packets: Vec<Packet> =
+        TraceGenerator::new(&TraceConfig::chicago15()).take_packets(10_000);
+    write_trace(&path, &packets).expect("write");
+
+    let mut reader = TraceReader::open(&path).expect("open");
+    assert_eq!(reader.remaining(), 10_000);
+    let first = reader.next().expect("has first").expect("reads");
+    assert_eq!(first, packets[0]);
+    // Partial consumption then drop must be clean (no panics, no leaks the
+    // OS would complain about).
+    for _ in 0..500 {
+        let _ = reader.next();
+    }
+    drop(reader);
+    std::fs::remove_file(&path).ok();
+}
