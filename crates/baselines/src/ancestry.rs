@@ -181,7 +181,7 @@ impl<K: KeyBits> Ancestry<K> {
             };
             self.tables[node.index()].insert(masked, TrieEntry { g: 1, delta });
         }
-        if self.packets % self.width == 0 {
+        if self.packets.is_multiple_of(self.width) {
             self.bucket += 1;
             let nb = self.bucket;
             for table in &mut self.tables {

@@ -169,8 +169,14 @@ mod tests {
         let out = mst.output(0.01);
         let lat = mst.lattice();
         let rendered: Vec<String> = out.iter().map(|h| h.prefix.display(lat)).collect();
-        assert!(rendered.contains(&"101.102.0.0/16".to_string()), "{rendered:?}");
-        assert!(!rendered.contains(&"101.0.0.0/8".to_string()), "{rendered:?}");
+        assert!(
+            rendered.contains(&"101.102.0.0/16".to_string()),
+            "{rendered:?}"
+        );
+        assert!(
+            !rendered.contains(&"101.0.0.0/8".to_string()),
+            "{rendered:?}"
+        );
     }
 
     #[test]
@@ -189,9 +195,12 @@ mod tests {
         let out = mst.output(0.1);
         let lat = mst.lattice();
         assert!(
-            out.iter().any(|h| h.prefix.display(lat).contains("10.20.0.0/16")),
+            out.iter()
+                .any(|h| h.prefix.display(lat).contains("10.20.0.0/16")),
             "{:?}",
-            out.iter().map(|h| h.prefix.display(lat)).collect::<Vec<_>>()
+            out.iter()
+                .map(|h| h.prefix.display(lat))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -9,9 +9,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hhh_bench::Workload;
-use hhh_counters::{
-    FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
-};
+use hhh_counters::{FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving};
 
 const PACKETS: usize = 200_000;
 

@@ -79,6 +79,50 @@ fn benches(c: &mut Criterion) {
     hierarchy_panel(c, "2d-bytes", &Lattice::ipv4_src_dst_bytes(), &w.keys2);
 }
 
+/// The tentpole measurement: geometric-skip batch path vs the per-packet
+/// loop, at `V = H` and `V = 10H`. The batch path strides over ignored
+/// packets with one geometric gap draw, scatters the selected updates into
+/// per-node groups, and flushes each group sorted so duplicate masked keys
+/// merge into single weighted updates.
+///
+/// Uses a 1M-packet workload (larger than the fig5 panels) so the counter
+/// instances reach their full/evicting steady state — the regime a
+/// long-running monitor lives in — and offers the batch path both rows:
+/// whole-slice (trace replay) and 64Ki chunks (rx-burst style streaming).
+fn batch_vs_scalar(c: &mut Criterion) {
+    const STEADY_PACKETS: usize = 1_000_000;
+    const CHUNK: usize = 65_536;
+    let w = Workload::chicago16(STEADY_PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+    for v_scale in [1u64, 10] {
+        let group = format!("batch-vs-scalar/v{v_scale}");
+        bench_algo(c, &group, "scalar", &w.keys2, || {
+            Rhhh::<u64>::new(lat.clone(), rhhh_config(v_scale))
+        });
+
+        let mut g = c.benchmark_group(&group);
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1))
+            .throughput(Throughput::Elements(w.keys2.len() as u64));
+        for (label, chunk) in [("batch", w.keys2.len()), ("batch-64k", CHUNK)] {
+            g.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter_batched(
+                    || Rhhh::<u64>::new(lat.clone(), rhhh_config(v_scale)),
+                    |mut algo| {
+                        for part in w.keys2.chunks(chunk) {
+                            algo.update_batch(part);
+                        }
+                        algo
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+        g.finish();
+    }
+}
+
 /// Corollary 6.8 ablation: `r` independent update draws per packet converge
 /// `r×` faster at `r×` the update cost — measure the cost side.
 fn multi_update_sweep(c: &mut Criterion) {
@@ -121,5 +165,11 @@ fn ipv6_h_scaling(c: &mut Criterion) {
     }
 }
 
-criterion_group!(fig5, benches, multi_update_sweep, ipv6_h_scaling);
+criterion_group!(
+    fig5,
+    benches,
+    batch_vs_scalar,
+    multi_update_sweep,
+    ipv6_h_scaling
+);
 criterion_main!(fig5);

@@ -9,7 +9,7 @@ use hhh_bench::Workload;
 use hhh_core::{Rhhh, RhhhConfig};
 use hhh_hierarchy::Lattice;
 use hhh_traces::Packet;
-use hhh_vswitch::{AlgoMonitor, Datapath, DataplaneMonitor, NoOpMonitor};
+use hhh_vswitch::{AlgoMonitor, BatchingMonitor, Datapath, DataplaneMonitor, NoOpMonitor};
 
 const PACKETS: usize = 200_000;
 
@@ -59,6 +59,9 @@ fn fig6_monitors(c: &mut Criterion) {
     bench_pipeline(c, "fig6/monitors", "NoOp", &w.packets, || NoOpMonitor);
     bench_pipeline(c, "fig6/monitors", "10-RHHH", &w.packets, || {
         AlgoMonitor::new(Rhhh::<u64>::new(lat.clone(), rhhh_config(10)))
+    });
+    bench_pipeline(c, "fig6/monitors", "10-RHHH(batch)", &w.packets, || {
+        BatchingMonitor::new(Rhhh::<u64>::new(lat.clone(), rhhh_config(10)), 256)
     });
     bench_pipeline(c, "fig6/monitors", "RHHH", &w.packets, || {
         AlgoMonitor::new(Rhhh::<u64>::new(lat.clone(), rhhh_config(1)))

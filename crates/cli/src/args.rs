@@ -48,7 +48,8 @@ impl Flags {
     ///
     /// Returns a message when the flag is absent.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     /// Numeric value with default.

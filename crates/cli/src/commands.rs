@@ -30,6 +30,11 @@ fn algo_kind(name: &str) -> Result<AlgoKind, String> {
     })
 }
 
+/// Chunk size for the CLI's batch update paths. Larger chunks give the
+/// per-node flush better dedup and cache locality; 64Ki keys ≈ 512 KiB of
+/// input is still insignificant next to the counter state.
+const BATCH_CHUNK: usize = 65_536;
+
 /// Parses `10.20.0.0/16->8.8.8.8@0.3`.
 fn parse_attack(spec: &str) -> Result<AttackConfig, String> {
     let err = || format!("bad attack spec `{spec}` (want subnet/bits->victim@fraction)");
@@ -64,8 +69,7 @@ fn generate_inner(argv: &[String]) -> Result<(), String> {
     let packets = flags.num("packets", 1_000_000.0)? as usize;
     let out = flags.require("out")?;
     let data = TraceGenerator::new(&config).take_packets(packets);
-    let written =
-        write_trace(Path::new(out), &data).map_err(|e| format!("writing {out}: {e}"))?;
+    let written = write_trace(Path::new(out), &data).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {written} packets ({}) to {out}", config.name);
     Ok(())
 }
@@ -95,13 +99,14 @@ fn load_packets(flags: &Flags) -> Result<Vec<Packet>, String> {
 }
 
 fn analyze_inner(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["volume"])?;
+    let flags = Flags::parse(argv, &["volume", "batch"])?;
     let theta = flags.num("theta", 0.03)?;
     let epsilon = flags.num("epsilon", 0.005)?;
     let top = flags.num("top", 50.0)? as usize;
     let algo_name = flags.get("algorithm").unwrap_or("rhhh");
     let hierarchy = flags.get("hierarchy").unwrap_or("2d-bytes");
     let volume = flags.switch("volume");
+    let batch = flags.switch("batch");
     let filter = flags.get("filter").map(ToString::to_string);
     let packets = load_packets(&flags)?;
 
@@ -114,6 +119,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             epsilon,
             theta,
             volume,
+            batch,
             top,
             filter.as_deref(),
         ),
@@ -125,6 +131,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             epsilon,
             theta,
             volume,
+            batch,
             top,
             filter.as_deref(),
         ),
@@ -136,6 +143,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             epsilon,
             theta,
             volume,
+            batch,
             top,
             filter.as_deref(),
         ),
@@ -152,6 +160,7 @@ fn run_analysis<K: KeyBits>(
     epsilon: f64,
     theta: f64,
     volume: bool,
+    batch: bool,
     top: usize,
     filter: Option<&str>,
 ) -> Result<(), String> {
@@ -162,14 +171,16 @@ fn run_analysis<K: KeyBits>(
                 .map_err(|e| format!("--filter: {e}"))
         })
         .transpose()?;
-    let start = Instant::now();
     let mut output: Vec<HeavyHitter<K>>;
     let total: u64;
+    let elapsed: f64;
 
-    if volume {
-        // Volume weighting is an RHHH-side extension; run it directly.
+    if volume || batch {
+        // Volume weighting and the batch update path are RHHH-side
+        // extensions; run the concrete algorithm directly.
         if !algo_name.starts_with("rhhh") && algo_name != "10-rhhh" {
-            return Err("--volume supports rhhh/10-rhhh only".into());
+            let flag = if volume { "--volume" } else { "--batch" };
+            return Err(format!("{flag} supports rhhh/10-rhhh only"));
         }
         let v_scale = if algo_name == "10-rhhh" { 10 } else { 1 };
         let mut algo = Rhhh::<K>::new(
@@ -183,21 +194,60 @@ fn run_analysis<K: KeyBits>(
                 seed: 0xC11,
             },
         );
-        for p in packets {
-            algo.update_weighted(key_of(p), u64::from(p.wire_len));
+        // Materialize inputs before starting the clock — for the scalar
+        // and batch arms alike — so the printed throughput measures the
+        // update path, not key extraction, and the two stay comparable.
+        let weighted: Vec<(K, u64)> = if volume {
+            packets
+                .iter()
+                .map(|p| (key_of(p), u64::from(p.wire_len)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let keys: Vec<K> = if volume {
+            Vec::new()
+        } else {
+            packets.iter().map(&key_of).collect()
+        };
+        let start = Instant::now();
+        match (volume, batch) {
+            (true, true) => {
+                for chunk in weighted.chunks(BATCH_CHUNK) {
+                    algo.update_batch_weighted(chunk);
+                }
+            }
+            (true, false) => {
+                for &(k, w) in &weighted {
+                    algo.update_weighted(k, w);
+                }
+            }
+            (false, true) => {
+                for chunk in keys.chunks(BATCH_CHUNK) {
+                    algo.update_batch(chunk);
+                }
+            }
+            (false, false) => unreachable!("guarded by the enclosing if"),
         }
-        total = algo.total_weight();
+        elapsed = start.elapsed().as_secs_f64();
+        total = if volume {
+            algo.total_weight()
+        } else {
+            algo.packets()
+        };
         output = algo.output(theta);
     } else {
         let kind = algo_kind(algo_name)?;
         let mut algo = kind.build(lattice.clone(), epsilon, 0xC11);
-        for p in packets {
-            algo.insert(key_of(p));
+        let keys: Vec<K> = packets.iter().map(&key_of).collect();
+        let start = Instant::now();
+        for &k in &keys {
+            algo.insert(k);
         }
+        elapsed = start.elapsed().as_secs_f64();
         total = algo.packets();
         output = algo.query(theta);
     }
-    let elapsed = start.elapsed().as_secs_f64();
 
     if let Some(filter) = filter_prefix {
         output.retain(|h| filter.generalizes(&h.prefix, lattice));
@@ -211,7 +261,10 @@ fn run_analysis<K: KeyBits>(
         elapsed,
         packets.len() as f64 / elapsed / 1e6,
     );
-    println!("{:<46} {:>14} {:>14} {:>8}", "prefix", "lower", "upper", "share");
+    println!(
+        "{:<46} {:>14} {:>14} {:>8}",
+        "prefix", "lower", "upper", "share"
+    );
     for h in output.iter().take(top) {
         println!(
             "{:<46} {:>14.0} {:>14.0} {:>7.2}%",
@@ -236,38 +289,68 @@ pub fn speed(argv: &[String]) -> i32 {
 }
 
 fn speed_inner(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &[])?;
+    let flags = Flags::parse(argv, &["batch"])?;
     let config = preset(flags.get("preset").unwrap_or("chicago16"))?;
     let packets = flags.num("packets", 1_000_000.0)? as usize;
     let epsilon = flags.num("epsilon", 0.001)?;
     let hierarchy = flags.get("hierarchy").unwrap_or("2d-bytes");
+    let batch = flags.switch("batch");
     let data = TraceGenerator::new(&config).take_packets(packets);
 
-    println!("# {} packets of {}, epsilon={epsilon}", packets, config.name);
+    println!(
+        "# {} packets of {}, epsilon={epsilon}",
+        packets, config.name
+    );
     println!("{:<18} {:>10}", "algorithm", "Mpps");
     match hierarchy {
         "2d-bytes" => {
             let keys: Vec<u64> = data.iter().map(Packet::key2).collect();
-            speed_table(&Lattice::ipv4_src_dst_bytes(), &keys, epsilon);
+            speed_table(&Lattice::ipv4_src_dst_bytes(), &keys, epsilon, batch);
         }
         "1d-bytes" => {
             let keys: Vec<u32> = data.iter().map(Packet::key1).collect();
-            speed_table(&Lattice::ipv4_src_bytes(), &keys, epsilon);
+            speed_table(&Lattice::ipv4_src_bytes(), &keys, epsilon, batch);
         }
         "1d-bits" => {
             let keys: Vec<u32> = data.iter().map(Packet::key1).collect();
-            speed_table(&Lattice::ipv4_src_bits(), &keys, epsilon);
+            speed_table(&Lattice::ipv4_src_bits(), &keys, epsilon, batch);
         }
         other => return Err(format!("unknown hierarchy `{other}`")),
     }
     Ok(())
 }
 
-fn speed_table<K: KeyBits>(lattice: &Lattice<K>, keys: &[K], epsilon: f64) {
+fn speed_table<K: KeyBits>(lattice: &Lattice<K>, keys: &[K], epsilon: f64, batch: bool) {
     for kind in AlgoKind::roster() {
         let mut algo = kind.build(lattice.clone(), epsilon, 1);
         let mpps = hhh_eval::measure_mpps(algo.as_mut(), keys);
         println!("{:<18} {:>10.2}", kind.label(), mpps);
+    }
+    if batch {
+        for v_scale in [1u64, 10] {
+            let mut algo = Rhhh::<K>::new(
+                lattice.clone(),
+                RhhhConfig {
+                    epsilon_a: epsilon,
+                    epsilon_s: epsilon,
+                    delta_s: 0.001,
+                    v_scale,
+                    updates_per_packet: 1,
+                    seed: 1,
+                },
+            );
+            let start = Instant::now();
+            for chunk in keys.chunks(BATCH_CHUNK) {
+                algo.update_batch(chunk);
+            }
+            let mpps = keys.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+            let label = if v_scale == 1 {
+                "RHHH(batch)".to_string()
+            } else {
+                format!("{v_scale}-RHHH(batch)")
+            };
+            println!("{label:<18} {mpps:>10.2}");
+        }
     }
 }
 
@@ -299,7 +382,13 @@ mod tests {
 
     #[test]
     fn algo_lookup() {
-        for name in ["rhhh", "10-rhhh", "mst", "full-ancestry", "partial-ancestry"] {
+        for name in [
+            "rhhh",
+            "10-rhhh",
+            "mst",
+            "full-ancestry",
+            "partial-ancestry",
+        ] {
             assert!(algo_kind(name).is_ok(), "{name}");
         }
         assert!(algo_kind("bogus").is_err());

@@ -39,9 +39,9 @@ USAGE:
     rhhh analyze  (--trace <file.trc> | --preset <name> --packets <n>) \\
                   [--algorithm rhhh|10-rhhh|mst|full-ancestry|partial-ancestry] \\
                   [--hierarchy 1d-bytes|1d-bits|2d-bytes] \\
-                  [--theta <t>] [--epsilon <e>] [--volume] [--top <k>] \
+                  [--theta <t>] [--epsilon <e>] [--volume] [--batch] [--top <k>] \
                   [--filter <prefix>]      (e.g. --filter 10.0.0.0/8,*)
-    rhhh speed    [--hierarchy <h>] [--packets <n>] [--preset <name>]
+    rhhh speed    [--hierarchy <h>] [--packets <n>] [--preset <name>] [--batch]
 
 PRESETS: chicago15 chicago16 sanjose13 sanjose14"
     );

@@ -1,0 +1,519 @@
+//! Batch update path: geometric skip sampling + per-node grouping.
+//!
+//! # Why a batch path exists
+//!
+//! The scalar [`Rhhh::update`] is already O(1) worst case, but its constant
+//! is dominated by per-packet overheads that a slice-at-a-time API can
+//! amortize away:
+//!
+//! 1. **The discarded draws.** With `V = v_scale·H`, only an `H/V` fraction
+//!    of packets touch a counter, yet every packet pays a wyrand step, a
+//!    Lemire bounded reduction and a branch. The batch path instead draws
+//!    the *gap* to the next selected packet directly from its geometric
+//!    distribution ([`GeometricSkip`]) and strides over the ignored run in
+//!    O(1) — for 10-RHHH that is one RNG draw per ~10 packets instead of
+//!    one per packet. The gap and node draws are themselves produced in
+//!    dependency-free blocks ([`FastRng::fill_block`]) so they pipeline
+//!    instead of serializing on the RNG state, and one raw draw feeds both
+//!    the gap (bits 11..64) and the node choice (bits 0..11).
+//! 2. **Scattered counter access.** Selected updates land on a uniformly
+//!    random lattice node, so consecutive scalar updates ping-pong between
+//!    `H` independent Space Saving instances (each with its own hash index
+//!    and stream-summary arena — ~25 working sets for the 2D byte lattice).
+//!    The batch path scatters selected keys straight into one reusable
+//!    buffer per node and flushes node by node, so one instance's index
+//!    and buckets stay cache-hot while it drains its group.
+//! 3. **Repeated work per duplicate key.** The node mask is loaded once
+//!    per *group* instead of once per packet, and after masking, coarse
+//!    nodes collapse many packets onto few distinct keys (at the root
+//!    node, *all* of them onto one). Each group is sorted so equal masked
+//!    keys become runs, which
+//!    [`FrequencyEstimator::increment_batch`] merges into one weighted
+//!    update per distinct key — one index lookup and one bucket walk where
+//!    the scalar path pays one per packet.
+//!
+//! # Draw-schedule caveat
+//!
+//! The scalar path consumes one `[0, V)` draw per packet; the batch path
+//! consumes one `(0, 1]` draw per *selected* packet plus one `[0, H)` draw
+//! for the node choice. Per packet both realise "select with probability
+//! `H/V`, then pick a node uniformly", so every distributional statement in
+//! the paper's analysis (Theorems 6.3–6.18 never look at the joint identity
+//! of the underlying uniforms, only at the per-packet selection law) holds
+//! verbatim for the batch path. But the same seed walks a different sample
+//! path, so a batch run and a scalar run agree *statistically* — same
+//! convergence bound ψ, same error guarantees — not bit-for-bit. The
+//! `batch_props` suite checks this equivalence with a chi-squared test over
+//! per-node update counts.
+//!
+//! Within one node's group the flush handles keys in sorted rather than
+//! arrival order — a tie-break Space Saving's guarantees never observe
+//! (the sandwich `count − error ≤ X ≤ count` and the heavy-hitter property
+//! hold for any processing order of the same multiset). Repeated runs with
+//! the same seed are bit-identical.
+
+use hhh_counters::FrequencyEstimator;
+use hhh_hierarchy::KeyBits;
+
+use crate::rhhh::Rhhh;
+use crate::sampling::{FastRng, GeometricSkip};
+
+/// Reusable buffers for the batch path, owned by [`Rhhh`] so steady-state
+/// batches allocate nothing: selection scatters straight into one buffer
+/// per lattice node, and the buffers keep their capacity across batches.
+#[derive(Debug, Clone)]
+pub struct BatchScratch<K> {
+    /// Selected raw keys per node, in arrival order (lazily sized to `H`).
+    node_keys: Vec<Vec<K>>,
+    /// Selected `(raw key, weight)` pairs per node (weighted path).
+    node_weighted: Vec<Vec<(K, u64)>>,
+}
+
+impl<K: KeyBits> Default for BatchScratch<K> {
+    fn default() -> Self {
+        Self {
+            node_keys: Vec::new(),
+            node_weighted: Vec::new(),
+        }
+    }
+}
+
+/// Draws consumed per refill of the selection walk's scratch blocks.
+const DRAW_BLOCK: usize = 256;
+
+/// Exact Lemire bounded draw from one pre-generated uniform; the rejection
+/// branch (probability `h / 2^64`) falls back to a fresh serial draw, so
+/// the result is unbiased.
+#[inline(always)]
+fn node_from(x: u64, h: u64, rng: &mut FastRng) -> u16 {
+    let m = u128::from(x) * u128::from(h);
+    let low = m as u64;
+    if low < h {
+        let threshold = h.wrapping_neg() % h;
+        if low < threshold {
+            return rng.bounded(h) as u16;
+        }
+    }
+    (m >> 64) as u16
+}
+
+/// Walks `draws` Bernoulli(`H/V`) trials with the geometric gap sampler and
+/// invokes `sink(draw_index, node)` for each selected trial.
+///
+/// The naive walk is latency-bound: gap draw → advance → node draw → gap
+/// draw, each chained through the RNG state. Since the RNG stream does not
+/// depend on the walk's results, gaps and node draws are instead generated
+/// in blocks ([`FastRng::fill_block`] + [`GeometricSkip::gaps_from_block`])
+/// whose elements have no cross-iteration dependencies, and the walk just
+/// consumes them. Block sizes adapt to the expected number of remaining
+/// selections so small batches don't over-draw.
+#[inline]
+fn for_each_selected<E>(
+    skip: &GeometricSkip,
+    rng: &mut FastRng,
+    h: u64,
+    v: u64,
+    draws: u64,
+    mut sink: E,
+) where
+    E: FnMut(u64, u16),
+{
+    if draws == 0 {
+        return;
+    }
+    if skip.selects_all() {
+        // V = H: every draw is selected; only node choices are needed.
+        let mut raw = [0u64; DRAW_BLOCK];
+        let mut cur = 0u64;
+        while cur < draws {
+            let take = ((draws - cur) as usize).min(DRAW_BLOCK);
+            rng.fill_block(&mut raw[..take]);
+            for &x in &raw[..take] {
+                sink(cur, node_from(x, h, rng));
+                cur += 1;
+            }
+        }
+        return;
+    }
+
+    let inv_p = (v / h).max(1); // expected draws per selection ≈ V/H
+    let mut gaps = [0u64; DRAW_BLOCK];
+    let mut nodes = [0u16; DRAW_BLOCK];
+    let mut len = 0usize;
+    let mut i = 0usize;
+    let mut cur = 0u64;
+    loop {
+        if i == len {
+            // Size the refill to the expected remaining selections (plus
+            // slack) so a tail refill doesn't draw a full block for a
+            // handful of survivors.
+            let expect = (draws - cur) / inv_p + 8;
+            len = (expect as usize).min(DRAW_BLOCK);
+            rng.fill_block(&mut gaps[..len]);
+            if h < (1 << 11) {
+                // One raw draw yields both the trial's gap (bits 11..64)
+                // and its node (bits 0..11, exact 11-bit Lemire whose rare
+                // rejection — probability (2^11 mod h)/2^11 — falls back
+                // to a fresh serial draw).
+                let threshold = (1u64 << 11) % h;
+                for j in 0..len {
+                    let x = gaps[j];
+                    let m = (x & 0x7FF) * h;
+                    nodes[j] = if (m & 0x7FF) < threshold {
+                        rng.bounded(h) as u16
+                    } else {
+                        (m >> 11) as u16
+                    };
+                    gaps[j] = skip.gap_from_bits(x >> 11);
+                }
+            } else {
+                // Very deep hierarchies: separate node draws.
+                skip.gaps_from_block(&mut gaps[..len]);
+                let mut raw = [0u64; DRAW_BLOCK];
+                rng.fill_block(&mut raw[..len]);
+                for j in 0..len {
+                    nodes[j] = node_from(raw[j], h, rng);
+                }
+            }
+            i = 0;
+        }
+        cur += gaps[i];
+        if cur >= draws {
+            return;
+        }
+        sink(cur, nodes[i]);
+        cur += 1;
+        i += 1;
+    }
+}
+
+impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
+    /// Algorithm 1 `Update` over a whole packet slice — statistically
+    /// identical to calling [`Rhhh::update`] per element (see the
+    /// [module docs](self) for the exact sense of "identical"), at a
+    /// fraction of the cost when `V > H`.
+    ///
+    /// The three phases are: geometric-skip selection (touching only the
+    /// ~`H/V` selected packets, with block-generated draws), per-node
+    /// scatter, and a sorted flush that merges duplicate masked keys into
+    /// one weighted [`FrequencyEstimator`] update each.
+    pub fn update_batch(&mut self, keys: &[K]) {
+        let n = keys.len() as u64;
+        self.packets += n;
+        self.weight += n;
+        let r = u64::from(self.config.updates_per_packet);
+
+        let h = self.h as usize;
+        let scratch = &mut self.scratch;
+        if scratch.node_keys.len() < h {
+            scratch.node_keys.resize_with(h, Vec::new);
+        }
+        for buf in &mut scratch.node_keys[..h] {
+            buf.clear();
+        }
+
+        // Selection: scatter straight into the per-node buffers (the 25
+        // hot Vec tails stay cached; no second grouping pass needed).
+        let node_keys = &mut scratch.node_keys;
+        if r == 1 {
+            // Common case: draw index == packet index, no division.
+            for_each_selected(&self.skip, &mut self.rng, self.h, self.v, n, |i, node| {
+                node_keys[node as usize].push(keys[i as usize]);
+            });
+        } else {
+            // Corollary 6.8: r independent selection trials per packet is
+            // one geometric walk over n·r virtual draws.
+            for_each_selected(
+                &self.skip,
+                &mut self.rng,
+                self.h,
+                self.v,
+                n * r,
+                |i, node| {
+                    node_keys[node as usize].push(keys[(i / r) as usize]);
+                },
+            );
+        }
+
+        // Flush node by node: mask once per group, sort so duplicates
+        // become runs, then let the estimator's run-length batch path turn
+        // each run into a single weighted update. Sorting also delivers
+        // keys in monotone order, which keeps the stream-summary bucket
+        // walks short and cache-resident. (Order within a group is a
+        // tie-break the analysis never observes; see the module docs.)
+        for node in 0..h {
+            let group = &mut scratch.node_keys[node];
+            if group.is_empty() {
+                continue;
+            }
+            let mask = self.masks[node];
+            for key in group.iter_mut() {
+                *key = key.and(mask);
+            }
+            group.sort_unstable();
+            self.instances[node].increment_batch(group);
+        }
+    }
+
+    /// Weighted batch update: the batch counterpart of
+    /// [`Rhhh::update_weighted`]. Each element is one packet carrying
+    /// `weight` units (e.g. bytes); selection stays per *packet*, and a
+    /// selected packet records its full weight at the chosen node.
+    pub fn update_batch_weighted(&mut self, packets: &[(K, u64)]) {
+        let n = packets.len() as u64;
+        self.packets += n;
+        self.weight += packets.iter().map(|&(_, w)| w).sum::<u64>();
+        let r = u64::from(self.config.updates_per_packet);
+
+        let h = self.h as usize;
+        let scratch = &mut self.scratch;
+        if scratch.node_weighted.len() < h {
+            scratch.node_weighted.resize_with(h, Vec::new);
+        }
+        for buf in &mut scratch.node_weighted[..h] {
+            buf.clear();
+        }
+
+        let node_weighted = &mut scratch.node_weighted;
+        if r == 1 {
+            for_each_selected(&self.skip, &mut self.rng, self.h, self.v, n, |i, node| {
+                node_weighted[node as usize].push(packets[i as usize]);
+            });
+        } else {
+            for_each_selected(
+                &self.skip,
+                &mut self.rng,
+                self.h,
+                self.v,
+                n * r,
+                |i, node| {
+                    node_weighted[node as usize].push(packets[(i / r) as usize]);
+                },
+            );
+        }
+
+        for node in 0..h {
+            let group = &mut scratch.node_weighted[node];
+            if group.is_empty() {
+                continue;
+            }
+            let mask = self.masks[node];
+            for entry in group.iter_mut() {
+                entry.0 = entry.0.and(mask);
+            }
+            // Sort by masked key and merge each run into one `add`.
+            group.sort_unstable();
+            let instance = &mut self.instances[node];
+            let mut i = 0usize;
+            while i < group.len() {
+                let key = group[i].0;
+                let mut w = group[i].1;
+                let mut j = i + 1;
+                while j < group.len() && group[j].0 == key {
+                    w += group[j].1;
+                    j += 1;
+                }
+                instance.add(key, w);
+                i = j;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HhhAlgorithm, Rhhh, RhhhConfig};
+    use hhh_hierarchy::{pack2, Lattice};
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+    }
+
+    fn stream(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Lcg(seed);
+        (0..n)
+            .map(|i| {
+                if i % 10 < 3 {
+                    pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+                } else {
+                    pack2(rng.next() as u32, rng.next() as u32)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_update_rate_is_h_over_v() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut algo = Rhhh::<u64>::new(lat, RhhhConfig::ten_rhhh());
+        let keys = stream(200_000, 7);
+        for chunk in keys.chunks(4_096) {
+            algo.update_batch(chunk);
+        }
+        assert_eq!(algo.packets(), 200_000);
+        assert_eq!(algo.total_weight(), 200_000);
+        let rate = algo.total_updates() as f64 / 200_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "update rate {rate}");
+    }
+
+    #[test]
+    fn batch_v_equals_h_updates_every_packet() {
+        let lat = Lattice::ipv4_src_bytes();
+        let mut algo = Rhhh::<u32>::new(lat, RhhhConfig::default());
+        let keys: Vec<u32> = stream(50_000, 2).iter().map(|&k| k as u32).collect();
+        algo.update_batch(&keys);
+        assert_eq!(algo.total_updates(), 50_000, "V = H never skips");
+    }
+
+    #[test]
+    fn batch_finds_planted_hhh() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut algo = Rhhh::<u64>::new(
+            lat,
+            RhhhConfig {
+                epsilon_s: 0.02,
+                epsilon_a: 0.005,
+                delta_s: 0.05,
+                ..RhhhConfig::default()
+            },
+        );
+        let keys = stream(400_000, 4);
+        for chunk in keys.chunks(1_024) {
+            algo.update_batch(chunk);
+        }
+        assert!(algo.converged());
+        let lat = algo.lattice().clone();
+        let rendered: Vec<String> = algo
+            .output(0.1)
+            .iter()
+            .map(|h| h.prefix.display(&lat))
+            .collect();
+        assert!(
+            rendered
+                .iter()
+                .any(|s| s.contains("10.20.0.0/16") && s.contains("8.8.8.8/32")),
+            "missing planted HHH in {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn batch_deterministic_given_seed_and_chunking() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let keys = stream(100_000, 9);
+        let mut a = Rhhh::<u64>::new(lat.clone(), RhhhConfig::ten_rhhh());
+        let mut b = Rhhh::<u64>::new(lat, RhhhConfig::ten_rhhh());
+        a.update_batch(&keys);
+        b.update_batch(&keys);
+        assert_eq!(a.total_updates(), b.total_updates());
+        let (oa, ob) = (a.output(0.05), b.output(0.05));
+        assert_eq!(oa.len(), ob.len());
+        for (x, y) in oa.iter().zip(&ob) {
+            assert_eq!(x.prefix, y.prefix);
+            assert_eq!(x.freq_upper, y.freq_upper);
+        }
+    }
+
+    #[test]
+    fn batch_multi_update_draws_r_per_packet() {
+        let lat = Lattice::ipv4_src_bytes();
+        let mut algo = Rhhh::<u32>::new(
+            lat,
+            RhhhConfig {
+                updates_per_packet: 4,
+                v_scale: 10,
+                ..RhhhConfig::default()
+            },
+        );
+        let keys: Vec<u32> = stream(200_000, 5).iter().map(|&k| k as u32).collect();
+        algo.update_batch(&keys);
+        // r = 4 draws per packet at selection rate 1/10 → ~0.4 updates/pkt.
+        let rate = algo.total_updates() as f64 / 200_000.0;
+        assert!((rate - 0.4).abs() < 0.02, "rate {rate}");
+        assert_eq!(algo.packets(), 200_000);
+    }
+
+    #[test]
+    fn batch_weighted_records_volume() {
+        let lat = Lattice::ipv4_src_bytes();
+        let mut algo = Rhhh::<u32>::new(
+            lat,
+            RhhhConfig {
+                epsilon_s: 0.05,
+                delta_s: 0.05,
+                ..RhhhConfig::default()
+            },
+        );
+        let n = 200_000usize;
+        let heavy = u32::from_be_bytes([7, 7, 7, 7]);
+        let mut rng = Lcg(31);
+        let mut volume = 0u64;
+        let packets: Vec<(u32, u64)> = (0..n)
+            .map(|i| {
+                let p = if i % 10 == 0 {
+                    (heavy, 1400)
+                } else {
+                    (rng.next() as u32, 64)
+                };
+                volume += p.1;
+                p
+            })
+            .collect();
+        for chunk in packets.chunks(2_048) {
+            algo.update_batch_weighted(chunk);
+        }
+        assert_eq!(algo.total_weight(), volume);
+        assert_eq!(algo.packets(), n as u64);
+        let out = algo.output(0.3);
+        let lat_bottom = algo.lattice().bottom();
+        let entry = out
+            .iter()
+            .find(|h| h.prefix.key == heavy && h.prefix.node == lat_bottom)
+            .expect("volume-heavy flow reported");
+        let truth = (n as u64 / 10 * 1400) as f64;
+        assert!(
+            (entry.freq_upper - truth).abs() < 0.2 * truth,
+            "estimate {} vs volume {truth}",
+            entry.freq_upper
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_batches_are_safe() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut algo = Rhhh::<u64>::new(lat, RhhhConfig::ten_rhhh());
+        algo.update_batch(&[]);
+        algo.update_batch_weighted(&[]);
+        assert_eq!(algo.packets(), 0);
+        for i in 0..1_000u64 {
+            algo.update_batch(&[i]); // single-element batches
+        }
+        assert_eq!(algo.packets(), 1_000);
+    }
+
+    #[test]
+    fn batch_and_scalar_interleave() {
+        // Mixing the two paths on one instance keeps counts coherent.
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut algo = Rhhh::<u64>::new(lat, RhhhConfig::ten_rhhh());
+        let keys = stream(60_000, 11);
+        for (i, chunk) in keys.chunks(10_000).enumerate() {
+            if i % 2 == 0 {
+                algo.update_batch(chunk);
+            } else {
+                for &k in chunk {
+                    algo.update(k);
+                }
+            }
+        }
+        assert_eq!(algo.packets(), 60_000);
+        let rate = algo.total_updates() as f64 / 60_000.0;
+        assert!((rate - 0.1).abs() < 0.015, "rate {rate}");
+    }
+}

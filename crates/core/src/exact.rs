@@ -65,7 +65,10 @@ impl<K: KeyBits> ExactHhh<K> {
     /// Exact frequency `f_p` of a prefix (Definition 3).
     #[must_use]
     pub fn frequency(&self, p: &Prefix<K>) -> u64 {
-        self.counts[p.node.index()].get(&p.key).copied().unwrap_or(0)
+        self.counts[p.node.index()]
+            .get(&p.key)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Exact conditioned frequency `C_{p|P}`, computed via Lemma 6.9 (one
@@ -115,9 +118,10 @@ impl<K: KeyBits> ExactHhh<K> {
             for i in 0..g.len() {
                 for j in (i + 1)..g.len() {
                     if let Some(q) = g[i].glb(&g[j], &self.lattice) {
-                        let covered = g.iter().enumerate().any(|(k, h3)| {
-                            k != i && k != j && h3.generalizes(&q, &self.lattice)
-                        });
+                        let covered = g
+                            .iter()
+                            .enumerate()
+                            .any(|(k, h3)| k != i && k != j && h3.generalizes(&q, &self.lattice));
                         if !covered {
                             c += self.frequency(&q) as i64;
                         }
@@ -254,7 +258,9 @@ mod tests {
         // Pad to N = 10_000 with scattered noise outside 101/8.
         let mut x = 1u64;
         for _ in 0..(10_000 - 108) {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 16) as u32;
             let key = if (v >> 24) == 101 { v ^ 0x8000_0000 } else { v };
             ex.insert(key);

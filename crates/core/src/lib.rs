@@ -54,6 +54,7 @@
 //! assert!(!hhhs.is_empty());
 //! ```
 
+pub mod batch;
 pub mod exact;
 pub mod output;
 pub mod rhhh;

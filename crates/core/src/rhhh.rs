@@ -10,8 +10,9 @@ use hhh_counters::{counters_for, Candidate, FrequencyEstimator, SpaceSaving};
 use hhh_hierarchy::{KeyBits, Lattice, NodeId};
 use hhh_stats::{psi, sampling_slack};
 
+use crate::batch::BatchScratch;
 use crate::output::{extract_hhh, HeavyHitter, NodeEstimates};
-use crate::sampling::FastRng;
+use crate::sampling::{FastRng, GeometricSkip};
 use crate::HhhAlgorithm;
 
 /// Configuration of an RHHH instance.
@@ -82,17 +83,24 @@ impl RhhhConfig {
 #[derive(Debug, Clone)]
 pub struct Rhhh<K: KeyBits, E: FrequencyEstimator<K> = SpaceSaving<K>> {
     lattice: Lattice<K>,
-    instances: Vec<E>,
+    pub(crate) instances: Vec<E>,
     /// Cached masks in node order — avoids the lattice indirection on the
     /// hot path.
-    masks: Vec<K>,
-    v: u64,
-    h: u64,
-    rng: FastRng,
-    packets: u64,
+    pub(crate) masks: Vec<K>,
+    pub(crate) v: u64,
+    pub(crate) h: u64,
+    pub(crate) rng: FastRng,
+    pub(crate) packets: u64,
     /// Total recorded weight (equals `packets` for unit updates).
-    weight: u64,
-    config: RhhhConfig,
+    pub(crate) weight: u64,
+    pub(crate) config: RhhhConfig,
+    /// Precomputed `H/V` selection constants for the batch path: the
+    /// geometric gap sampler caches `1/ln(1 - H/V)` so per-batch work never
+    /// recomputes it.
+    pub(crate) skip: GeometricSkip,
+    /// Reusable buffers for [`Rhhh::update_batch`]; kept on the instance so
+    /// steady-state batch updates allocate nothing.
+    pub(crate) scratch: BatchScratch<K>,
 }
 
 impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
@@ -121,6 +129,8 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
             packets: 0,
             weight: 0,
             config,
+            skip: GeometricSkip::new(h, v),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -431,10 +441,7 @@ mod tests {
     fn frequency_estimates_scale_by_v() {
         // With a single dominating key, its estimated frequency must be
         // within the ε·N guarantee of the truth, for both V = H and 10·H.
-        for (config, tol_scale) in [
-            (RhhhConfig::default(), 1.0),
-            (RhhhConfig::ten_rhhh(), 1.0),
-        ] {
+        for (config, tol_scale) in [(RhhhConfig::default(), 1.0), (RhhhConfig::ten_rhhh(), 1.0)] {
             let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
             let mut algo = Rhhh::<u32>::new(
                 lat,
@@ -461,8 +468,7 @@ mod tests {
                 .find(|h| h.prefix.node == algo.lattice().bottom() && h.prefix.key == heavy)
                 .unwrap_or_else(|| panic!("{} lost the heavy key", algo.name()));
             let truth = (n / 2) as f64;
-            let eps_n = algo.config().epsilon() * n as f64
-                + algo.slack() * tol_scale;
+            let eps_n = algo.config().epsilon() * n as f64 + algo.slack() * tol_scale;
             assert!(
                 (entry.freq_upper - truth).abs() <= eps_n
                     || (entry.freq_lower - truth).abs() <= eps_n,
@@ -532,7 +538,11 @@ mod tests {
         let mut rng = Lcg(11);
         let mut keys = Vec::new();
         for i in 0..100_000u64 {
-            keys.push(if i % 3 == 0 { ip(9, 9, 0, 0) } else { rng.next() as u32 });
+            keys.push(if i % 3 == 0 {
+                ip(9, 9, 0, 0)
+            } else {
+                rng.next() as u32
+            });
         }
         macro_rules! check {
             ($est:ty) => {{
@@ -625,13 +635,15 @@ mod tests {
         // The next interval works normally and finds its own HHHs.
         let mut rng = Lcg(33);
         for i in 0..150_000u64 {
-            let key = if i % 2 == 0 { ip(9, 9, 9, 9) } else { rng.next() as u32 };
+            let key = if i % 2 == 0 {
+                ip(9, 9, 9, 9)
+            } else {
+                rng.next() as u32
+            };
             algo.update(key);
         }
         let out = algo.output(0.3);
-        assert!(out
-            .iter()
-            .any(|h| h.prefix.key == ip(9, 9, 9, 9)));
+        assert!(out.iter().any(|h| h.prefix.key == ip(9, 9, 9, 9)));
     }
 
     #[test]
@@ -661,7 +673,11 @@ mod tests {
         for i in 0..200_000u64 {
             let (src, dst, port) = if i % 4 == 0 {
                 // Hot aggregate: 10.20/16 -> anything, port 80.
-                (0x0A14_0000u32 | (rng.next() as u32 & 0xFFFF), rng.next() as u32, 80u16)
+                (
+                    0x0A14_0000u32 | (rng.next() as u32 & 0xFFFF),
+                    rng.next() as u32,
+                    80u16,
+                )
             } else {
                 (rng.next() as u32, rng.next() as u32, rng.next() as u16)
             };

@@ -10,6 +10,21 @@
 //! so runs are repeatable; the 5-run confidence intervals vary the seed
 //! explicitly.
 
+/// The wyrand state increment (also the seed splash constant).
+const WY_ADD: u64 = 0xA076_1D64_78BD_642F;
+
+/// The wyrand mix xor constant.
+const WY_XOR: u64 = 0xE703_7ED1_A0B4_28DB;
+
+/// The wyrand output mix for a given state value. Shared by the serial
+/// [`FastRng::next_u64`] and the block fill so the two can never drift
+/// apart: both advance the state by [`WY_ADD`] and mix with this function.
+#[inline(always)]
+fn wyrand_mix(state: u64) -> u64 {
+    let t = u128::from(state).wrapping_mul(u128::from(state ^ WY_XOR));
+    ((t >> 64) ^ t) as u64
+}
+
 /// A small, fast, seedable PRNG (wyrand). Not cryptographic — the paper's
 /// adversary model does not include RNG prediction, and the analysis only
 /// needs uniformity.
@@ -25,7 +40,7 @@ impl FastRng {
     pub fn new(seed: u64) -> Self {
         // Splash the seed so small seeds don't start in a weak state.
         let mut rng = Self {
-            state: seed ^ 0xA076_1D64_78BD_642F,
+            state: seed ^ WY_ADD,
         };
         let _ = rng.next_u64();
         rng
@@ -34,20 +49,20 @@ impl FastRng {
     /// Next 64 uniformly distributed bits.
     #[inline(always)]
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0xA076_1D64_78BD_642F);
-        let t = u128::from(self.state).wrapping_mul(u128::from(self.state ^ 0xE703_7ED1_A0B4_28DB));
-        ((t >> 64) ^ t) as u64
+        self.state = self.state.wrapping_add(WY_ADD);
+        wyrand_mix(self.state)
     }
 
     /// Uniform draw in `[0, n)` by Lemire's nearly-divisionless rejection
     /// method. Unbiased for every `n`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
+    /// `n == 0` is a caller bug; it is checked only in debug builds so the
+    /// per-draw branch vanishes from the release hot path (callers such as
+    /// [`Rhhh::new`](crate::Rhhh::new) validate their bound once at
+    /// construction instead).
     #[inline(always)]
     pub fn bounded(&mut self, n: u64) -> u64 {
-        assert!(n > 0, "bounded(0) is meaningless");
+        debug_assert!(n > 0, "bounded(0) is meaningless");
         let mut x = self.next_u64();
         let mut m = u128::from(x) * u128::from(n);
         let mut low = m as u64;
@@ -69,6 +84,166 @@ impl FastRng {
         // 53 top bits scaled to [0, 1).
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// Uniform draw in `(0.0, 1.0]` — the open-at-zero variant needed when
+    /// the draw feeds a logarithm.
+    #[inline(always)]
+    pub fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fills `out` with consecutive draws of the stream, equivalent to
+    /// calling [`FastRng::next_u64`] once per element.
+    ///
+    /// The point is instruction-level parallelism: `next_u64` chains each
+    /// draw through the previous one (~10 cycles of latency per draw on the
+    /// scalar path), but the wyrand state advances by a *constant* per
+    /// draw, so a block's states are an affine sequence the compiler can
+    /// compute independently — the expensive 64×64→128 mixes then pipeline
+    /// instead of serializing.
+    pub fn fill_block(&mut self, out: &mut [u64]) {
+        let mut s = self.state;
+        for o in out.iter_mut() {
+            s = s.wrapping_add(WY_ADD);
+            *o = wyrand_mix(s);
+        }
+        self.state = s;
+    }
+}
+
+/// Geometric gap sampler for the batch update path.
+///
+/// Algorithm 1 selects each packet independently with probability
+/// `p = H/V`; the per-packet ("scalar") path realises this by drawing
+/// `d ~ Uniform[0, V)` for **every** packet and acting only when `d < H`.
+/// When `V > H` most draws are discarded — 90% of them for the paper's
+/// 10-RHHH — yet each still costs a wyrand step, a 64×128 multiply and a
+/// branch.
+///
+/// The number of consecutive *unselected* packets between two selected ones
+/// is geometrically distributed: `Pr(G = k) = (1-p)^k · p`. `GeometricSkip`
+/// draws that gap directly by inverse-CDF transform on one uniform draw,
+///
+/// ```text
+/// G = floor( ln(U) / ln(1 - p) ),   U ~ Uniform(0, 1]
+/// ```
+///
+/// which is distributed `Geometric(p)` because
+/// `Pr(G ≥ k) = Pr(U ≤ (1-p)^k) = (1-p)^k`. One RNG draw and one `ln` thus
+/// replace an *expected* `1/p` scalar draws (10 for 10-RHHH), making the
+/// per-packet sampling cost `O(p)` amortized instead of `O(1)` with a
+/// constant that dominates the update loop. `1/ln(1-p)` is precomputed at
+/// construction, so the hot call is a wyrand step, one `ln`, one multiply
+/// and a float→int cast.
+///
+/// The draw *schedule* therefore differs from the scalar path: the scalar
+/// path consumes one `[0, V)` draw per packet, while the skip path consumes
+/// one `(0, 1]` draw per *selected* packet (plus one `[0, H)` draw to pick
+/// the node). The two processes have identical joint distributions — per
+/// packet, selection is Bernoulli(`H/V`) and the selected node is uniform —
+/// but identical seeds produce different (equally valid) sample paths, so
+/// batch and scalar runs agree statistically rather than bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricSkip {
+    /// `1 / ln(1 - p)`; negative, since `p ∈ (0, 1)`.
+    inv_log_q: f64,
+    /// `p == 1` (V = H): every packet is selected, no gap draw needed.
+    select_all: bool,
+}
+
+impl GeometricSkip {
+    /// Sampler for selection probability `numer / denom` (RHHH's `H/V`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < numer <= denom`.
+    #[must_use]
+    pub fn new(numer: u64, denom: u64) -> Self {
+        assert!(numer > 0, "selection probability must be positive");
+        assert!(numer <= denom, "selection probability must be at most 1");
+        if numer == denom {
+            return Self {
+                inv_log_q: 0.0,
+                select_all: true,
+            };
+        }
+        let p = numer as f64 / denom as f64;
+        Self {
+            inv_log_q: 1.0 / (1.0 - p).ln(),
+            select_all: false,
+        }
+    }
+
+    /// Whether every packet is selected (`p == 1`, i.e. `V == H`).
+    #[must_use]
+    pub fn selects_all(&self) -> bool {
+        self.select_all
+    }
+
+    /// Draws the number of packets to *skip* before the next selected one
+    /// (0 means the next packet is selected).
+    #[inline]
+    pub fn next_gap(&self, rng: &mut FastRng) -> u64 {
+        if self.select_all {
+            return 0;
+        }
+        // U ∈ (0, 1] keeps ln finite; U = 1 maps to gap 0. The smallest U
+        // is 2^-53, so ln(U) ≥ -36.74 and the product stays far from the
+        // f64→u64 saturation boundary for any practical p.
+        let u = rng.next_f64_open();
+        (fast_ln_unit(u) * self.inv_log_q) as u64
+    }
+
+    /// Converts a block of raw uniform draws (as produced by
+    /// [`FastRng::fill_block`]) into geometric gaps in place. Equivalent to
+    /// one [`GeometricSkip::next_gap`] per element but free of the per-call
+    /// RNG latency chain, so the float pipeline (including the one division
+    /// in the log) stays saturated.
+    ///
+    /// Must not be called when [`GeometricSkip::selects_all`] — the batch
+    /// path special-cases `V = H` instead of drawing gaps at all.
+    pub fn gaps_from_block(&self, raw: &mut [u64]) {
+        debug_assert!(!self.select_all);
+        for x in raw.iter_mut() {
+            *x = self.gap_from_bits(*x >> 11);
+        }
+    }
+
+    /// Converts 53 uniform bits into one geometric gap. The batch path
+    /// derives the gap (bits 11..64) and the node choice (bits 0..11) of
+    /// one trial from a *single* raw draw — the bit ranges are disjoint, so
+    /// the two are independent.
+    #[inline]
+    pub fn gap_from_bits(&self, bits53: u64) -> u64 {
+        debug_assert!(!self.select_all);
+        let u = ((bits53 & ((1u64 << 53) - 1)) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        (fast_ln_unit(u) * self.inv_log_q) as u64
+    }
+}
+
+/// Natural logarithm for `x ∈ (0, 1]`, inlined and branch-free.
+///
+/// The libm `ln` call is the single most expensive instruction sequence in
+/// the geometric gap draw (it alone costs about as much as the rest of the
+/// selection walk). This decomposes `x = m·2^e` with `m ∈ [1, 2)` from the
+/// IEEE-754 bits and evaluates `ln m = 2·atanh(t)`, `t = (m−1)/(m+1)`, by
+/// its odd series through `t⁹`. With `t ≤ 1/3` the truncation error is
+/// below `2e-6` absolute, which perturbs the geometric gap by less than
+/// `2e-6 · |1/ln(1-p)|` — orders of magnitude under one packet, and far
+/// below anything a distributional test can resolve (the accuracy test
+/// below pins the bound against `f64::ln`).
+#[inline(always)]
+fn fast_ln_unit(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x <= 1.0);
+    let bits = x.to_bits();
+    let e = ((bits >> 52) as i64 - 1023) as f64;
+    // Mantissa rescaled into [1, 2).
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | 0x3FF0_0000_0000_0000);
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let ln_m =
+        2.0 * t * (1.0 + t2 * (1.0 / 3.0 + t2 * (1.0 / 5.0 + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0)))));
+    ln_m + e * std::f64::consts::LN_2
 }
 
 #[cfg(test)]
@@ -147,8 +322,108 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "bounded(0)")]
-    fn bounded_zero_panics() {
+    fn bounded_zero_panics_in_debug() {
         let _ = FastRng::new(1).bounded(0);
+    }
+
+    #[test]
+    fn open_unit_draw_never_zero() {
+        let mut rng = FastRng::new(77);
+        for _ in 0..100_000 {
+            let u = rng.next_f64_open();
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn geometric_gap_matches_mean_and_mass() {
+        // For p = H/V the gap mean is (1-p)/p and Pr(gap = 0) = p.
+        let mut rng = FastRng::new(4242);
+        for (h, v) in [(25u64, 250u64), (25, 25 * 4), (1, 100)] {
+            let skip = GeometricSkip::new(h, v);
+            let p = h as f64 / v as f64;
+            let draws = 200_000u64;
+            let (mut sum, mut zeros) = (0u64, 0u64);
+            for _ in 0..draws {
+                let g = skip.next_gap(&mut rng);
+                sum += g;
+                zeros += u64::from(g == 0);
+            }
+            let mean = sum as f64 / draws as f64;
+            let expect = (1.0 - p) / p;
+            assert!(
+                (mean - expect).abs() < 0.05 * expect + 0.01,
+                "p={p}: mean {mean} vs {expect}"
+            );
+            let zero_rate = zeros as f64 / draws as f64;
+            assert!((zero_rate - p).abs() < 0.01, "p={p}: P(0) = {zero_rate}");
+        }
+    }
+
+    #[test]
+    fn geometric_skip_v_equals_h_selects_everything() {
+        let skip = GeometricSkip::new(25, 25);
+        assert!(skip.selects_all());
+        let mut rng = FastRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(skip.next_gap(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn geometric_skip_implies_h_over_v_selection_rate() {
+        // Walking a stream with the gap sampler must select ~p of packets —
+        // the same guarantee the scalar `bounded(v) < h` test checks above.
+        let (h, v) = (25u64, 250u64);
+        let skip = GeometricSkip::new(h, v);
+        let mut rng = FastRng::new(5150);
+        let n = 1_000_000u64;
+        let mut selected = 0u64;
+        let mut cur = skip.next_gap(&mut rng);
+        while cur < n {
+            selected += 1;
+            cur += 1 + skip.next_gap(&mut rng);
+        }
+        let rate = selected as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.002, "rate = {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "selection probability must be positive")]
+    fn geometric_skip_rejects_zero_probability() {
+        let _ = GeometricSkip::new(0, 10);
+    }
+
+    #[test]
+    fn fill_block_matches_serial_stream() {
+        let mut serial = FastRng::new(808);
+        let mut blocked = FastRng::new(808);
+        let mut buf = [0u64; 97];
+        blocked.fill_block(&mut buf);
+        for (i, &b) in buf.iter().enumerate() {
+            assert_eq!(b, serial.next_u64(), "draw {i} diverged");
+        }
+        // And the state carries across the block boundary.
+        assert_eq!(blocked.next_u64(), serial.next_u64());
+    }
+
+    #[test]
+    fn fast_ln_matches_std_ln() {
+        // Dense sweep over the unit interval plus the extremes the gap draw
+        // can produce.
+        let mut rng = FastRng::new(303);
+        for _ in 0..200_000 {
+            let u = rng.next_f64_open();
+            let (fast, exact) = (fast_ln_unit(u), u.ln());
+            assert!(
+                (fast - exact).abs() < 4e-6,
+                "fast_ln({u}) = {fast} vs {exact}"
+            );
+        }
+        for u in [1.0, 0.5, 0.25, f64::powi(2.0, -53)] {
+            assert!((fast_ln_unit(u) - u.ln()).abs() < 4e-6, "at {u}");
+        }
     }
 }

@@ -1,0 +1,293 @@
+//! Batch-vs-scalar equivalence suite.
+//!
+//! The batch path consumes RNG draws on a different schedule than the
+//! scalar path (one geometric gap draw per *selected* packet instead of one
+//! bounded draw per packet), so the two are equal in distribution, not
+//! bit-for-bit. These tests pin down that equivalence:
+//!
+//! * a chi-squared two-sample test over per-node update counts (the
+//!   balls-and-bins statistic the Section 6 analysis rests on) across
+//!   several fixed seeds,
+//! * binomial bounds on the selected fraction,
+//! * deterministic checks that batch flushes respect the Space Saving
+//!   `count − error ≤ X ≤ count` sandwich, exactly (no-eviction regime) and
+//!   as an inequality (eviction-heavy regime).
+//!
+//! Everything is seeded; there is no flakiness to re-roll.
+
+use hhh_core::{HhhAlgorithm, NodeEstimates, Rhhh, RhhhConfig};
+use hhh_hierarchy::{pack2, Lattice, NodeId};
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+fn stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|i| {
+            if i % 10 < 3 {
+                pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                pack2(rng.next() as u32, rng.next() as u32)
+            }
+        })
+        .collect()
+}
+
+/// Two-sample chi-squared statistic over per-bin counts; under the null
+/// (same multinomial law) it is ~χ²(bins − 1).
+fn chi_squared_two_sample(a: &[u64], b: &[u64]) -> f64 {
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    assert!(na > 0 && nb > 0);
+    let k1 = (nb as f64 / na as f64).sqrt();
+    let k2 = (na as f64 / nb as f64).sqrt();
+    a.iter()
+        .zip(b)
+        .filter(|(&x, &y)| x + y > 0)
+        .map(|(&x, &y)| {
+            let d = k1 * x as f64 - k2 * y as f64;
+            d * d / (x + y) as f64
+        })
+        .sum()
+}
+
+fn node_counts<K: hhh_hierarchy::KeyBits>(algo: &Rhhh<K>) -> Vec<u64> {
+    (0..algo.h() as u16)
+        .map(|i| algo.node_updates(NodeId(i)))
+        .collect()
+}
+
+/// Chi-squared over node selection counts, scalar vs batch, three seeds,
+/// both operating points (V = H and V = 10H). df = 24; the 99.9th
+/// percentile of χ²(24) is 52.6.
+#[test]
+fn node_selection_counts_statistically_indistinguishable() {
+    const CHI2_DF24_P999: f64 = 52.62;
+    for seed in [11u64, 12, 13] {
+        for v_scale in [1u64, 10] {
+            let config = RhhhConfig {
+                v_scale,
+                seed,
+                ..RhhhConfig::default()
+            };
+            let lat = Lattice::ipv4_src_dst_bytes();
+            let keys = stream(300_000, seed);
+            let mut scalar = Rhhh::<u64>::new(lat.clone(), config);
+            for &k in &keys {
+                scalar.update(k);
+            }
+            let mut batch = Rhhh::<u64>::new(lat, config);
+            for chunk in keys.chunks(8_192) {
+                batch.update_batch(chunk);
+            }
+            let (sc, bc) = (node_counts(&scalar), node_counts(&batch));
+            let chi2 = chi_squared_two_sample(&sc, &bc);
+            assert!(
+                chi2 < CHI2_DF24_P999,
+                "seed {seed}, v_scale {v_scale}: chi2 = {chi2:.2} \
+                 (scalar {sc:?} vs batch {bc:?})"
+            );
+        }
+    }
+}
+
+/// The batch path's selected fraction is Binomial(n, H/V) like the scalar
+/// path's; both totals stay within 5σ of the mean for every seed.
+#[test]
+fn selected_fraction_matches_binomial_law() {
+    let n = 300_000u64;
+    let p = 0.1f64;
+    let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+    for seed in [21u64, 22, 23] {
+        let config = RhhhConfig {
+            v_scale: 10,
+            seed,
+            ..RhhhConfig::default()
+        };
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let keys = stream(n as usize, seed);
+        let mut batch = Rhhh::<u64>::new(lat.clone(), config);
+        batch.update_batch(&keys);
+        let mut scalar = Rhhh::<u64>::new(lat, config);
+        for &k in &keys {
+            scalar.update(k);
+        }
+        for (label, algo) in [("batch", &batch), ("scalar", &scalar)] {
+            let dev = (algo.total_updates() as f64 - n as f64 * p).abs();
+            assert!(
+                dev < 5.0 * sigma,
+                "seed {seed} {label}: {} updates, dev {dev:.0} > 5σ = {:.0}",
+                algo.total_updates(),
+                5.0 * sigma
+            );
+        }
+    }
+}
+
+/// No-eviction regime: with a tiny key universe every node instance has
+/// spare capacity, so Space Saving is exact — the batch flush must satisfy
+/// `lower == upper` per candidate and reconcile per-node totals exactly.
+#[test]
+fn batch_flush_is_exact_below_capacity() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut algo = Rhhh::<u64>::new(lat, RhhhConfig::ten_rhhh());
+    let mut rng = Lcg(77);
+    let keys: Vec<u64> = (0..200_000)
+        .map(|_| {
+            pack2(
+                rng.next() as u32 & 0x0000_0007,
+                rng.next() as u32 & 0x0000_0003,
+            )
+        })
+        .collect();
+    for chunk in keys.chunks(4_096) {
+        algo.update_batch(chunk);
+    }
+    for node in 0..algo.h() as u16 {
+        let node = NodeId(node);
+        let mut total = 0u64;
+        for c in algo.node_candidates(node) {
+            assert_eq!(c.lower, c.upper, "no eviction may introduce error");
+            total += c.upper;
+        }
+        assert_eq!(
+            total,
+            algo.node_updates(node),
+            "per-node counts must reconcile exactly at {node:?}"
+        );
+    }
+}
+
+/// Eviction-heavy regime: candidates keep the Space Saving sandwich
+/// `count − error ≤ X ≤ count` (observable as lower ≤ upper with
+/// error ≤ per-node error bound) and guaranteed mass never exceeds the
+/// node's delivered updates.
+#[test]
+fn batch_flush_respects_space_saving_sandwich_under_eviction() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    // ε_a = 0.2 → 6 counters per instance: constant evictions.
+    let mut algo = Rhhh::<u64>::new(
+        lat,
+        RhhhConfig {
+            epsilon_a: 0.2,
+            ..RhhhConfig::ten_rhhh()
+        },
+    );
+    let keys = stream(300_000, 5);
+    for chunk in keys.chunks(4_096) {
+        algo.update_batch(chunk);
+    }
+    for node in 0..algo.h() as u16 {
+        let node = NodeId(node);
+        let delivered = algo.node_updates(node);
+        let cands = algo.node_candidates(node);
+        let mut guaranteed = 0u64;
+        for c in &cands {
+            assert!(c.lower <= c.upper, "sandwich inverted at {node:?}");
+            let error = c.upper - c.lower;
+            assert!(
+                error <= delivered,
+                "error {error} exceeds delivered {delivered} at {node:?}"
+            );
+            guaranteed += c.lower;
+        }
+        assert!(
+            guaranteed <= delivered,
+            "guaranteed mass {guaranteed} > delivered {delivered} at {node:?}"
+        );
+    }
+}
+
+/// Weighted batch path: same totals as the scalar weighted path and a
+/// volume estimate for the planted heavy flow within the configured error.
+#[test]
+fn weighted_batch_matches_scalar_weighted_totals() {
+    for seed in [31u64, 32, 33] {
+        let lat = Lattice::ipv4_src_bytes();
+        let config = RhhhConfig {
+            epsilon_s: 0.05,
+            delta_s: 0.05,
+            seed,
+            ..RhhhConfig::default()
+        };
+        let heavy = u32::from_be_bytes([7, 7, 7, 7]);
+        let mut rng = Lcg(seed);
+        let packets: Vec<(u32, u64)> = (0..200_000usize)
+            .map(|i| {
+                if i % 10 == 0 {
+                    (heavy, 1400)
+                } else {
+                    (rng.next() as u32, 64)
+                }
+            })
+            .collect();
+        let mut batch = Rhhh::<u32>::new(lat.clone(), config);
+        for chunk in packets.chunks(2_048) {
+            batch.update_batch_weighted(chunk);
+        }
+        let mut scalar = Rhhh::<u32>::new(lat, config);
+        for &(k, w) in &packets {
+            scalar.update_weighted(k, w);
+        }
+        assert_eq!(batch.total_weight(), scalar.total_weight());
+        assert_eq!(batch.packets(), scalar.packets());
+
+        let truth = 200_000u64 / 10 * 1400;
+        for (label, algo) in [("batch", &batch), ("scalar", &scalar)] {
+            let out = algo.output(0.3);
+            let bottom = algo.lattice().bottom();
+            let entry = out
+                .iter()
+                .find(|h| h.prefix.key == heavy && h.prefix.node == bottom)
+                .unwrap_or_else(|| panic!("{label} seed {seed}: heavy flow lost"));
+            assert!(
+                (entry.freq_upper - truth as f64).abs() < 0.2 * truth as f64,
+                "{label} seed {seed}: {} vs {truth}",
+                entry.freq_upper
+            );
+        }
+    }
+}
+
+/// The two paths report the same HHH set on a planted-attack stream — the
+/// end-to-end answer users actually consume.
+#[test]
+fn batch_and_scalar_agree_on_the_hhh_set() {
+    for seed in [41u64, 42, 43] {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let config = RhhhConfig {
+            epsilon_s: 0.02,
+            epsilon_a: 0.005,
+            delta_s: 0.05,
+            v_scale: 10,
+            updates_per_packet: 1,
+            seed,
+        };
+        let keys = stream(400_000, seed);
+        let mut scalar = Rhhh::<u64>::new(lat.clone(), config);
+        for &k in &keys {
+            scalar.update(k);
+        }
+        let mut batch = Rhhh::<u64>::new(lat.clone(), config);
+        for chunk in keys.chunks(8_192) {
+            batch.update_batch(chunk);
+        }
+        let planted = |algo: &Rhhh<u64>| {
+            algo.output(0.1)
+                .iter()
+                .map(|h| h.prefix.display(&lat))
+                .any(|s| s.contains("10.20.0.0/16") && s.contains("8.8.8.8/32"))
+        };
+        assert!(planted(&scalar), "seed {seed}: scalar lost the attack");
+        assert!(planted(&batch), "seed {seed}: batch lost the attack");
+    }
+}

@@ -15,7 +15,9 @@ fn make_stream(n: u64, heavy_subnet: u8, share_pct: u64, seed: u64) -> Vec<u64> 
     let mut x = seed | 1;
     (0..n)
         .map(|i| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if i % 100 < share_pct {
                 pack2(
                     u32::from_be_bytes([10, heavy_subnet, (x >> 24) as u8, (x >> 32) as u8]),

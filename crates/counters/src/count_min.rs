@@ -65,11 +65,7 @@ impl<K: CounterKey> CountMin<K> {
         if self.candidates.len() <= self.capacity {
             return;
         }
-        if let Some((&weakest, _)) = self
-            .candidates
-            .iter()
-            .min_by_key(|(_, &est)| est)
-        {
+        if let Some((&weakest, _)) = self.candidates.iter().min_by_key(|(_, &est)| est) {
             self.candidates.remove(&weakest);
         }
     }
@@ -173,7 +169,9 @@ mod tests {
         let mut exact: HashMap<u64, u64> = HashMap::new();
         let mut x = 1u64;
         for _ in 0..30_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = x % 3_000;
             cm.increment(key);
             *exact.entry(key).or_default() += 1;

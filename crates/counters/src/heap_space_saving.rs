@@ -211,7 +211,9 @@ mod tests {
         let mut exact: HashMap<u64, u64> = HashMap::new();
         let mut x = 99u64;
         for _ in 0..5_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = x % 40;
             heap.increment(key);
             list.increment(key);

@@ -108,6 +108,22 @@ pub trait FrequencyEstimator<K: CounterKey>: Send {
         }
     }
 
+    /// Processes a slice of occurrences in one call — the sink of RHHH's
+    /// batch update path, which delivers each lattice node its selected
+    /// packets grouped together.
+    ///
+    /// Equivalent to calling [`Self::increment`] once per element, in
+    /// order. The default implementation does exactly that; structures with
+    /// a per-key index override it to reuse the index lookup across runs of
+    /// equal consecutive keys (after node masking, runs are common: every
+    /// key collapses to zero at the root node, and coarse prefixes collapse
+    /// whole subnets).
+    fn increment_batch(&mut self, keys: &[K]) {
+        for &k in keys {
+            self.increment(k);
+        }
+    }
+
     /// Total number of updates processed (the per-instance `X_i`).
     fn updates(&self) -> u64;
 

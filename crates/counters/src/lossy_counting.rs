@@ -74,7 +74,7 @@ impl<K: CounterKey> FrequencyEstimator<K> for LossyCounting<K> {
                 self.entries.insert(key, Entry { count: 1, delta });
             }
         }
-        if self.updates % self.width == 0 {
+        if self.updates.is_multiple_of(self.width) {
             self.prune();
             self.bucket += 1;
         }
@@ -89,10 +89,13 @@ impl<K: CounterKey> FrequencyEstimator<K> for LossyCounting<K> {
             Some(e) => e.count += weight,
             None => {
                 let delta = self.bucket - 1;
-                self.entries.insert(key, Entry {
-                    count: weight,
-                    delta,
-                });
+                self.entries.insert(
+                    key,
+                    Entry {
+                        count: weight,
+                        delta,
+                    },
+                );
             }
         }
         // A heavy weight can cross several bucket boundaries at once.
@@ -165,7 +168,11 @@ mod tests {
         let n = lc.updates();
         for (key, &f) in &exact {
             assert!(lc.lower(key) <= f, "lower({key}) > truth");
-            assert!(lc.upper(key) >= f, "upper({key}) < truth {f} vs {}", lc.upper(key));
+            assert!(
+                lc.upper(key) >= f,
+                "upper({key}) < truth {f} vs {}",
+                lc.upper(key)
+            );
             // ε-guarantee: underestimation ≤ εN = N/cap.
             assert!(f - lc.lower(key) <= n / cap as u64 + 1);
         }

@@ -199,8 +199,8 @@ impl<K: CounterKey> SpaceSaving<K> {
         let c = self.buckets[b as usize].count;
         let next = self.buckets[b as usize].next;
 
-        let only_member = self.buckets[b as usize].head == ci
-            && self.counters[ci as usize].next == NIL;
+        let only_member =
+            self.buckets[b as usize].head == ci && self.counters[ci as usize].next == NIL;
         if only_member && (next == NIL || self.buckets[next as usize].count > c + 1) {
             // Sole occupant and no neighbouring bucket at c+1: raise the
             // bucket's count in place (keeps the list sorted, zero churn).
@@ -290,7 +290,10 @@ impl<K: CounterKey> FrequencyEstimator<K> for SpaceSaving<K> {
             buckets: Vec::with_capacity(capacity + 1),
             free_buckets: Vec::new(),
             min_bucket: NIL,
-            index: FastMap::default(),
+            // Pre-sized to its lifetime maximum: the index holds at most
+            // `capacity` keys, so growth rehashes on the hot path are
+            // avoided entirely.
+            index: FastMap::with_capacity_and_hasher(capacity, Default::default()),
             updates: 0,
             capacity,
         }
@@ -317,9 +320,7 @@ impl<K: CounterKey> FrequencyEstimator<K> for SpaceSaving<K> {
                 next: NIL,
             });
             self.index.insert(key, ci);
-            let b = if self.min_bucket != NIL
-                && self.buckets[self.min_bucket as usize].count == 1
-            {
+            let b = if self.min_bucket != NIL && self.buckets[self.min_bucket as usize].count == 1 {
                 self.min_bucket
             } else {
                 let nb = self.alloc_bucket(1);
@@ -384,6 +385,28 @@ impl<K: CounterKey> FrequencyEstimator<K> for SpaceSaving<K> {
         }
         self.index.insert(key, ci);
         self.bump_by(ci, weight);
+    }
+
+    fn increment_batch(&mut self, keys: &[K]) {
+        // Run-length encode consecutive equal keys: one index lookup and
+        // one bucket walk per run instead of one per element. `add(k, w)`
+        // leaves the structure in exactly the state of `w` increments of
+        // `k` (bump_by is the w-fold composition of bump, and the eviction
+        // path records the same victim error either way).
+        let mut i = 0;
+        while i < keys.len() {
+            let key = keys[i];
+            let mut run = 1u64;
+            while i + (run as usize) < keys.len() && keys[i + run as usize] == key {
+                run += 1;
+            }
+            if run == 1 {
+                self.increment(key);
+            } else {
+                self.add(key, run);
+            }
+            i += run as usize;
+        }
     }
 
     fn updates(&self) -> u64 {
@@ -468,7 +491,9 @@ mod tests {
         // Deterministic skewed stream.
         let mut x = 0x12345678u64;
         for i in 0..10_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = if i % 3 == 0 { i % 5 } else { x % 64 };
             ss.increment(key);
             *exact.entry(key).or_default() += 1;
@@ -556,5 +581,43 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _: SpaceSaving<u32> = SpaceSaving::with_capacity(0);
+    }
+
+    #[test]
+    fn increment_batch_matches_scalar_increments() {
+        // Streams with long same-key runs (the shape the RHHH batch path
+        // produces after masking) and with no runs at all.
+        let mut x = 0xFEED_u64;
+        let mut runs: Vec<u64> = Vec::new();
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = x % 17;
+            let len = 1 + (x >> 32) % 9;
+            for _ in 0..len {
+                runs.push(key);
+            }
+        }
+        for cap in [1usize, 4, 16, 64] {
+            let mut batched: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+            let mut scalar: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+            batched.increment_batch(&runs);
+            for &k in &runs {
+                scalar.increment(k);
+            }
+            assert_eq!(batched.updates(), scalar.updates());
+            for key in 0..17u64 {
+                assert_eq!(
+                    batched.upper(&key),
+                    scalar.upper(&key),
+                    "cap {cap} key {key}"
+                );
+                assert_eq!(
+                    batched.lower(&key),
+                    scalar.lower(&key),
+                    "cap {cap} key {key}"
+                );
+            }
+            batched.debug_validate();
+        }
     }
 }

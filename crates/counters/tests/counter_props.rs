@@ -2,9 +2,7 @@
 //! (ε, δ)-Frequency Estimation contract of Definition 4 against an exact
 //! reference count, on arbitrary streams.
 
-use hhh_counters::{
-    FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
-};
+use hhh_counters::{FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashMap;

@@ -2,9 +2,7 @@
 //! Definition 4 invariant and agree with `w` repeated increments where the
 //! semantics are deterministic.
 
-use hhh_counters::{
-    FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
-};
+use hhh_counters::{FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashMap;

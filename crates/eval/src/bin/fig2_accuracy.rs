@@ -41,7 +41,7 @@ fn main() {
                 &AlgoKind::roster(),
                 &args,
                 Packet::key2,
-                0xF16_2 + u64::from(run),
+                0xF162 + u64::from(run),
             );
             for p in points {
                 report.row(&[

@@ -35,7 +35,7 @@ fn main() {
                 &AlgoKind::roster(),
                 &args,
                 Packet::key2,
-                0xF16_3 + u64::from(run),
+                0xF163 + u64::from(run),
             );
             for p in points {
                 report.row(&[

@@ -19,7 +19,14 @@ fn main() {
     }
     let mut report = Report::new(
         "fig4_false_positives",
-        &["trace", "hierarchy", "n", "algorithm", "run", "false_positive_rate"],
+        &[
+            "trace",
+            "hierarchy",
+            "n",
+            "algorithm",
+            "run",
+            "false_positive_rate",
+        ],
     );
     report.comment(&format!(
         "fig4: theta={}, eps_a=eps_s={}, packets<={}, runs={}",
@@ -29,12 +36,11 @@ fn main() {
     let traces = [TraceConfig::sanjose14(), TraceConfig::chicago16()];
     for trace in &traces {
         for run in 0..args.runs {
-            let seed = 0xF16_4 + u64::from(run);
+            let seed = 0xF164 + u64::from(run);
 
             // Panel column 1: 1D bytes (H = 5).
             let lat = Lattice::ipv4_src_bytes();
-            for p in quality_sweep(&lat, trace, &AlgoKind::roster(), &args, Packet::key1, seed)
-            {
+            for p in quality_sweep(&lat, trace, &AlgoKind::roster(), &args, Packet::key1, seed) {
                 report.row(&[
                     p.trace,
                     "1d-bytes".into(),
@@ -47,8 +53,7 @@ fn main() {
 
             // Panel column 2: 1D bits (H = 33).
             let lat = Lattice::ipv4_src_bits();
-            for p in quality_sweep(&lat, trace, &AlgoKind::roster(), &args, Packet::key1, seed)
-            {
+            for p in quality_sweep(&lat, trace, &AlgoKind::roster(), &args, Packet::key1, seed) {
                 report.row(&[
                     p.trace,
                     "1d-bits".into(),
@@ -61,8 +66,7 @@ fn main() {
 
             // Panel column 3: 2D bytes (H = 25).
             let lat = Lattice::ipv4_src_dst_bytes();
-            for p in quality_sweep(&lat, trace, &AlgoKind::roster(), &args, Packet::key2, seed)
-            {
+            for p in quality_sweep(&lat, trace, &AlgoKind::roster(), &args, Packet::key2, seed) {
                 report.row(&[
                     p.trace,
                     "2d-bytes".into(),

@@ -33,7 +33,7 @@ fn panel<K: KeyBits>(
             let mut summary = Summary::new();
             for run in 0..runs {
                 let mut algo: Box<dyn HhhAlgorithm<K>> =
-                    kind.build(lattice.clone(), eps, 0xF16_5 + u64::from(run));
+                    kind.build(lattice.clone(), eps, 0xF165 + u64::from(run));
                 summary.add(measure_mpps(algo.as_mut(), keys));
             }
             let ci = summary.confidence_interval(0.95);
@@ -70,7 +70,14 @@ fn main() {
     let args = Args::parse(1_000_000, 1);
     let mut report = Report::new(
         "fig5_speed",
-        &["trace", "hierarchy", "epsilon", "algorithm", "mpps", "ci95_half"],
+        &[
+            "trace",
+            "hierarchy",
+            "epsilon",
+            "algorithm",
+            "mpps",
+            "ci95_half",
+        ],
     );
     report.comment(&format!(
         "fig5: packets/point={}, runs={}",
@@ -78,8 +85,7 @@ fn main() {
     ));
 
     for trace in [TraceConfig::sanjose14(), TraceConfig::chicago16()] {
-        let packets: Vec<Packet> =
-            TraceGenerator::new(&trace).take_packets(args.packets as usize);
+        let packets: Vec<Packet> = TraceGenerator::new(&trace).take_packets(args.packets as usize);
         let keys1: Vec<u32> = packets.iter().map(Packet::key1).collect();
         let keys2: Vec<u64> = packets.iter().map(Packet::key2).collect();
 

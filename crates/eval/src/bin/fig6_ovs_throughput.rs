@@ -68,7 +68,7 @@ fn main() {
                     delta_s: 0.0005,
                     v_scale,
                     updates_per_packet: 1,
-                    seed: 0xF16_6 + u64::from(run),
+                    seed: 0xF166 + u64::from(run),
                 },
             );
             s.add(run_pipeline(AlgoMonitor::new(algo), &packets));
@@ -77,10 +77,14 @@ fn main() {
     }
 
     // Deterministic baselines at the same ε.
-    for kind in [AlgoKind::Mst, AlgoKind::PartialAncestry, AlgoKind::FullAncestry] {
+    for kind in [
+        AlgoKind::Mst,
+        AlgoKind::PartialAncestry,
+        AlgoKind::FullAncestry,
+    ] {
         let mut s = Summary::new();
         for run in 0..args.runs {
-            let algo = kind.build(lattice.clone(), 0.001, 0xF16_6 + u64::from(run));
+            let algo = kind.build(lattice.clone(), 0.001, 0xF166 + u64::from(run));
             s.add(run_pipeline(AlgoMonitor::new(algo), &packets));
         }
         rows.push((kind.label(), s));

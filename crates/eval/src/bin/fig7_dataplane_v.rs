@@ -16,10 +16,7 @@ use hhh_vswitch::{AlgoMonitor, Datapath};
 
 fn main() {
     let args = Args::parse(4_000_000, 3);
-    let mut report = Report::new(
-        "fig7_dataplane_v",
-        &["v", "v_scale", "mpps", "ci95_half"],
-    );
+    let mut report = Report::new("fig7_dataplane_v", &["v", "v_scale", "mpps", "ci95_half"]);
     report.comment(&format!(
         "fig7: 2D bytes (H=25), chicago16, eps=delta=0.001, packets={}, runs={}",
         args.packets, args.runs
@@ -30,7 +27,10 @@ fn main() {
     let lattice = Lattice::ipv4_src_dst_bytes();
 
     // Warm-up pass: touch every packet once outside the timed region.
-    let warm: u64 = packets.iter().map(|p| u64::from(p.src) ^ u64::from(p.dst)).sum();
+    let warm: u64 = packets
+        .iter()
+        .map(|p| u64::from(p.src) ^ u64::from(p.dst))
+        .sum();
     std::hint::black_box(warm);
 
     for v_scale in 1..=10u64 {
@@ -44,7 +44,7 @@ fn main() {
                     delta_s: 0.0005,
                     v_scale,
                     updates_per_packet: 1,
-                    seed: 0xF16_7 + u64::from(run),
+                    seed: 0xF167 + u64::from(run),
                 },
             );
             let mut dp = Datapath::new(AlgoMonitor::new(algo));

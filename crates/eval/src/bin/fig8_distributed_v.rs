@@ -32,7 +32,10 @@ fn main() {
     let lattice = Lattice::ipv4_src_dst_bytes();
 
     // Warm-up pass: touch every packet once outside the timed region.
-    let warm: u64 = packets.iter().map(|p| u64::from(p.src) ^ u64::from(p.dst)).sum();
+    let warm: u64 = packets
+        .iter()
+        .map(|p| u64::from(p.src) ^ u64::from(p.dst))
+        .sum();
     std::hint::black_box(warm);
 
     for v_scale in 1..=10u64 {
@@ -47,7 +50,7 @@ fn main() {
                     delta_s: 0.0005,
                     v_scale,
                     updates_per_packet: 1,
-                    seed: 0xF16_8 + u64::from(run),
+                    seed: 0xF168 + u64::from(run),
                 },
                 8192,
                 Backpressure::Block,

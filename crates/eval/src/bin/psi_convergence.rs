@@ -20,7 +20,14 @@ fn main() {
     let delta_s = 0.001;
     let mut report = Report::new(
         "psi_convergence",
-        &["variant", "n", "max_node_error", "envelope", "psi", "converged"],
+        &[
+            "variant",
+            "n",
+            "max_node_error",
+            "envelope",
+            "psi",
+            "converged",
+        ],
     );
     report.comment(&format!(
         "psi: 2D bytes, eps_s={epsilon_s}, delta_s={delta_s}, packets<={}",

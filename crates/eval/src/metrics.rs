@@ -81,10 +81,7 @@ pub fn false_positive_ratio<K: KeyBits>(
         return 0.0;
     }
     let truth: HashSet<Prefix<K>> = exact.hhh(theta).into_iter().collect();
-    let fp = output
-        .iter()
-        .filter(|h| !truth.contains(&h.prefix))
-        .count();
+    let fp = output.iter().filter(|h| !truth.contains(&h.prefix)).count();
     fp as f64 / output.len() as f64
 }
 

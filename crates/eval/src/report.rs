@@ -78,8 +78,7 @@ mod tests {
             r.row(&["1".into(), "2".into()]);
             r.comment("note");
         }
-        let content =
-            std::fs::read_to_string(format!("results/{name}.csv")).expect("file written");
+        let content = std::fs::read_to_string(format!("results/{name}.csv")).expect("file written");
         assert!(content.contains("a,b"));
         assert!(content.contains("1,2"));
         assert!(content.contains("# note"));

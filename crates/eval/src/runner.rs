@@ -54,9 +54,7 @@ impl Args {
                 "--epsilon" => args.epsilon = grab("--epsilon"),
                 "--quick" => args.packets = (args.packets / 8).max(1),
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --packets N --runs R --theta T --epsilon E --quick"
-                    );
+                    eprintln!("flags: --packets N --runs R --theta T --epsilon E --quick");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}"),
@@ -111,7 +109,12 @@ impl AlgoKind {
     /// (ε_a); RHHH splits the budget evenly between ε_a and ε_s, mirroring
     /// the paper's configuration where both are 0.001.
     #[must_use]
-    pub fn build<K: KeyBits>(&self, lattice: Lattice<K>, epsilon: f64, seed: u64) -> Box<dyn HhhAlgorithm<K>> {
+    pub fn build<K: KeyBits>(
+        &self,
+        lattice: Lattice<K>,
+        epsilon: f64,
+        seed: u64,
+    ) -> Box<dyn HhhAlgorithm<K>> {
         match self {
             AlgoKind::Rhhh { v_scale } => Box::new(Rhhh::<K>::new(
                 lattice,
@@ -125,9 +128,7 @@ impl AlgoKind {
                 },
             )),
             AlgoKind::Mst => Box::new(Mst::<K>::new(lattice, epsilon)),
-            AlgoKind::FullAncestry => {
-                Box::new(Ancestry::new(lattice, AncestryMode::Full, epsilon))
-            }
+            AlgoKind::FullAncestry => Box::new(Ancestry::new(lattice, AncestryMode::Full, epsilon)),
             AlgoKind::PartialAncestry => {
                 Box::new(Ancestry::new(lattice, AncestryMode::Partial, epsilon))
             }
@@ -193,12 +194,7 @@ pub fn quality_sweep<K: KeyBits>(
 ) -> Vec<QualityPoint> {
     let mut algos: Vec<(String, Box<dyn HhhAlgorithm<K>>)> = kinds
         .iter()
-        .map(|k| {
-            (
-                k.label(),
-                k.build(lattice.clone(), args.epsilon, run_seed),
-            )
-        })
+        .map(|k| (k.label(), k.build(lattice.clone(), args.epsilon, run_seed)))
         .collect();
     let mut exact = ExactHhh::new(lattice.clone());
     let mut gen = TraceGenerator::new(trace);

@@ -33,7 +33,7 @@ impl FieldSpec {
     pub fn new(width: u32, step: u32) -> Self {
         assert!(step > 0, "generalization step must be positive");
         assert!(
-            width > 0 && width % step == 0,
+            width > 0 && width.is_multiple_of(step),
             "step {step} must divide field width {width}"
         );
         Self { width, step }
@@ -387,9 +387,7 @@ impl<K: KeyBits> Lattice<K> {
                 // wider than 64 bits are not truncated.
                 let bytes = (f.width / 8) as usize;
                 for i in 0..bytes {
-                    let b = field
-                        .shr(f.width - 8 - (i as u32) * 8)
-                        .low_u64() as u8;
+                    let b = field.shr(f.width - 8 - (i as u32) * 8).low_u64() as u8;
                     if i > 0 && i % 2 == 0 {
                         out.push(':');
                     }

@@ -31,7 +31,10 @@ impl std::fmt::Display for PrefixParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PrefixParseError::DimensionCount { expected, found } => {
-                write!(f, "expected {expected} comma-separated dimensions, found {found}")
+                write!(
+                    f,
+                    "expected {expected} comma-separated dimensions, found {found}"
+                )
             }
             PrefixParseError::BadDimension(s) => write!(f, "cannot parse dimension `{s}`"),
             PrefixParseError::BadLength(s) => write!(f, "bad prefix length in `{s}`"),
@@ -81,7 +84,7 @@ impl<K: KeyBits> Lattice<K> {
                 let bits: u32 = len
                     .parse()
                     .map_err(|_| PrefixParseError::BadLength(part.to_string()))?;
-                if bits == 0 || bits > 32 || bits % field.step != 0 {
+                if bits == 0 || bits > 32 || !bits.is_multiple_of(field.step) {
                     return Err(PrefixParseError::BadLength(part.to_string()));
                 }
                 spec.push(bits / field.step);
@@ -159,7 +162,10 @@ mod tests {
         let lat = Lattice::ipv4_src_dst_bytes();
         assert!(matches!(
             lat.parse_prefix("10.0.0.0/8"),
-            Err(PrefixParseError::DimensionCount { expected: 2, found: 1 })
+            Err(PrefixParseError::DimensionCount {
+                expected: 2,
+                found: 1
+            })
         ));
         assert!(matches!(
             lat.parse_prefix("banana,*"),

@@ -119,16 +119,8 @@ mod tests {
     #[test]
     fn generalizes_requires_matching_bits_not_just_pattern() {
         let lat = lat2d();
-        let a = Prefix::of(
-            &lat,
-            lat.node_by_spec(&[1, 0]),
-            pack2(ip(10, 0, 0, 0), 0),
-        );
-        let b = Prefix::of(
-            &lat,
-            lat.node_by_spec(&[2, 0]),
-            pack2(ip(11, 1, 0, 0), 0),
-        );
+        let a = Prefix::of(&lat, lat.node_by_spec(&[1, 0]), pack2(ip(10, 0, 0, 0), 0));
+        let b = Prefix::of(&lat, lat.node_by_spec(&[2, 0]), pack2(ip(11, 1, 0, 0), 0));
         // Pattern-wise a's node generalizes b's node, but the first byte
         // differs.
         assert!(lat.node_generalizes(a.node, b.node));
@@ -167,11 +159,7 @@ mod tests {
     #[test]
     fn glb_of_incompatible_prefixes_is_none() {
         let lat = lat2d();
-        let h = Prefix::of(
-            &lat,
-            lat.node_by_spec(&[2, 0]),
-            pack2(ip(10, 1, 0, 0), 0),
-        );
+        let h = Prefix::of(&lat, lat.node_by_spec(&[2, 0]), pack2(ip(10, 1, 0, 0), 0));
         let hp = Prefix::of(
             &lat,
             lat.node_by_spec(&[2, 1]),

@@ -1,0 +1,488 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the slice of the Criterion API this workspace's benches use
+//! (`benchmark_group`, `bench_function`, `iter` / `iter_batched`,
+//! `Throughput::Elements`, the `criterion_group!`/`criterion_main!`
+//! macros) on a plain wall-clock harness:
+//!
+//! * warm up for `warm_up_time`, then time batches until `measurement_time`
+//!   elapses and report the mean ns/iteration (no outlier analysis),
+//! * print one line per benchmark in a Criterion-like format, including
+//!   element throughput when configured,
+//! * append every result to a JSON report. The path is
+//!   `$CRITERION_OUTPUT_JSON` when set, else
+//!   `target/criterion/<bench-binary>.json` — CI uploads this artifact.
+//!
+//! Quick mode (`--quick` argument, or `CRITERION_QUICK=1`) shrinks warm-up
+//! and measurement windows ~10x for smoke runs.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (packets, keys, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` sizes its batches. The shim always runs one input per
+/// timed call, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; many per batch in real criterion.
+    SmallInput,
+    /// Large setup output; one per batch.
+    LargeInput,
+    /// Setup output consumed per iteration.
+    PerIteration,
+}
+
+/// Benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    #[must_use]
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    id: String,
+    mean_ns: f64,
+    iters: u64,
+    elements: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Measurement settings shared by a group.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    quick: bool,
+}
+
+impl Settings {
+    fn effective_warm_up(&self) -> Duration {
+        if self.quick {
+            self.warm_up.min(Duration::from_millis(30))
+        } else {
+            self.warm_up
+        }
+    }
+
+    fn effective_measurement(&self) -> Duration {
+        if self.quick {
+            self.measurement.min(Duration::from_millis(150))
+        } else {
+            self.measurement
+        }
+    }
+}
+
+/// Shim of `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            settings: Settings {
+                warm_up: Duration::from_secs(3),
+                measurement: Duration::from_secs(5),
+                quick: std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0"),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments; recognises `--quick`, ignores the
+    /// arguments cargo-bench passes through (`--bench`, filters).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            self.settings.quick = true;
+        }
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings: self.settings,
+            throughput: None,
+        }
+    }
+
+    /// One-off benchmark without a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let settings = self.settings;
+        run_one("", &id.to_string(), settings, None, &mut f);
+        self
+    }
+}
+
+/// Shim of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.settings,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (reporting happens per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up phase.
+    let mut b = Bencher {
+        deadline: Instant::now() + settings.effective_warm_up(),
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+
+    // Measurement phase.
+    let mut b = Bencher {
+        deadline: Instant::now() + settings.effective_measurement(),
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+
+    let iters = b.iters.max(1);
+    let mean_ns = b.total.as_nanos() as f64 / iters as f64;
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut line = format!("{label:<60} time: [{}]", format_ns(mean_ns));
+    let elements = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (mean_ns * 1e-9);
+            let _ = write!(line, "  thrpt: [{} elem/s]", format_rate(rate));
+            Some(n)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (mean_ns * 1e-9);
+            let _ = write!(line, "  thrpt: [{} B/s]", format_rate(rate));
+            Some(n)
+        }
+        None => None,
+    };
+    println!("{line}");
+
+    RESULTS.lock().expect("results lock").push(Record {
+        group: group.to_string(),
+        id: id.to_string(),
+        mean_ns,
+        iters,
+        elements,
+    });
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.4} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.4} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.4} K", rate / 1e3)
+    } else {
+        format!("{rate:.4} ")
+    }
+}
+
+/// Shim of `criterion::Bencher`: times closures until the group's
+/// measurement window closes.
+pub struct Bencher {
+    deadline: Instant,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let t0 = Instant::now();
+            let out = routine();
+            self.total += t0.elapsed();
+            drop(out);
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup and drop of the
+    /// routine output stay outside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.total += t0.elapsed();
+            drop(out);
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] with a by-reference routine.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        loop {
+            let mut input = setup();
+            let t0 = Instant::now();
+            let out = routine(&mut input);
+            self.total += t0.elapsed();
+            drop(out);
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Not public API; used by `criterion_main!` to emit the JSON report.
+#[doc(hidden)]
+pub fn __write_report() {
+    let records = RESULTS.lock().expect("results lock");
+    let path = std::env::var("CRITERION_OUTPUT_JSON").unwrap_or_else(|_| {
+        let stem = std::env::args()
+            .next()
+            .and_then(|p| {
+                std::path::Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        // cargo names bench binaries `<name>-<16 hex chars>`; strip the hash.
+        let stem = match stem.rsplit_once('-') {
+            Some((base, suffix))
+                if suffix.len() == 16 && suffix.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                base.to_string()
+            }
+            _ => stem,
+        };
+        format!("target/criterion/{stem}.json")
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        let elems = r.elements.map_or("null".to_string(), |e| e.to_string());
+        let _ = writeln!(
+            json,
+            "  {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}, \"elements\": {}}}{}",
+            r.group.escape_default(),
+            r.id.escape_default(),
+            r.mean_ns,
+            r.iters,
+            elems,
+            sep
+        );
+    }
+    json.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    } else {
+        println!("criterion shim: wrote {path}");
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::__write_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_and_times() {
+        let mut b = Bencher {
+            deadline: Instant::now() + Duration::from_millis(20),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(x)
+        });
+        assert!(b.iters > 0);
+        assert!(b.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_and_records() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-test");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+        let found = RESULTS
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|r| r.group == "shim-test" && r.id == "noop");
+        assert!(found);
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Maps the `crossbeam::channel` surface this workspace uses onto
+//! `std::sync::mpsc`: `bounded(cap)` becomes `sync_channel(cap)`, whose
+//! `SyncSender` provides the same blocking `send` / non-blocking `try_send`
+//! split and is `Clone` for multi-producer use. Receivers iterate until
+//! every sender is dropped, exactly like crossbeam's.
+//!
+//! Semantics difference worth noting: `bounded(0)` is a rendezvous channel
+//! in both crates, so even that edge case carries over.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, TryRecvError, TrySendError};
+
+    /// Sending half of a bounded channel (crossbeam's `Sender`).
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Creates a bounded channel with capacity `cap`.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn bounded_send_try_send_and_drain() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(tx.try_send(3).is_err(), "full channel rejects try_send");
+        drop(tx);
+        let got: Vec<u32> = rx.into_iter().collect();
+        assert_eq!(got, [1, 2]);
+    }
+
+    #[test]
+    fn clone_senders_share_channel() {
+        let (tx, rx) = bounded::<u32>(8);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap())
+            .join()
+            .unwrap();
+        tx.send(9).unwrap();
+        drop(tx);
+        let mut got: Vec<u32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, [7, 9]);
+    }
+}

@@ -1,0 +1,566 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment cannot fetch crates, so this crate re-implements
+//! the subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] returning [`test_runner::TestCaseError`],
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer ranges,
+//!   inclusive ranges, tuples and [`strategy::any`],
+//! * [`collection::vec`] and [`sample::select`].
+//!
+//! Differences from the real crate: cases are generated from a fixed,
+//! per-test deterministic RNG (seeded from the test name), and failing
+//! inputs are **not shrunk** — the panic reports the case index so a
+//! failure reproduces exactly by re-running the test. Case count comes from
+//! the config (default 256) and can be overridden globally with the
+//! `PROPTEST_CASES` environment variable.
+
+/// Test-runner plumbing: config, error type, deterministic RNG.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-suite configuration (only `cases` is honoured by the shim).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` generated inputs per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        /// Effective case count, honouring the `PROPTEST_CASES` override.
+        #[must_use]
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The input was rejected (not counted as a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// An input rejection with the given message.
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Self::Fail(m) => write!(f, "{m}"),
+                Self::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic generator RNG (wyrand step); every run of a test uses
+    /// the same stream, so failures reproduce without a persistence file.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream; equal seeds yield equal streams.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            let mut rng = Self {
+                state: seed ^ 0xA076_1D64_78BD_642F,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+
+        /// Seed derived from a test's name (FNV-1a), so distinct tests see
+        /// distinct deterministic streams.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01B3);
+            }
+            Self::new(h)
+        }
+
+        /// Next 64 uniform bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0xA076_1D64_78BD_642F);
+            let t =
+                u128::from(self.state).wrapping_mul(u128::from(self.state ^ 0xE703_7ED1_A0B4_28DB));
+            ((t >> 64) ^ t) as u64
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be positive.
+        #[inline]
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+    }
+}
+
+/// Strategies: value generators composable with `prop_map`.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike the real crate there is no shrinking tree; `sample` draws one
+    /// value from the deterministic RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy generating exactly one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a full-domain uniform generator, for [`any`].
+    pub trait Arbitrary {
+        /// Draws a uniform value over the whole domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy for [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniform strategy over the full domain of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Integer types usable as range strategies.
+    pub trait RangeValue: Copy {
+        /// Uniform draw in `[lo, hi]` (inclusive); `lo <= hi`.
+        fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_range_value_unsigned {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_value_unsigned!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_value_signed {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    ((lo as i64).wrapping_add(rng.below(span + 1) as i64)) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_value_signed!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_value_float {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    // 53 uniform bits in [0, 1]; endpoints are reachable up
+                    // to rounding, which is all float ranges need.
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    lo + (unit as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    impl_range_value_float!(f32, f64);
+
+    impl<T: RangeValue + PartialOrd> Strategy for Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(self.start < self.end, "empty range strategy");
+            // Draw over the closed span [start, end], rejecting the single
+            // overshoot value `end`; expected retries are span/(span+1).
+            loop {
+                let v = T::draw_inclusive(rng, self.start, self.end);
+                if v < self.end {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl<T: RangeValue + PartialOrd> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::draw_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_strategy_tuple!(S0 / 0);
+    impl_strategy_tuple!(S0 / 0, S1 / 1);
+    impl_strategy_tuple!(S0 / 0, S1 / 1, S2 / 2);
+    impl_strategy_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    impl_strategy_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    impl_strategy_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Vector of `elem` values with length in `len`.
+    #[must_use]
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+}
+
+/// Sampling strategies over explicit value sets.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Uniform choice among `options` (must be non-empty).
+    #[must_use]
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over an empty list");
+        Select(options)
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias used as `prop::sample::select(..)` etc.
+    pub use crate as prop;
+}
+
+/// Falsifies the case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Falsifies the case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                let ok = *l == *r;
+                $crate::prop_assert!(ok, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Falsifies the case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {} (both: {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// The `proptest!` block: declares property tests whose arguments are drawn
+/// from strategies. Supports the optional leading
+/// `#![proptest_config(expr)]` of the real macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = __config.effective_cases();
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let __result: $crate::test_runner::TestCaseResult = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::core::result::Result::Err(e) => {
+                            panic!(
+                                "proptest case {}/{} for `{}` failed: {}",
+                                __case + 1, __cases, stringify!($name), e
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..2_000 {
+            let v = Strategy::sample(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::sample(&(0u8..=32), &mut rng);
+            assert!(w <= 32);
+            let s = Strategy::sample(&(-100i32..100), &mut rng);
+            assert!((-100..100).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn map_tuple_vec_select_compose() {
+        let mut rng = TestRng::new(9);
+        let strat = crate::collection::vec((0u64..4, 1u64..3).prop_map(|(a, b)| a + b), 2..10);
+        for _ in 0..500 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!(v.len() >= 2 && v.len() < 10);
+            assert!(v.iter().all(|&x| (1..6).contains(&x)));
+        }
+        let sel = crate::sample::select(vec![2u32, 4, 8]);
+        for _ in 0..100 {
+            assert!([2, 4, 8].contains(&Strategy::sample(&sel, &mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_checks(x in 0u64..100, v in crate::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

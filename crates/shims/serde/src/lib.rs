@@ -1,0 +1,14 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` traits as empty marker traits and
+//! re-exports the derive macros from the sibling `serde_derive` shim. The
+//! workspace only derives these traits on config structs; nothing calls
+//! `serialize`/`deserialize`, so no data model is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -62,10 +62,7 @@ pub fn sampling_slack(n: u64, v: u64, delta: f64) -> f64 {
 #[must_use]
 pub fn psi(v: u64, epsilon_s: f64, delta_s: f64) -> f64 {
     assert!(epsilon_s > 0.0, "epsilon_s must be positive");
-    assert!(
-        delta_s > 0.0 && delta_s < 1.0,
-        "delta_s must be in (0, 1)"
-    );
+    assert!(delta_s > 0.0 && delta_s < 1.0, "delta_s must be in (0, 1)");
     z_quantile(1.0 - delta_s / 2.0) * (v as f64) / (epsilon_s * epsilon_s)
 }
 

@@ -9,7 +9,7 @@ const A: [f64; 6] = [
     -3.969_683_028_665_38e+01,
     2.209_460_984_245_205e+02,
     -2.759_285_104_469_687e+02,
-    1.383_577_518_672_690e+02,
+    1.383_577_518_672_69e2,
     -3.066_479_806_614_716e+01,
     2.506_628_277_459_239e+00,
 ];
@@ -103,9 +103,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -149,7 +148,10 @@ mod tests {
     fn cdf_matches_reference_values() {
         for &(p, z) in TABLE {
             let got = normal_cdf(z);
-            assert!((got - p).abs() < 2e-7, "normal_cdf({z}) = {got}, expected {p}");
+            assert!(
+                (got - p).abs() < 2e-7,
+                "normal_cdf({z}) = {got}, expected {p}"
+            );
         }
     }
 

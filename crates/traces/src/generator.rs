@@ -236,9 +236,9 @@ impl TraceGenerator {
                 _ => (e >> 32) as u16,
             },
             proto: match e % 10 {
-                0 => 1,           // ~10% ICMP
-                1..=3 => 17,      // ~30% UDP
-                _ => 6,           // ~60% TCP
+                0 => 1,      // ~10% ICMP
+                1..=3 => 17, // ~30% UDP
+                _ => 6,      // ~60% TCP
             },
             wire_len: match size_draw {
                 0..=6 => 64,

@@ -159,8 +159,7 @@ mod tests {
         // Chop the last record in half.
         let data = std::fs::read(&path).expect("read file");
         std::fs::write(&path, &data[..data.len() - 6]).expect("rewrite");
-        let results: Vec<io::Result<Packet>> =
-            TraceReader::open(&path).expect("open").collect();
+        let results: Vec<io::Result<Packet>> = TraceReader::open(&path).expect("open").collect();
         assert!(results.last().expect("non-empty").is_err());
         std::fs::remove_file(&path).ok();
     }

@@ -343,7 +343,8 @@ mod tests {
     #[test]
     fn forwards_h_over_v_fraction() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
-        let mut dist = DistributedRhhh::spawn(lat, RhhhConfig::ten_rhhh(), 1 << 16, Backpressure::Block);
+        let mut dist =
+            DistributedRhhh::spawn(lat, RhhhConfig::ten_rhhh(), 1 << 16, Backpressure::Block);
         let mut rng = Lcg(1);
         let n = 200_000u64;
         for _ in 0..n {
@@ -365,8 +366,7 @@ mod tests {
             delta_s: 0.05,
             ..RhhhConfig::default()
         };
-        let mut dist =
-            DistributedRhhh::spawn(lat.clone(), config, 1 << 16, Backpressure::Block);
+        let mut dist = DistributedRhhh::spawn(lat.clone(), config, 1 << 16, Backpressure::Block);
         let mut rng = Lcg(4);
         let n = 400_000u64;
         for i in 0..n {

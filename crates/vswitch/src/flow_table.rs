@@ -142,9 +142,8 @@ impl MicroflowCache {
     fn slot_of(&self, key: &FlowKey) -> usize {
         // One multiply-fold over the packed tuple.
         let packed = (u64::from(key.src) << 32) | u64::from(key.dst);
-        let ports = (u64::from(key.src_port) << 24)
-            | (u64::from(key.dst_port) << 8)
-            | u64::from(key.proto);
+        let ports =
+            (u64::from(key.src_port) << 24) | (u64::from(key.dst_port) << 8) | u64::from(key.proto);
         let mut x = packed ^ ports.rotate_left(17);
         x ^= x >> 33;
         x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);

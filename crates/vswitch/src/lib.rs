@@ -36,8 +36,10 @@ pub mod flow_table;
 pub mod monitor;
 pub mod packet;
 
-pub use datapath::{Datapath, DataplaneMonitor, DatapathStats};
-pub use distributed::{spawn_shared, Backpressure, DistributedRhhh, SharedCollector, SharedFrontend};
+pub use datapath::{Datapath, DatapathStats, DataplaneMonitor};
+pub use distributed::{
+    spawn_shared, Backpressure, DistributedRhhh, SharedCollector, SharedFrontend,
+};
 pub use flow_table::{Action, FlowKey, MegaflowTable, MicroflowCache};
-pub use monitor::{AlgoMonitor, NoOpMonitor};
+pub use monitor::{AlgoMonitor, BatchingMonitor, NoOpMonitor};
 pub use packet::{build_udp_frame, EthernetFrame, Ipv4View, ParseError, UdpView};

@@ -1,6 +1,7 @@
 //! Monitor adapters: plug any HHH algorithm into the datapath hook.
 
-use hhh_core::HhhAlgorithm;
+use hhh_core::{HhhAlgorithm, Rhhh};
+use hhh_counters::{FrequencyEstimator, SpaceSaving};
 
 use crate::datapath::DataplaneMonitor;
 
@@ -54,6 +55,74 @@ impl<A: HhhAlgorithm<u64>> DataplaneMonitor for AlgoMonitor<A> {
     }
 }
 
+/// Dataplane monitor driving RHHH through its geometric-skip batch path:
+/// keys are buffered and flushed with [`Rhhh::update_batch`] once the batch
+/// fills — mirroring how DPDK-style datapaths already hand packets to the
+/// processing stage in rx bursts, so the measurement hook batches at the
+/// same grain as the switch itself.
+///
+/// Call [`BatchingMonitor::flush`] (or tear down via
+/// [`BatchingMonitor::into_algorithm`], which flushes) before querying:
+/// buffered keys are not yet visible to the algorithm.
+#[derive(Debug)]
+pub struct BatchingMonitor<E: FrequencyEstimator<u64> = SpaceSaving<u64>> {
+    algo: Rhhh<u64, E>,
+    buf: Vec<u64>,
+    batch: usize,
+}
+
+impl<E: FrequencyEstimator<u64>> BatchingMonitor<E> {
+    /// Wraps `algo`, flushing every `batch` packets (a DPDK-like rx-burst
+    /// grain such as 256 works well).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` is zero.
+    pub fn new(algo: Rhhh<u64, E>, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        Self {
+            algo,
+            buf: Vec::with_capacity(batch),
+            batch,
+        }
+    }
+
+    /// Delivers all buffered keys to the algorithm.
+    pub fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.algo.update_batch(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    /// Flushes and unwraps the algorithm for querying.
+    pub fn into_algorithm(mut self) -> Rhhh<u64, E> {
+        self.flush();
+        self.algo
+    }
+
+    /// Keys currently buffered (not yet visible to the algorithm).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<E: FrequencyEstimator<u64>> DataplaneMonitor for BatchingMonitor<E> {
+    #[inline]
+    fn on_packet(&mut self, key2: u64) {
+        self.buf.push(key2);
+        if self.buf.len() >= self.batch {
+            self.algo.update_batch(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}(batch)", self.algo.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +152,44 @@ mod tests {
         // A single flow carries 100% of traffic: it must be an HHH.
         let out = algo.query(0.5);
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn batching_monitor_matches_packet_counts_and_finds_hhh() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let algo = Rhhh::<u64>::new(lat, RhhhConfig::ten_rhhh());
+        let mut dp = Datapath::new(BatchingMonitor::new(algo, 256));
+        let frame = build_udp_frame(
+            u32::from_be_bytes([10, 20, 1, 1]),
+            u32::from_be_bytes([8, 8, 8, 8]),
+            1000,
+            80,
+            22,
+        );
+        for _ in 0..5_000 {
+            dp.process_frame(&frame).expect("valid");
+        }
+        // 5000 = 19 full 256-batches + 136 pending.
+        let monitor = dp.monitor();
+        assert_eq!(monitor.pending(), 5_000 % 256);
+        let algo = dp.into_monitor().into_algorithm();
+        assert_eq!(algo.packets(), 5_000, "into_algorithm flushes the tail");
+        assert!(!algo.query(0.5).is_empty());
+    }
+
+    #[test]
+    fn explicit_flush_drains_buffer() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let algo = Rhhh::<u64>::new(lat, RhhhConfig::default());
+        let mut m = BatchingMonitor::new(algo, 1024);
+        for i in 0..10u64 {
+            m.on_packet(i);
+        }
+        assert_eq!(m.pending(), 10);
+        m.flush();
+        assert_eq!(m.pending(), 0);
+        let algo = m.into_algorithm();
+        assert_eq!(algo.packets(), 10);
     }
 
     #[test]

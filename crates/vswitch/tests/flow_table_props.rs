@@ -6,15 +6,20 @@ use hhh_vswitch::{Action, FlowKey, MegaflowTable, MicroflowCache};
 use proptest::prelude::*;
 
 fn arb_key() -> impl Strategy<Value = FlowKey> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
-        |(src, dst, src_port, dst_port, proto)| FlowKey {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+    )
+        .prop_map(|(src, dst, src_port, dst_port, proto)| FlowKey {
             src,
             dst,
             src_port,
             dst_port,
             proto,
-        },
-    )
+        })
 }
 
 fn arb_mask() -> impl Strategy<Value = FlowMask> {

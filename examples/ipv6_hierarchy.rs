@@ -11,14 +11,14 @@
 
 use std::time::Instant;
 
-use hhh_core::{HhhAlgorithm, Rhhh, RhhhConfig};
 use hhh_baselines::Mst;
+use hhh_core::{HhhAlgorithm, Rhhh, RhhhConfig};
 use hhh_hierarchy::Lattice;
 
 /// Deterministic IPv6-ish key stream: a few hot /32 prefixes over a sea of
 /// random hosts.
 fn keys(n: usize) -> Vec<u128> {
-    let mut state = 0x1B57_EAD5_0F_u64;
+    let mut state = 0x1B_57EA_D50F_u64;
     let mut step = move || {
         state = state
             .wrapping_mul(6364136223846793005)
@@ -59,7 +59,10 @@ fn main() {
         seed: 6,
     };
 
-    println!("{:<22} {:>4} {:>12} {:>12}", "hierarchy", "H", "RHHH Mpps", "MST Mpps");
+    println!(
+        "{:<22} {:>4} {:>12} {:>12}",
+        "hierarchy", "H", "RHHH Mpps", "MST Mpps"
+    );
     for (label, lattice) in [
         ("ipv6 bytes (H=17)", Lattice::ipv6_src_bytes()),
         ("ipv6 nibbles (H=33)", Lattice::ipv6_src_nibbles()),

@@ -52,7 +52,9 @@ fn main() {
     // descendant.
     let h = Prefix::of(&lat, lat.node_by_spec(&[2, 4]), key); // (181.7.*, full dst)
     let hp = Prefix::of(&lat, lat.node_by_spec(&[4, 1]), key); // (full src, 208.*)
-    let glb = h.glb(&hp, &lat).expect("same packet's prefixes always meet");
+    let glb = h
+        .glb(&hp, &lat)
+        .expect("same packet's prefixes always meet");
     println!("\nglb of {} and {}:", h.display(&lat), hp.display(&lat));
     println!("  = {}", glb.display(&lat));
 

@@ -54,7 +54,10 @@ fn main() {
         "\n{} hierarchical heavy hitters at theta = {theta} after {n} packets:",
         hhhs.len()
     );
-    println!("{:<44} {:>12} {:>12}", "prefix (src,dst)", "freq lower", "freq upper");
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "prefix (src,dst)", "freq lower", "freq upper"
+    );
     for h in &hhhs {
         println!(
             "{:<44} {:>12.0} {:>12.0}",

@@ -100,7 +100,8 @@ fn two_dim_formula_equals_definition() {
     let mut counts: HashMap<u64, u64> = HashMap::new();
     let mut rng = Lcg(13);
     for _ in 0..6_000 {
-        let src = u32::from_be_bytes([1 + (rng.next() % 2) as u8, 1, 1, 1 + (rng.next() % 2) as u8]);
+        let src =
+            u32::from_be_bytes([1 + (rng.next() % 2) as u8, 1, 1, 1 + (rng.next() % 2) as u8]);
         let dst = u32::from_be_bytes([9, 1 + (rng.next() % 2) as u8, 1, 1]);
         let key = pack2(src, dst);
         exact.insert(key);
@@ -140,9 +141,7 @@ fn two_dim_formula_equals_definition() {
                 // Three regimes (see ExactHhh::conditioned docs):
                 let covered = selected.iter().any(|h| h.generalizes(&q, &lat));
                 let overlapping_incomparable = selected.iter().any(|h| {
-                    !h.generalizes(&q, &lat)
-                        && !q.generalizes(h, &lat)
-                        && q.glb(h, &lat).is_some()
+                    !h.generalizes(&q, &lat) && !q.generalizes(h, &lat) && q.glb(h, &lat).is_some()
                 });
                 if covered {
                     assert_eq!(formula, 0, "covered q must be 0");
@@ -201,9 +200,9 @@ fn covered_rule_matches_set_semantics() {
         *counts.entry(key).or_insert(0) += 1;
     }
     let base = pack2(0x0A01_0101, 0x1401_0101); // 10.1.1.1 -> 20.1.1.1
-    // h1 = (10.1.1/24, 20/8), h2 = (10/8, 20.1.1/24),
-    // h3 = (10.1/16, 20.1/16): pairwise incomparable, and
-    // glb(h1,h2) = (10.1.1/24, 20.1.1/24) is generalized by h3.
+                                                // h1 = (10.1.1/24, 20/8), h2 = (10/8, 20.1.1/24),
+                                                // h3 = (10.1/16, 20.1/16): pairwise incomparable, and
+                                                // glb(h1,h2) = (10.1.1/24, 20.1.1/24) is generalized by h3.
     let h1 = Prefix::of(&lat, lat.node_by_spec(&[3, 1]), base);
     let h2 = Prefix::of(&lat, lat.node_by_spec(&[1, 3]), base);
     let h3 = Prefix::of(&lat, lat.node_by_spec(&[2, 2]), base);
@@ -258,10 +257,8 @@ fn exact_hhh_set_matches_brute_force_selection() {
     for level in 0..=lat.depth() {
         for &node in lat.nodes_at_level(level) {
             // Candidates: every distinct masked key at this node.
-            let mut cands: Vec<Prefix<u64>> = counts
-                .keys()
-                .map(|&k| Prefix::of(&lat, node, k))
-                .collect();
+            let mut cands: Vec<Prefix<u64>> =
+                counts.keys().map(|&k| Prefix::of(&lat, node, k)).collect();
             cands.sort_unstable();
             cands.dedup();
             for q in cands {

@@ -41,7 +41,11 @@ fn all_algorithms_cover_exact_hhh_1d_bytes() {
     for kind in AlgoKind::roster() {
         let (acc, cov, _) = run_case(&lat, kind, Packet::key1);
         assert_eq!(cov, 0.0, "{} coverage error on 1d-bytes", kind.label());
-        assert!(acc < 0.5, "{} accuracy error {acc} on 1d-bytes", kind.label());
+        assert!(
+            acc < 0.5,
+            "{} accuracy error {acc} on 1d-bytes",
+            kind.label()
+        );
     }
 }
 
@@ -67,7 +71,11 @@ fn all_algorithms_cover_exact_hhh_2d_bytes() {
 #[test]
 fn deterministic_algorithms_have_zero_accuracy_error() {
     let lat = Lattice::ipv4_src_dst_bytes();
-    for kind in [AlgoKind::Mst, AlgoKind::FullAncestry, AlgoKind::PartialAncestry] {
+    for kind in [
+        AlgoKind::Mst,
+        AlgoKind::FullAncestry,
+        AlgoKind::PartialAncestry,
+    ] {
         let (acc, _, _) = run_case(&lat, kind, Packet::key2);
         assert_eq!(acc, 0.0, "{} must estimate within epsilon*N", kind.label());
     }

@@ -56,10 +56,7 @@ fn volume_hhh_differs_from_packet_hhh() {
         !in_packets,
         "5% of packets must not be a θ=10% packet-count HHH"
     );
-    assert!(
-        in_bytes,
-        "~15% of bytes must be a θ=10% volume HHH"
-    );
+    assert!(in_bytes, "~15% of bytes must be a θ=10% volume HHH");
 }
 
 /// Windowed monitoring detects onset and decay of an attack across epochs.

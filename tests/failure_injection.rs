@@ -93,7 +93,7 @@ fn alternating_phases() {
             let hot = u32::from_be_bytes([(phase % 5) as u8 + 10, 0, 0, 0]);
             for _ in 0..20_000 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
-                let key = if x % 2 == 0 {
+                let key = if x.is_multiple_of(2) {
                     hot | ((x as u32) & 0x00FF_FFFF)
                 } else {
                     x as u32

@@ -22,8 +22,7 @@ fn replay_equals_direct_generation() {
     let dir = std::env::temp_dir();
     let path = dir.join(format!("rhhh-replay-{}.trc", std::process::id()));
 
-    let packets: Vec<Packet> =
-        TraceGenerator::new(&TraceConfig::sanjose14()).take_packets(100_000);
+    let packets: Vec<Packet> = TraceGenerator::new(&TraceConfig::sanjose14()).take_packets(100_000);
     write_trace(&path, &packets).expect("write trace");
 
     let lattice = Lattice::ipv4_src_dst_bytes();
@@ -53,8 +52,7 @@ fn replay_equals_direct_generation() {
 fn trace_file_streams_without_full_materialization() {
     let dir = std::env::temp_dir();
     let path = dir.join(format!("rhhh-stream-{}.trc", std::process::id()));
-    let packets: Vec<Packet> =
-        TraceGenerator::new(&TraceConfig::chicago15()).take_packets(10_000);
+    let packets: Vec<Packet> = TraceGenerator::new(&TraceConfig::chicago15()).take_packets(10_000);
     write_trace(&path, &packets).expect("write");
 
     let mut reader = TraceReader::open(&path).expect("open");

@@ -57,8 +57,12 @@ fn distributed_agrees_with_inline_on_attack() {
     let lattice = Lattice::ipv4_src_dst_bytes();
 
     let mut inline = Rhhh::<u64>::new(lattice.clone(), loose_config(2));
-    let mut dist =
-        DistributedRhhh::spawn(lattice.clone(), loose_config(2), 1 << 14, Backpressure::Block);
+    let mut dist = DistributedRhhh::spawn(
+        lattice.clone(),
+        loose_config(2),
+        1 << 14,
+        Backpressure::Block,
+    );
 
     let mut gen = TraceGenerator::new(&attack_trace());
     for _ in 0..250_000 {
@@ -132,5 +136,8 @@ fn noop_switch_forwards_at_line_rate_semantics() {
     let stats = dp.stats();
     assert_eq!(stats.received, 100_000);
     assert_eq!(stats.forwarded, 100_000);
-    assert!(dp.microflow_hits() > 30_000, "EMC must be effective on flows");
+    assert!(
+        dp.microflow_hits() > 30_000,
+        "EMC must be effective on flows"
+    );
 }
