@@ -4,12 +4,21 @@
 //! stream-summary Space Saving; the heap variant pays O(log 1/ε) sifts.
 //! This bench quantifies the gap at the paper's ε = 0.001 (1001 counters)
 //! and a coarser ε = 0.01, plus the alternative algorithms for context.
+//!
+//! The `compact-vs-stream-summary` groups isolate the tentpole layout
+//! question — hash index fused into a flat arena vs the pointer-based
+//! stream summary — on the scalar `increment` path and on the sorted
+//! `increment_batch` path RHHH's batch flush actually drives (every
+//! counter now has a run-length-merged batch override, so the comparison
+//! is batch-vs-batch rather than batch-vs-default-loop).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hhh_bench::Workload;
-use hhh_counters::{FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving};
+use hhh_counters::{
+    CompactSpaceSaving, FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+};
 
 const PACKETS: usize = 200_000;
 
@@ -41,16 +50,99 @@ fn bench_counter<E: FrequencyEstimator<u32>>(
     group.finish();
 }
 
+/// Feeds the keys through `increment_batch` in sorted 4Ki chunks — the
+/// shape of one RHHH node group after masking and sorting, where duplicate
+/// keys form runs the overrides merge into weighted updates.
+fn bench_counter_batch<E: FrequencyEstimator<u32>>(
+    c: &mut Criterion,
+    group_name: &str,
+    label: &str,
+    capacity: usize,
+    chunks: &[Vec<u32>],
+    total: u64,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(total));
+    group.bench_function(BenchmarkId::from_parameter(label), |b| {
+        b.iter_batched(
+            || E::with_capacity(capacity),
+            |mut est| {
+                for chunk in chunks {
+                    est.increment_batch(chunk);
+                }
+                est
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     let w = Workload::chicago16(PACKETS);
     for (eps_label, capacity) in [("eps-0.001", 1000usize), ("eps-0.01", 100usize)] {
         let group = format!("counter-ablation/{eps_label}");
         bench_counter::<SpaceSaving<u32>>(c, &group, "SpaceSaving(list)", capacity, &w.keys1);
+        bench_counter::<CompactSpaceSaving<u32>>(
+            c,
+            &group,
+            "SpaceSaving(compact)",
+            capacity,
+            &w.keys1,
+        );
         bench_counter::<HeapSpaceSaving<u32>>(c, &group, "SpaceSaving(heap)", capacity, &w.keys1);
         bench_counter::<MisraGries<u32>>(c, &group, "MisraGries", capacity, &w.keys1);
         bench_counter::<LossyCounting<u32>>(c, &group, "LossyCounting", capacity, &w.keys1);
     }
 }
 
-criterion_group!(ablation, benches);
+fn compact_vs_stream_summary(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    // Sorted 4Ki chunks: what `Rhhh::update_batch` hands one node instance.
+    let chunks: Vec<Vec<u32>> = w
+        .keys1
+        .chunks(4_096)
+        .map(|chunk| {
+            let mut sorted = chunk.to_vec();
+            sorted.sort_unstable();
+            sorted
+        })
+        .collect();
+    let total = w.keys1.len() as u64;
+    for (eps_label, capacity) in [("eps-0.001", 1000usize), ("eps-0.01", 100usize)] {
+        let group = format!("compact-vs-stream-summary/{eps_label}");
+        bench_counter::<SpaceSaving<u32>>(c, &group, "scalar/list", capacity, &w.keys1);
+        bench_counter::<CompactSpaceSaving<u32>>(c, &group, "scalar/compact", capacity, &w.keys1);
+        bench_counter_batch::<SpaceSaving<u32>>(
+            c,
+            &group,
+            "sorted-batch/list",
+            capacity,
+            &chunks,
+            total,
+        );
+        bench_counter_batch::<CompactSpaceSaving<u32>>(
+            c,
+            &group,
+            "sorted-batch/compact",
+            capacity,
+            &chunks,
+            total,
+        );
+        bench_counter_batch::<HeapSpaceSaving<u32>>(
+            c,
+            &group,
+            "sorted-batch/heap",
+            capacity,
+            &chunks,
+            total,
+        );
+    }
+}
+
+criterion_group!(ablation, benches, compact_vs_stream_summary);
 criterion_main!(ablation);

@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use hhh_baselines::{Ancestry, AncestryMode, Mst};
 use hhh_bench::Workload;
 use hhh_core::{Rhhh, RhhhConfig};
+use hhh_counters::CompactSpaceSaving;
 use hhh_hierarchy::Lattice;
 use hhh_traces::Packet;
 use hhh_vswitch::{AlgoMonitor, BatchingMonitor, Datapath, DataplaneMonitor, NoOpMonitor};
@@ -63,6 +64,18 @@ fn fig6_monitors(c: &mut Criterion) {
     bench_pipeline(c, "fig6/monitors", "10-RHHH(batch)", &w.packets, || {
         BatchingMonitor::new(Rhhh::<u64>::new(lat.clone(), rhhh_config(10)), 256)
     });
+    bench_pipeline(
+        c,
+        "fig6/monitors",
+        "10-RHHH(batch,compact)",
+        &w.packets,
+        || {
+            BatchingMonitor::new(
+                Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), rhhh_config(10)),
+                256,
+            )
+        },
+    );
     bench_pipeline(c, "fig6/monitors", "RHHH", &w.packets, || {
         AlgoMonitor::new(Rhhh::<u64>::new(lat.clone(), rhhh_config(1)))
     });

@@ -4,7 +4,10 @@ use std::net::Ipv4Addr;
 use std::path::Path;
 use std::time::Instant;
 
-use hhh_core::{HeavyHitter, HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_core::{CounterKind, HeavyHitter, HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_counters::{
+    CompactSpaceSaving, FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+};
 use hhh_eval::AlgoKind;
 use hhh_hierarchy::{KeyBits, Lattice};
 use hhh_traces::io::{write_trace, TraceReader};
@@ -19,15 +22,27 @@ fn preset(name: &str) -> Result<TraceConfig, String> {
         .ok_or_else(|| format!("unknown preset `{name}` (try chicago15/16, sanjose13/14)"))
 }
 
-fn algo_kind(name: &str) -> Result<AlgoKind, String> {
+fn algo_kind(name: &str, counter: CounterKind) -> Result<AlgoKind, String> {
     Ok(match name {
-        "rhhh" => AlgoKind::Rhhh { v_scale: 1 },
-        "10-rhhh" => AlgoKind::Rhhh { v_scale: 10 },
+        "rhhh" => AlgoKind::Rhhh {
+            v_scale: 1,
+            counter,
+        },
+        "10-rhhh" => AlgoKind::Rhhh {
+            v_scale: 10,
+            counter,
+        },
         "mst" => AlgoKind::Mst,
         "full-ancestry" => AlgoKind::FullAncestry,
         "partial-ancestry" => AlgoKind::PartialAncestry,
         other => return Err(format!("unknown algorithm `{other}`")),
     })
+}
+
+fn counter_kind(flags: &Flags) -> Result<CounterKind, String> {
+    flags
+        .get("counter")
+        .map_or(Ok(CounterKind::default()), CounterKind::parse)
 }
 
 /// Chunk size for the CLI's batch update paths. Larger chunks give the
@@ -107,6 +122,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
     let hierarchy = flags.get("hierarchy").unwrap_or("2d-bytes");
     let volume = flags.switch("volume");
     let batch = flags.switch("batch");
+    let counter = counter_kind(&flags)?;
     let filter = flags.get("filter").map(ToString::to_string);
     let packets = load_packets(&flags)?;
 
@@ -120,6 +136,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             theta,
             volume,
             batch,
+            counter,
             top,
             filter.as_deref(),
         ),
@@ -132,6 +149,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             theta,
             volume,
             batch,
+            counter,
             top,
             filter.as_deref(),
         ),
@@ -144,11 +162,52 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             theta,
             volume,
             batch,
+            counter,
             top,
             filter.as_deref(),
         ),
         other => Err(format!("unknown hierarchy `{other}`")),
     }
+}
+
+/// Drives one concrete `Rhhh<K, E>` through the requested update path with
+/// the clock running; returns `(output, total, elapsed seconds)`.
+fn run_rhhh_timed<K: KeyBits, E: FrequencyEstimator<K>>(
+    lattice: &Lattice<K>,
+    config: RhhhConfig,
+    volume: bool,
+    batch: bool,
+    weighted: &[(K, u64)],
+    keys: &[K],
+    theta: f64,
+) -> (Vec<HeavyHitter<K>>, u64, f64) {
+    let mut algo = Rhhh::<K, E>::new(lattice.clone(), config);
+    let start = Instant::now();
+    match (volume, batch) {
+        (true, true) => {
+            for chunk in weighted.chunks(BATCH_CHUNK) {
+                algo.update_batch_weighted(chunk);
+            }
+        }
+        (true, false) => {
+            for &(k, w) in weighted {
+                algo.update_weighted(k, w);
+            }
+        }
+        (false, true) => {
+            for chunk in keys.chunks(BATCH_CHUNK) {
+                algo.update_batch(chunk);
+            }
+        }
+        (false, false) => unreachable!("guarded by the caller"),
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = if volume {
+        algo.total_weight()
+    } else {
+        algo.packets()
+    };
+    (algo.output(theta), total, elapsed)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -161,6 +220,7 @@ fn run_analysis<K: KeyBits>(
     theta: f64,
     volume: bool,
     batch: bool,
+    counter: CounterKind,
     top: usize,
     filter: Option<&str>,
 ) -> Result<(), String> {
@@ -177,23 +237,21 @@ fn run_analysis<K: KeyBits>(
 
     if volume || batch {
         // Volume weighting and the batch update path are RHHH-side
-        // extensions; run the concrete algorithm directly.
+        // extensions; run the concrete algorithm directly, monomorphized
+        // over the selected per-node counter.
         if !algo_name.starts_with("rhhh") && algo_name != "10-rhhh" {
             let flag = if volume { "--volume" } else { "--batch" };
             return Err(format!("{flag} supports rhhh/10-rhhh only"));
         }
         let v_scale = if algo_name == "10-rhhh" { 10 } else { 1 };
-        let mut algo = Rhhh::<K>::new(
-            lattice.clone(),
-            RhhhConfig {
-                epsilon_a: epsilon,
-                epsilon_s: epsilon,
-                delta_s: 0.001,
-                v_scale,
-                updates_per_packet: 1,
-                seed: 0xC11,
-            },
-        );
+        let config = RhhhConfig {
+            epsilon_a: epsilon,
+            epsilon_s: epsilon,
+            delta_s: 0.001,
+            v_scale,
+            updates_per_packet: 1,
+            seed: 0xC11,
+        };
         // Materialize inputs before starting the clock — for the scalar
         // and batch arms alike — so the printed throughput measures the
         // update path, not key extraction, and the two stay comparable.
@@ -210,34 +268,28 @@ fn run_analysis<K: KeyBits>(
         } else {
             packets.iter().map(&key_of).collect()
         };
-        let start = Instant::now();
-        match (volume, batch) {
-            (true, true) => {
-                for chunk in weighted.chunks(BATCH_CHUNK) {
-                    algo.update_batch_weighted(chunk);
-                }
-            }
-            (true, false) => {
-                for &(k, w) in &weighted {
-                    algo.update_weighted(k, w);
-                }
-            }
-            (false, true) => {
-                for chunk in keys.chunks(BATCH_CHUNK) {
-                    algo.update_batch(chunk);
-                }
-            }
-            (false, false) => unreachable!("guarded by the enclosing if"),
-        }
-        elapsed = start.elapsed().as_secs_f64();
-        total = if volume {
-            algo.total_weight()
-        } else {
-            algo.packets()
+        (output, total, elapsed) = match counter {
+            CounterKind::StreamSummary => run_rhhh_timed::<K, SpaceSaving<K>>(
+                lattice, config, volume, batch, &weighted, &keys, theta,
+            ),
+            CounterKind::Compact => run_rhhh_timed::<K, CompactSpaceSaving<K>>(
+                lattice, config, volume, batch, &weighted, &keys, theta,
+            ),
+            CounterKind::Heap => run_rhhh_timed::<K, HeapSpaceSaving<K>>(
+                lattice, config, volume, batch, &weighted, &keys, theta,
+            ),
+            CounterKind::MisraGries => run_rhhh_timed::<K, MisraGries<K>>(
+                lattice, config, volume, batch, &weighted, &keys, theta,
+            ),
+            CounterKind::LossyCounting => run_rhhh_timed::<K, LossyCounting<K>>(
+                lattice, config, volume, batch, &weighted, &keys, theta,
+            ),
         };
-        output = algo.output(theta);
     } else {
-        let kind = algo_kind(algo_name)?;
+        let kind = algo_kind(algo_name, counter)?;
+        if counter != CounterKind::default() && !matches!(kind, AlgoKind::Rhhh { .. }) {
+            return Err("--counter supports rhhh/10-rhhh only".into());
+        }
         let mut algo = kind.build(lattice.clone(), epsilon, 0xC11);
         let keys: Vec<K> = packets.iter().map(&key_of).collect();
         let start = Instant::now();
@@ -295,61 +347,71 @@ fn speed_inner(argv: &[String]) -> Result<(), String> {
     let epsilon = flags.num("epsilon", 0.001)?;
     let hierarchy = flags.get("hierarchy").unwrap_or("2d-bytes");
     let batch = flags.switch("batch");
+    let counter = counter_kind(&flags)?;
     let data = TraceGenerator::new(&config).take_packets(packets);
 
     println!(
         "# {} packets of {}, epsilon={epsilon}",
         packets, config.name
     );
-    println!("{:<18} {:>10}", "algorithm", "Mpps");
+    println!("{:<26} {:>10}", "algorithm", "Mpps");
     match hierarchy {
         "2d-bytes" => {
             let keys: Vec<u64> = data.iter().map(Packet::key2).collect();
-            speed_table(&Lattice::ipv4_src_dst_bytes(), &keys, epsilon, batch);
+            speed_table(
+                &Lattice::ipv4_src_dst_bytes(),
+                &keys,
+                epsilon,
+                batch,
+                counter,
+            );
         }
         "1d-bytes" => {
             let keys: Vec<u32> = data.iter().map(Packet::key1).collect();
-            speed_table(&Lattice::ipv4_src_bytes(), &keys, epsilon, batch);
+            speed_table(&Lattice::ipv4_src_bytes(), &keys, epsilon, batch, counter);
         }
         "1d-bits" => {
             let keys: Vec<u32> = data.iter().map(Packet::key1).collect();
-            speed_table(&Lattice::ipv4_src_bits(), &keys, epsilon, batch);
+            speed_table(&Lattice::ipv4_src_bits(), &keys, epsilon, batch, counter);
         }
         other => return Err(format!("unknown hierarchy `{other}`")),
     }
     Ok(())
 }
 
-fn speed_table<K: KeyBits>(lattice: &Lattice<K>, keys: &[K], epsilon: f64, batch: bool) {
-    for kind in AlgoKind::roster() {
+fn speed_table<K: KeyBits>(
+    lattice: &Lattice<K>,
+    keys: &[K],
+    epsilon: f64,
+    batch: bool,
+    counter: CounterKind,
+) {
+    let mut kinds = AlgoKind::roster();
+    if counter != CounterKind::default() {
+        // A non-default counter adds its RHHH rows next to the roster's,
+        // so the layouts read side by side.
+        kinds.push(AlgoKind::Rhhh {
+            v_scale: 1,
+            counter,
+        });
+        kinds.push(AlgoKind::Rhhh {
+            v_scale: 10,
+            counter,
+        });
+    }
+    for kind in &kinds {
         let mut algo = kind.build(lattice.clone(), epsilon, 1);
         let mpps = hhh_eval::measure_mpps(algo.as_mut(), keys);
-        println!("{:<18} {:>10.2}", kind.label(), mpps);
+        println!("{:<26} {:>10.2}", kind.label(), mpps);
     }
     if batch {
-        for v_scale in [1u64, 10] {
-            let mut algo = Rhhh::<K>::new(
-                lattice.clone(),
-                RhhhConfig {
-                    epsilon_a: epsilon,
-                    epsilon_s: epsilon,
-                    delta_s: 0.001,
-                    v_scale,
-                    updates_per_packet: 1,
-                    seed: 1,
-                },
-            );
-            let start = Instant::now();
-            for chunk in keys.chunks(BATCH_CHUNK) {
-                algo.update_batch(chunk);
-            }
-            let mpps = keys.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
-            let label = if v_scale == 1 {
-                "RHHH(batch)".to_string()
-            } else {
-                format!("{v_scale}-RHHH(batch)")
+        for kind in &kinds {
+            let AlgoKind::Rhhh { .. } = kind else {
+                continue;
             };
-            println!("{label:<18} {mpps:>10.2}");
+            let mut algo = kind.build(lattice.clone(), epsilon, 1);
+            let mpps = hhh_eval::measure_mpps_batch(algo.as_mut(), keys, BATCH_CHUNK);
+            println!("{:<26} {:>10.2}", format!("{}(batch)", kind.label()), mpps);
         }
     }
 }
@@ -389,8 +451,22 @@ mod tests {
             "full-ancestry",
             "partial-ancestry",
         ] {
-            assert!(algo_kind(name).is_ok(), "{name}");
+            assert!(algo_kind(name, CounterKind::default()).is_ok(), "{name}");
         }
-        assert!(algo_kind("bogus").is_err());
+        assert!(algo_kind("bogus", CounterKind::default()).is_err());
+    }
+
+    #[test]
+    fn counter_flag_parses() {
+        let f = Flags::parse(
+            &["--counter".to_string(), "compact".to_string()],
+            &["batch"],
+        )
+        .expect("parse");
+        assert_eq!(counter_kind(&f), Ok(CounterKind::Compact));
+        let none = Flags::parse(&[], &[]).expect("parse");
+        assert_eq!(counter_kind(&none), Ok(CounterKind::StreamSummary));
+        let bad = Flags::parse(&["--counter".to_string(), "nope".to_string()], &[]).expect("parse");
+        assert!(counter_kind(&bad).is_err());
     }
 }

@@ -235,12 +235,12 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
             );
         }
 
-        // Flush node by node: mask once per group, sort so duplicates
-        // become runs, then let the estimator's run-length batch path turn
-        // each run into a single weighted update. Sorting also delivers
-        // keys in monotone order, which keeps the stream-summary bucket
-        // walks short and cache-resident. (Order within a group is a
-        // tie-break the analysis never observes; see the module docs.)
+        // Flush node by node: mask once per group, then hand the unordered
+        // group to the estimator's `flush_group`, which owns the ordering
+        // decision (every current estimator uses the default: sort by key
+        // so duplicates become runs for `increment_batch`). Order within a
+        // group is a tie-break the analysis never observes; see the module
+        // docs.
         for node in 0..h {
             let group = &mut scratch.node_keys[node];
             if group.is_empty() {
@@ -250,8 +250,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
             for key in group.iter_mut() {
                 *key = key.and(mask);
             }
-            group.sort_unstable();
-            self.instances[node].increment_batch(group);
+            self.instances[node].flush_group(group);
         }
     }
 

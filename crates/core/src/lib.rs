@@ -55,12 +55,14 @@
 //! ```
 
 pub mod batch;
+pub mod counter;
 pub mod exact;
 pub mod output;
 pub mod rhhh;
 pub mod sampling;
 pub mod windowed;
 
+pub use counter::CounterKind;
 pub use exact::ExactHhh;
 pub use output::{HeavyHitter, NodeEstimates};
 pub use rhhh::{Rhhh, RhhhConfig};
@@ -76,6 +78,17 @@ pub trait HhhAlgorithm<K: KeyBits>: Send {
     /// algorithm's lattice).
     fn insert(&mut self, key: K);
 
+    /// Processes a whole slice of packets. The default simply loops
+    /// [`Self::insert`]; algorithms with a cheaper slice-at-a-time path
+    /// (RHHH's geometric-skip batch update) override it, so callers that
+    /// hold packets in bursts — the CLI, the vswitch datapath, the benches
+    /// — get the fast path even through `dyn HhhAlgorithm`.
+    fn insert_batch(&mut self, keys: &[K]) {
+        for &k in keys {
+            self.insert(k);
+        }
+    }
+
     /// Number of packets processed so far (the paper's `N`).
     fn packets(&self) -> u64;
 
@@ -89,6 +102,10 @@ pub trait HhhAlgorithm<K: KeyBits>: Send {
 impl<K: KeyBits> HhhAlgorithm<K> for Box<dyn HhhAlgorithm<K>> {
     fn insert(&mut self, key: K) {
         (**self).insert(key);
+    }
+
+    fn insert_batch(&mut self, keys: &[K]) {
+        (**self).insert_batch(keys);
     }
 
     fn packets(&self) -> u64 {

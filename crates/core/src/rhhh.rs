@@ -316,6 +316,10 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> HhhAlgorithm<K> for Rhhh<K, E> {
         self.update(key);
     }
 
+    fn insert_batch(&mut self, keys: &[K]) {
+        self.update_batch(keys);
+    }
+
     fn packets(&self) -> u64 {
         self.packets
     }
@@ -534,7 +538,7 @@ mod tests {
 
     #[test]
     fn works_with_other_counter_algorithms() {
-        use hhh_counters::{HeapSpaceSaving, LossyCounting, MisraGries};
+        use hhh_counters::{CompactSpaceSaving, HeapSpaceSaving, LossyCounting, MisraGries};
         let mut rng = Lcg(11);
         let mut keys = Vec::new();
         for i in 0..100_000u64 {
@@ -566,6 +570,7 @@ mod tests {
                 );
             }};
         }
+        check!(CompactSpaceSaving<u32>);
         check!(HeapSpaceSaving<u32>);
         check!(MisraGries<u32>);
         check!(LossyCounting<u32>);

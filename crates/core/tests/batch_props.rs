@@ -291,3 +291,49 @@ fn batch_and_scalar_agree_on_the_hhh_set() {
         assert!(planted(&batch), "seed {seed}: batch lost the attack");
     }
 }
+
+/// Swapping the per-node counter for the flat-arena layout changes neither
+/// the selection schedule (same RNG, same draws) nor the count multisets
+/// (both layouts evict true minima), so a compact-backed run must deliver
+/// the same per-node update totals as a stream-summary-backed run — and
+/// still find the planted attack through the batch path.
+#[test]
+fn compact_counter_batch_path_matches_stream_summary() {
+    use hhh_counters::CompactSpaceSaving;
+    for seed in [51u64, 52] {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let config = RhhhConfig {
+            epsilon_s: 0.02,
+            epsilon_a: 0.005,
+            delta_s: 0.05,
+            v_scale: 10,
+            updates_per_packet: 1,
+            seed,
+        };
+        let keys = stream(400_000, seed);
+        let mut list = Rhhh::<u64>::new(lat.clone(), config);
+        let mut flat = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), config);
+        for chunk in keys.chunks(8_192) {
+            list.update_batch(chunk);
+            flat.update_batch(chunk);
+        }
+        assert_eq!(
+            list.total_updates(),
+            flat.total_updates(),
+            "seed {seed}: RNG schedules diverged"
+        );
+        for node in 0..25u16 {
+            assert_eq!(
+                list.node_updates(NodeId(node)),
+                flat.node_updates(NodeId(node)),
+                "seed {seed}: node {node} update totals diverged"
+            );
+        }
+        let planted = flat
+            .output(0.1)
+            .iter()
+            .map(|h| h.prefix.display(&lat))
+            .any(|s| s.contains("10.20.0.0/16") && s.contains("8.8.8.8/32"));
+        assert!(planted, "seed {seed}: compact batch lost the attack");
+    }
+}

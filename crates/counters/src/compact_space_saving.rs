@@ -1,0 +1,737 @@
+//! Space Saving on a cache-packed flat arena: the hash index is fused into
+//! the counter storage itself.
+//!
+//! The stream-summary implementation ([`crate::SpaceSaving`]) is O(1)
+//! worst-case but pays for it in memory traffic: every update probes a
+//! separate `HashMap` index, then walks counter and bucket pointers across
+//! a ~100 KB arena. At RHHH's steady state that caps the batch path's
+//! speedup (see ROADMAP "Performance").
+//!
+//! This layout removes the indirection. The structure is a single open
+//! addressing table whose slots hold `(key, count, error, home)` *in-line*:
+//! the linear probe that finds the key is also the load that fetches its
+//! counter, so the common bump path touches exactly one cache line. There
+//! are no buckets, no linked lists, and no separate index to keep in sync.
+//!
+//! # Replace-min without the bucket list
+//!
+//! The stream summary exists to answer "which counter is minimal?" in O(1).
+//! Here the minimum is maintained *lazily but exactly* with a count-grouped
+//! freelist:
+//!
+//! * `min_val` — the exact minimum count over occupied slots, and
+//!   `min_support` — how many slots currently hold it.
+//! * `min_stack` — slot indices that held `min_val` when the level was
+//!   last scanned. Evictions pop it; a popped index is revalidated with a
+//!   single count compare (any slot holding `min_val` is a valid victim,
+//!   no matter which key moved into it), so stale hints cost one probe.
+//! * A bump that raises the last slot away from `min_val` exhausts the
+//!   support and triggers a full-arena rescan that re-establishes the next
+//!   minimum and refills the stack. Each rescan raises `min_val` by at
+//!   least 1 and the minimum never exceeds `N/capacity`, so total rescan
+//!   work is `O(table · N/capacity) = O(N)` — amortized O(1) per update.
+//!
+//! Because a victim is only ever taken at `count == min_val` while every
+//! slot holds `count ≥ min_val`, each eviction removes a *true* minimum —
+//! the structure is a faithful Space Saving (with its own tie-break among
+//! equal minima) and inherits every Metwally et al. guarantee verbatim:
+//! `count − error ≤ X ≤ count` for monitored keys and `X ≤ min_val ≤ N/m`
+//! for unmonitored ones. The `counter_props` differential suite pins the
+//! count multisets of the two layouts against each other exactly.
+//!
+//! # Eviction without tombstones
+//!
+//! Replacing the minimum removes one key and inserts another. Deletion is
+//! backward-shift (no tombstones, so probes never degrade); each slot
+//! caches its `home` index so the shift decides "can this entry fill the
+//! hole?" from one load instead of re-hashing. The insert then reuses what
+//! the failed lookup already learned: the new key lands in the probe's
+//! empty slot — or in the shift's final hole when that hole opened earlier
+//! on the same probe chain — so an eviction never probes the table twice.
+//!
+//! # Table geometry
+//!
+//! The table is sized to the first power of two ≥ 4·capacity (load factor
+//! ≤ ¼), which measured fastest for the batch flush this layout targets:
+//! probe clusters collapse to ~1.2 slots, so misses — the dominant case on
+//! an eviction-heavy tail — resolve in one line, and backward shifts move
+//! almost nothing. For the paper's 1001-counter configuration over `u64`
+//! keys that is 4096 slots × 32 B = 128 KB of flat memory per instance
+//! with no pointer chasing (the stream summary spreads ~100 KB across
+//! three linked structures). The trade-off is deliberate: with all `H`
+//! instances live, the larger aggregate footprint makes *scalar*
+//! (one-packet-at-a-time) updates more cache-hostile than the stream
+//! summary's — the flat layout is the batch-path counter; keep
+//! [`crate::SpaceSaving`] for scalar deployments (measured numbers in
+//! ROADMAP "Performance").
+
+use std::hash::BuildHasher;
+
+use crate::fast_hash::IntHashBuilder;
+use crate::{for_each_run, Candidate, CounterKey, FrequencyEstimator};
+
+#[derive(Debug, Clone, Copy)]
+struct Slot<K> {
+    /// `0` marks an empty slot — a monitored key always has `count ≥ 1`.
+    count: u64,
+    /// Overestimation recorded when this slot was stolen from a victim.
+    error: u64,
+    /// Cached `hash(key) & mask`, so backward-shift deletion never
+    /// re-hashes surviving entries.
+    home: u32,
+    key: K,
+}
+
+/// Space Saving over a flat open-addressing arena with an in-line index.
+///
+/// Same estimates and guarantees as [`crate::SpaceSaving`]; see the
+/// [module docs](self) for the layout and the lazy-minimum machinery.
+#[derive(Debug, Clone)]
+pub struct CompactSpaceSaving<K> {
+    /// The arena. Empty until the first update (lazy init supplies the
+    /// filler key without requiring `K: Default`).
+    slots: Vec<Slot<K>>,
+    /// `slots.len() − 1`; the table length is a power of two.
+    mask: usize,
+    /// Number of occupied slots (≤ `capacity` < table length).
+    len: usize,
+    capacity: usize,
+    updates: u64,
+    /// Exact minimum count over occupied slots (meaningful when `len > 0`).
+    min_val: u64,
+    /// Number of occupied slots with `count == min_val`.
+    min_support: usize,
+    /// Victim hints: slot indices that held `min_val` when last scanned.
+    /// May contain stale entries (bumped or shifted since); consumers
+    /// revalidate with one count compare.
+    min_stack: Vec<u32>,
+    hasher: IntHashBuilder,
+}
+
+impl<K: CounterKey> CompactSpaceSaving<K> {
+    /// Count of the minimal slot — the upper bound for any unmonitored key
+    /// once the structure is full; 0 while it still has free slots.
+    #[must_use]
+    pub fn min_count(&self) -> u64 {
+        if self.len < self.capacity {
+            0
+        } else {
+            self.min_val
+        }
+    }
+
+    /// Number of monitored keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key is monitored yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline(always)]
+    fn home_of(&self, key: &K) -> usize {
+        self.hasher.hash_one(key) as usize & self.mask
+    }
+
+    /// Allocates the arena on first use, filling empty slots with the first
+    /// key ever seen (inert: `count == 0` is the emptiness marker).
+    #[cold]
+    fn init_table(&mut self, filler: K) {
+        let table = (self.capacity * 4).next_power_of_two();
+        self.slots = vec![
+            Slot {
+                count: 0,
+                error: 0,
+                home: 0,
+                key: filler,
+            };
+            table
+        ];
+        self.mask = table - 1;
+        self.min_stack.reserve(table);
+    }
+
+    /// Slot index of a monitored key, if any (safe on the pre-init table).
+    fn lookup(&self, key: &K) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut i = self.home_of(key);
+        loop {
+            let slot = &self.slots[i];
+            if slot.count == 0 {
+                return None;
+            }
+            if slot.key == *key {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Recomputes `min_val`/`min_support` and refills the victim stack in
+    /// one arena pass (finding a smaller count discards the hints gathered
+    /// so far). Called only when the support of the current minimum is
+    /// exhausted; see the module docs for why this amortizes to O(1) per
+    /// update.
+    #[cold]
+    fn rescan_min(&mut self) {
+        debug_assert!(self.len > 0);
+        let mut min = u64::MAX;
+        self.min_stack.clear();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.count == 0 {
+                continue;
+            }
+            if slot.count < min {
+                min = slot.count;
+                self.min_stack.clear();
+                self.min_stack.push(i as u32);
+            } else if slot.count == min {
+                self.min_stack.push(i as u32);
+            }
+        }
+        self.min_val = min;
+        self.min_support = self.min_stack.len();
+        debug_assert!(self.min_support > 0);
+    }
+
+    /// Refills `min_stack` with every slot currently at `min_val` and
+    /// resets `min_support` accordingly (used when backward shifts starved
+    /// the stack while the level still has support).
+    #[cold]
+    fn fill_stack(&mut self) {
+        self.min_stack.clear();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.count == self.min_val {
+                self.min_stack.push(i as u32);
+            }
+        }
+        self.min_support = self.min_stack.len();
+        debug_assert!(self.min_support > 0);
+    }
+
+    /// A slot's count left the minimum level; repair the support count.
+    #[inline(always)]
+    fn on_leave_min(&mut self) {
+        self.min_support -= 1;
+        if self.min_support == 0 {
+            self.rescan_min();
+        }
+    }
+
+    /// Pops a victim slot with `count == min_val`. Stale hints (slots that
+    /// were bumped, or whose entry a backward shift replaced) are skipped
+    /// after one count compare; if shifts starved the stack while support
+    /// remains, one arena pass refills it.
+    fn pop_victim(&mut self) -> usize {
+        debug_assert!(self.min_support > 0 && self.min_val > 0);
+        loop {
+            while let Some(i) = self.min_stack.pop() {
+                if self.slots[i as usize].count == self.min_val {
+                    return i as usize;
+                }
+            }
+            self.fill_stack();
+        }
+    }
+
+    /// Backward-shift deletion: empties `v` and re-compacts the probe
+    /// chains that ran through it, so lookups never need tombstones.
+    /// Returns the final hole position.
+    fn remove_at(&mut self, v: usize) -> usize {
+        let mask = self.mask;
+        let mut hole = v;
+        let mut j = v;
+        loop {
+            j = (j + 1) & mask;
+            let slot = self.slots[j];
+            if slot.count == 0 {
+                break;
+            }
+            // `j` may fill the hole iff its probe distance reaches back at
+            // least to the hole; otherwise moving it would place it before
+            // its home and break its own chain.
+            let dist_home = j.wrapping_sub(slot.home as usize) & mask;
+            let dist_hole = j.wrapping_sub(hole) & mask;
+            if dist_home >= dist_hole {
+                self.slots[hole] = slot;
+                hole = j;
+            }
+        }
+        self.slots[hole].count = 0;
+        self.len -= 1;
+        hole
+    }
+
+    /// The shared hot path: monitored bump, free-slot insert, or
+    /// replace-min, all resolved by a single probe.
+    #[inline]
+    fn apply(&mut self, key: K, w: u64) {
+        debug_assert!(w >= 1);
+        self.updates += w;
+        if self.slots.is_empty() {
+            self.init_table(key);
+        }
+        let home = self.home_of(&key);
+        let mask = self.mask;
+
+        if self.len < self.capacity {
+            // Filling phase: plain probe, then claim the empty slot.
+            let mut i = home;
+            loop {
+                let slot = &mut self.slots[i];
+                if slot.count == 0 {
+                    break;
+                }
+                if slot.key == key {
+                    let old = slot.count;
+                    slot.count = old + w;
+                    if old == self.min_val {
+                        self.on_leave_min();
+                    }
+                    return;
+                }
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Slot {
+                count: w,
+                error: 0,
+                home: home as u32,
+                key,
+            };
+            self.len += 1;
+            if self.len == 1 || w < self.min_val {
+                self.min_val = w;
+                self.min_support = 1;
+                self.min_stack.clear();
+                self.min_stack.push(i as u32);
+            } else if w == self.min_val {
+                self.min_support += 1;
+                self.min_stack.push(i as u32);
+            }
+            return;
+        }
+
+        // Full structure: the probe additionally remembers the first
+        // minimum-count slot it passes — the counts are being loaded for
+        // the emptiness check anyway, and a miss can then often evict
+        // *in place* on its own chain.
+        let min_val = self.min_val;
+        let mut chain_victim = usize::MAX;
+        let mut i = home;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.count == 0 {
+                break;
+            }
+            if slot.key == key {
+                let old = slot.count;
+                slot.count = old + w;
+                if old == min_val {
+                    self.on_leave_min();
+                }
+                return;
+            }
+            if slot.count == min_val && chain_victim == usize::MAX {
+                chain_victim = i;
+            }
+            i = (i + 1) & mask;
+        }
+
+        // Replace the minimum: either victim is a true minimum (all counts
+        // ≥ min_val), so Space Saving semantics hold exactly; the layouts
+        // differ only in their tie-break among equal minima.
+        if chain_victim != usize::MAX {
+            // A minimum lives on the new key's own probe chain: overwrite
+            // it in place. No slot empties, so every other probe chain —
+            // and the new key's own — stays intact, with zero extra loads.
+            let victim_count = self.slots[chain_victim].count;
+            self.slots[chain_victim] = Slot {
+                count: victim_count + w,
+                error: victim_count,
+                home: home as u32,
+                key,
+            };
+            self.on_leave_min();
+            return;
+        }
+        let v = self.pop_victim();
+        let victim_count = self.slots[v].count;
+        let hole = self.remove_at(v);
+        // The probe already found the first empty slot `i` on the new
+        // key's chain. The shift cannot have emptied anything on that
+        // chain except its final hole — reuse it when it opened earlier
+        // on the chain, else `i` is still the right spot. Either way the
+        // eviction never re-probes.
+        let target = if (hole.wrapping_sub(home) & mask) < (i.wrapping_sub(home) & mask) {
+            hole
+        } else {
+            i
+        };
+        self.slots[target] = Slot {
+            count: victim_count + w,
+            error: victim_count,
+            home: home as u32,
+            key,
+        };
+        self.len += 1;
+        self.on_leave_min();
+    }
+
+    /// Validates every structural invariant; used by tests and proptests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        let occupied: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].count > 0)
+            .collect();
+        assert_eq!(occupied.len(), self.len, "len out of sync");
+        assert!(self.len <= self.capacity, "over capacity");
+        let mut min = u64::MAX;
+        let mut support = 0usize;
+        for &i in &occupied {
+            let slot = &self.slots[i];
+            assert!(slot.error <= slot.count, "error exceeds count");
+            assert_eq!(
+                slot.home as usize,
+                self.home_of(&slot.key),
+                "cached home is stale"
+            );
+            // The probe chain for this key must terminate at this slot —
+            // backward-shift deletion left no unreachable entries.
+            assert_eq!(
+                self.lookup(&slot.key),
+                Some(i),
+                "monitored key unreachable by probing"
+            );
+            if slot.count < min {
+                min = slot.count;
+                support = 1;
+            } else if slot.count == min {
+                support += 1;
+            }
+        }
+        if self.len > 0 {
+            assert_eq!(self.min_val, min, "cached minimum is stale");
+            assert_eq!(self.min_support, support, "minimum support is stale");
+            // Every stack hint is in bounds; staleness is allowed, loss is
+            // not: the live min slots must be recoverable (fill_stack
+            // rebuilds from the arena, so this is implied by support).
+            for &i in &self.min_stack {
+                assert!((i as usize) < self.slots.len(), "stack hint out of bounds");
+            }
+        }
+        let guaranteed: u64 = occupied
+            .iter()
+            .map(|&i| self.slots[i].count - self.slots[i].error)
+            .sum();
+        assert!(guaranteed <= self.updates, "counted mass exceeds updates");
+        if occupied.iter().all(|&i| self.slots[i].error == 0) {
+            assert_eq!(guaranteed, self.updates, "mass lost without evictions");
+        }
+    }
+}
+
+impl<K: CounterKey> FrequencyEstimator<K> for CompactSpaceSaving<K> {
+    fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            slots: Vec::new(),
+            mask: 0,
+            len: 0,
+            capacity,
+            updates: 0,
+            min_val: 0,
+            min_support: 0,
+            min_stack: Vec::new(),
+            hasher: IntHashBuilder,
+        }
+    }
+
+    #[inline]
+    fn increment(&mut self, key: K) {
+        self.apply(key, 1);
+    }
+
+    #[inline]
+    fn add(&mut self, key: K, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.apply(key, weight);
+    }
+
+    fn increment_batch(&mut self, keys: &[K]) {
+        // One probe per run of equal consecutive keys: the slot found by
+        // the probe absorbs the whole run while its cache line is hot.
+        // (A table-position-ordered flush was tried here and measured
+        // slower: materializing and sorting (home, key) pairs costs more
+        // than the sequential sweep saves on an L2-resident arena, so
+        // `flush_group` keeps its key-ordered default.)
+        for_each_run(keys, |key, run| self.apply(key, run));
+    }
+
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn upper(&self, key: &K) -> u64 {
+        match self.lookup(key) {
+            Some(i) => self.slots[i].count,
+            None => self.min_count(),
+        }
+    }
+
+    fn lower(&self, key: &K) -> u64 {
+        match self.lookup(key) {
+            Some(i) => self.slots[i].count - self.slots[i].error,
+            None => 0,
+        }
+    }
+
+    fn candidates(&self) -> Vec<Candidate<K>> {
+        self.slots
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| Candidate {
+                key: s.key,
+                upper: s.count,
+                lower: s.count - s.error,
+            })
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpaceSaving;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut ss: CompactSpaceSaving<u32> = CompactSpaceSaving::with_capacity(10);
+        for (key, n) in [(1u32, 5u64), (2, 3), (3, 9)] {
+            for _ in 0..n {
+                ss.increment(key);
+            }
+        }
+        for (key, n) in [(1u32, 5u64), (2, 3), (3, 9)] {
+            assert_eq!(ss.upper(&key), n);
+            assert_eq!(ss.lower(&key), n);
+        }
+        assert_eq!(ss.upper(&999), 0, "unseen key while not full");
+        assert_eq!(ss.updates(), 17);
+        ss.debug_validate();
+    }
+
+    #[test]
+    fn replacement_sets_error_and_bounds_hold() {
+        let mut ss: CompactSpaceSaving<u32> = CompactSpaceSaving::with_capacity(2);
+        ss.increment(1);
+        ss.increment(1);
+        ss.increment(2);
+        // Structure full; key 3 evicts key 2 (count 1).
+        ss.increment(3);
+        assert_eq!(ss.upper(&3), 2); // victim count + 1
+        assert_eq!(ss.lower(&3), 1); // could all be error
+        assert_eq!(ss.lower(&2), 0); // evicted
+        assert!(ss.upper(&2) >= 1); // min-count bound
+        ss.debug_validate();
+    }
+
+    #[test]
+    fn never_underestimates_and_error_bounded() {
+        let cap = 8;
+        let mut ss: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        let mut x = 0x12345678u64;
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = if i % 3 == 0 { i % 5 } else { x % 64 };
+            ss.increment(key);
+            *exact.entry(key).or_default() += 1;
+        }
+        let n = ss.updates();
+        for key in exact.keys().chain([&999_999u64]) {
+            let f = exact.get(key).copied().unwrap_or(0);
+            assert!(ss.upper(key) >= f, "upper({key}) < f");
+            assert!(ss.lower(key) <= f, "lower({key}) > f");
+            assert!(
+                ss.upper(key) <= f + n / cap as u64,
+                "error bound violated for {key}: upper {} f {f} bound {}",
+                ss.upper(key),
+                f + n / cap as u64
+            );
+        }
+        ss.debug_validate();
+    }
+
+    #[test]
+    fn matches_stream_summary_on_deterministic_stream() {
+        // Both variants evict a true minimum, so the count multiset — and
+        // with it min_count, updates and total mass — evolve identically.
+        let cap = 16;
+        let mut flat: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+        let mut list: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+        let mut x = 7u64;
+        for _ in 0..30_000 {
+            x = x.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xB5);
+            let key = x % 300;
+            flat.increment(key);
+            list.increment(key);
+        }
+        assert_eq!(flat.updates(), list.updates());
+        assert_eq!(flat.min_count(), list.min_count());
+        let mass = |c: Vec<Candidate<u64>>| -> u64 { c.iter().map(|e| e.upper).sum() };
+        assert_eq!(mass(flat.candidates()), mass(list.candidates()));
+        flat.debug_validate();
+    }
+
+    #[test]
+    fn heavy_hitters_always_monitored() {
+        let cap = 10;
+        let mut ss: CompactSpaceSaving<u32> = CompactSpaceSaving::with_capacity(cap);
+        let mut x = 7u64;
+        for i in 0..5_000u64 {
+            if i % 4 == 0 {
+                ss.increment(42); // 25% of traffic
+            } else {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ss.increment((x % 1000) as u32 + 100);
+            }
+        }
+        let cands = ss.candidates();
+        assert!(cands.iter().any(|c| c.key == 42), "HH lost from summary");
+        assert_eq!(cands.len(), cap);
+        ss.debug_validate();
+    }
+
+    #[test]
+    fn min_count_tracks_minimum() {
+        let mut ss: CompactSpaceSaving<u32> = CompactSpaceSaving::with_capacity(3);
+        assert_eq!(ss.min_count(), 0);
+        for k in 0..3 {
+            ss.increment(k);
+        }
+        assert_eq!(ss.min_count(), 1);
+        ss.increment(0);
+        ss.increment(1);
+        ss.increment(2);
+        assert_eq!(ss.min_count(), 2);
+        ss.debug_validate();
+    }
+
+    #[test]
+    fn single_counter_capacity() {
+        let mut ss: CompactSpaceSaving<u32> = CompactSpaceSaving::with_capacity(1);
+        for k in 0..100u32 {
+            ss.increment(k);
+        }
+        assert_eq!(ss.upper(&99), 100);
+        assert_eq!(ss.len(), 1);
+        ss.debug_validate();
+    }
+
+    #[test]
+    fn eviction_churn_keeps_probe_chains_sound() {
+        // All-distinct stream at capacity: every update past the fill
+        // phase evicts, exercising backward-shift deletion continuously.
+        let cap = 32;
+        let mut ss: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+        for i in 0..10_000u64 {
+            ss.increment(i);
+            if i % 1_000 == 999 {
+                ss.debug_validate();
+            }
+        }
+        assert_eq!(ss.len(), cap);
+        assert_eq!(ss.updates(), 10_000);
+        ss.debug_validate();
+    }
+
+    #[test]
+    fn weighted_add_matches_repeated_increment_mass() {
+        let cap = 8;
+        let mut weighted: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+        let mut unit: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+        let mut x = 3u64;
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+            let key = x % 40;
+            let w = 1 + (x >> 32) % 5;
+            weighted.add(key, w);
+            for _ in 0..w {
+                unit.increment(key);
+            }
+        }
+        assert_eq!(weighted.updates(), unit.updates());
+        weighted.debug_validate();
+        unit.debug_validate();
+    }
+
+    #[test]
+    fn increment_batch_matches_scalar_increments() {
+        let mut x = 0xFEED_u64;
+        let mut runs: Vec<u64> = Vec::new();
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = x % 17;
+            let len = 1 + (x >> 32) % 9;
+            for _ in 0..len {
+                runs.push(key);
+            }
+        }
+        for cap in [1usize, 4, 16, 64] {
+            let mut batched: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+            let mut scalar: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+            batched.increment_batch(&runs);
+            for &k in &runs {
+                scalar.increment(k);
+            }
+            assert_eq!(batched.updates(), scalar.updates());
+            for key in 0..17u64 {
+                assert_eq!(
+                    batched.upper(&key),
+                    scalar.upper(&key),
+                    "cap {cap} key {key}"
+                );
+                assert_eq!(
+                    batched.lower(&key),
+                    scalar.lower(&key),
+                    "cap {cap} key {key}"
+                );
+            }
+            batched.debug_validate();
+        }
+    }
+
+    #[test]
+    fn zero_weight_is_noop() {
+        let mut ss: CompactSpaceSaving<u32> = CompactSpaceSaving::with_capacity(4);
+        ss.add(5, 0);
+        assert_eq!(ss.updates(), 0);
+        assert_eq!(ss.upper(&5), 0);
+        assert!(ss.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: CompactSpaceSaving<u32> = CompactSpaceSaving::with_capacity(0);
+    }
+}

@@ -127,6 +127,12 @@ impl<K: CounterKey> FrequencyEstimator<K> for CountMin<K> {
         }
     }
 
+    fn increment_batch(&mut self, keys: &[K]) {
+        // One set of row hashes and one candidate-list touch per run of
+        // equal consecutive keys.
+        crate::for_each_run(keys, |key, run| self.add(key, run));
+    }
+
     fn updates(&self) -> u64 {
         self.updates
     }

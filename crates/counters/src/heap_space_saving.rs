@@ -158,6 +158,14 @@ impl<K: CounterKey> FrequencyEstimator<K> for HeapSpaceSaving<K> {
         self.sift_down(0);
     }
 
+    fn increment_batch(&mut self, keys: &[K]) {
+        // Run-length merge, mirroring the stream-summary override: one
+        // index lookup and one sift per run of equal consecutive keys, so
+        // the ablation benches compare batch against batch rather than
+        // batch against the default per-element loop.
+        crate::for_each_run(keys, |key, run| self.add(key, run));
+    }
+
     fn updates(&self) -> u64 {
         self.updates
     }

@@ -13,8 +13,14 @@
 //! O(1) worst-case — which is what makes RHHH's whole update O(1)
 //! (Theorem 6.18). This crate provides:
 //!
-//! * [`SpaceSaving`] — the stream-summary implementation with true O(1)
-//!   worst-case updates (doubly linked count buckets, Metwally et al. 2005).
+//! * [`SpaceSaving`] — the classic stream-summary implementation with true
+//!   O(1) worst-case updates (doubly linked count buckets, Metwally et al.
+//!   2005).
+//! * [`CompactSpaceSaving`] — the same semantics on a flat open-addressing
+//!   arena whose slots hold `(key, count, error)` in-line: one cache-line
+//!   probe resolves lookup *and* update, with a lazily-maintained exact
+//!   minimum replacing the bucket lists (amortized O(1), see the
+//!   [module docs](compact_space_saving)).
 //! * [`HeapSpaceSaving`] — the same semantics on a binary heap
 //!   (O(log 1/ε) updates); kept as an ablation target.
 //! * [`MisraGries`] — the Frequent algorithm (deterministic underestimates,
@@ -26,6 +32,29 @@
 //!
 //! All of them implement [`FrequencyEstimator`], the crate's rendering of
 //! Definition 4 plus the candidate enumeration RHHH's `Output` needs.
+//!
+//! # Choosing between the Space Saving layouts
+//!
+//! Both Space Saving implementations evict a true minimum, so their
+//! guarantees — and even their count multisets — are identical; they
+//! differ only in memory behaviour:
+//!
+//! * **Stream summary** ([`SpaceSaving`]): strict O(1) *worst case* per
+//!   unit update. Pays for it with a separate hash index plus counter and
+//!   bucket pointer walks (~100 KB working set at ε = 0.001, several
+//!   dependent loads per update). Choose it for scalar (one-packet-at-a-
+//!   time) deployments and when tail latency of a single update matters.
+//! * **Flat arena** ([`CompactSpaceSaving`]): O(1) *amortized* (the rare
+//!   minimum rescan costs one arena pass but total rescan work is bounded
+//!   by the stream length). The hash index is fused into the counter
+//!   storage, so a monitored bump is one probe into flat memory with no
+//!   pointer chasing — measured ~2× faster than the stream summary on the
+//!   monitored-key path. Choose it for the batch flush (`increment_batch`
+//!   / RHHH's `update_batch`), where it sets the workspace's best
+//!   throughput (ROADMAP "Performance"); RHHH's accuracy is insensitive
+//!   to the swap (the counter's internals never leak into the analysis,
+//!   only Definition 4 does — and the differential suite pins the two
+//!   layouts to identical count multisets).
 //!
 //! # Example
 //!
@@ -41,6 +70,7 @@
 //! assert!(ss.upper(&7) - ss.lower(&7) <= 10); // error ≤ N/capacity
 //! ```
 
+mod compact_space_saving;
 mod count_min;
 mod fast_hash;
 mod heap_space_saving;
@@ -48,6 +78,7 @@ mod lossy_counting;
 mod misra_gries;
 mod space_saving;
 
+pub use compact_space_saving::CompactSpaceSaving;
 pub use count_min::CountMin;
 pub use fast_hash::{FastHasher, IntHashBuilder};
 pub use heap_space_saving::HeapSpaceSaving;
@@ -58,11 +89,12 @@ pub use space_saving::SpaceSaving;
 use std::fmt::Debug;
 use std::hash::Hash;
 
-/// Key types accepted by the counter algorithms: cheap to copy, hash and
-/// compare. Blanket-implemented for anything suitable (the packed integer
-/// keys of `hhh-hierarchy` in particular).
-pub trait CounterKey: Copy + Eq + Hash + Debug + Send + 'static {}
-impl<T: Copy + Eq + Hash + Debug + Send + 'static> CounterKey for T {}
+/// Key types accepted by the counter algorithms: cheap to copy, hash,
+/// compare and order (ordering lets batch flushes group duplicates).
+/// Blanket-implemented for anything suitable (the packed integer keys of
+/// `hhh-hierarchy` in particular).
+pub trait CounterKey: Copy + Ord + Hash + Debug + Send + 'static {}
+impl<T: Copy + Ord + Hash + Debug + Send + 'static> CounterKey for T {}
 
 /// One monitored candidate reported by a counter algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +156,20 @@ pub trait FrequencyEstimator<K: CounterKey>: Send {
         }
     }
 
+    /// Processes one *unordered* group of occurrences — the shape RHHH's
+    /// batch path produces per lattice node after masking. The estimator
+    /// owns the ordering decision; the default — used by every current
+    /// implementation — sorts by key so duplicates become runs for
+    /// [`Self::increment_batch`]. An estimator whose layout favours a
+    /// different traversal can override it (a table-position order was
+    /// prototyped for the flat arena and measured slower, so none does
+    /// today). Any processing order is a tie-break the counter guarantees
+    /// never observe; the slice is reordered in place.
+    fn flush_group(&mut self, keys: &mut [K]) {
+        keys.sort_unstable();
+        self.increment_batch(keys);
+    }
+
     /// Total number of updates processed (the per-instance `X_i`).
     fn updates(&self) -> u64;
 
@@ -170,6 +216,24 @@ pub fn counters_for(epsilon_a: f64, epsilon_s: f64) -> usize {
     ((1.0 + epsilon_s) / epsilon_a).ceil() as usize
 }
 
+/// Run-length encodes a key slice: invokes `f(key, run_length)` once per
+/// maximal run of equal consecutive keys. The `increment_batch` overrides
+/// share this so a sorted node group costs one index probe per *distinct*
+/// key instead of one per element.
+#[inline]
+pub(crate) fn for_each_run<K: CounterKey>(keys: &[K], mut f: impl FnMut(K, u64)) {
+    let mut i = 0;
+    while i < keys.len() {
+        let key = keys[i];
+        let mut j = i + 1;
+        while j < keys.len() && keys[j] == key {
+            j += 1;
+        }
+        f(key, (j - i) as u64);
+        i = j;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +249,15 @@ mod tests {
     #[should_panic(expected = "epsilon_a must lie in (0, 1]")]
     fn counters_for_rejects_zero() {
         let _ = counters_for(0.0, 0.0);
+    }
+
+    #[test]
+    fn for_each_run_merges_maximal_runs() {
+        let mut seen: Vec<(u32, u64)> = Vec::new();
+        for_each_run(&[7u32, 7, 7, 1, 2, 2, 7], |k, w| seen.push((k, w)));
+        assert_eq!(seen, vec![(7, 3), (1, 1), (2, 2), (7, 1)]);
+        seen.clear();
+        for_each_run(&[], |k: u32, w| seen.push((k, w)));
+        assert!(seen.is_empty());
     }
 }

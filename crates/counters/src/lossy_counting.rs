@@ -105,6 +105,13 @@ impl<K: CounterKey> FrequencyEstimator<K> for LossyCounting<K> {
         }
     }
 
+    fn increment_batch(&mut self, keys: &[K]) {
+        // One table lookup per run of equal consecutive keys. `add` is the
+        // native weighted path (O(1) plus any bucket boundaries actually
+        // crossed), so a merged run costs the same as a single arrival.
+        crate::for_each_run(keys, |key, run| self.add(key, run));
+    }
+
     fn updates(&self) -> u64 {
         self.updates
     }

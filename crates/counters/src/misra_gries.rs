@@ -95,6 +95,13 @@ impl<K: CounterKey> FrequencyEstimator<K> for MisraGries<K> {
         }
     }
 
+    fn increment_batch(&mut self, keys: &[K]) {
+        // One table lookup (and at most one weighted decrement round) per
+        // run of equal consecutive keys, via the native `add` above — the
+        // trait default would pay one lookup per element.
+        crate::for_each_run(keys, |key, run| self.add(key, run));
+    }
+
     fn updates(&self) -> u64 {
         self.updates
     }

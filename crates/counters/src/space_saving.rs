@@ -393,20 +393,13 @@ impl<K: CounterKey> FrequencyEstimator<K> for SpaceSaving<K> {
         // leaves the structure in exactly the state of `w` increments of
         // `k` (bump_by is the w-fold composition of bump, and the eviction
         // path records the same victim error either way).
-        let mut i = 0;
-        while i < keys.len() {
-            let key = keys[i];
-            let mut run = 1u64;
-            while i + (run as usize) < keys.len() && keys[i + run as usize] == key {
-                run += 1;
-            }
+        crate::for_each_run(keys, |key, run| {
             if run == 1 {
                 self.increment(key);
             } else {
                 self.add(key, run);
             }
-            i += run as usize;
-        }
+        });
     }
 
     fn updates(&self) -> u64 {

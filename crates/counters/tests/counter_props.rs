@@ -1,8 +1,12 @@
 //! Property-based tests: every counter algorithm must honour the
 //! (ε, δ)-Frequency Estimation contract of Definition 4 against an exact
-//! reference count, on arbitrary streams.
+//! reference count, on arbitrary streams — plus differential tests pinning
+//! the flat-arena [`CompactSpaceSaving`] against the stream-summary
+//! [`SpaceSaving`] on random and adversarial streams.
 
-use hhh_counters::{FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving};
+use hhh_counters::{
+    CompactSpaceSaving, FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -59,12 +63,114 @@ fn check_bounds<E: FrequencyEstimator<u64>>(
     Ok(())
 }
 
+/// Differential check of the two Space Saving layouts on one stream: both
+/// must process the same number of updates, both must sandwich the truth
+/// within the `N/capacity` error bound, and — because each eviction removes
+/// a true minimum in either layout — their count multisets and min-counts
+/// must match exactly.
+fn check_compact_vs_stream_summary(stream: &[u64], cap: usize) {
+    let mut flat: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+    let mut list: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+    for &k in stream {
+        flat.increment(k);
+        list.increment(k);
+    }
+    assert_eq!(flat.updates(), list.updates(), "update counts diverged");
+    assert_eq!(flat.min_count(), list.min_count(), "min-counts diverged");
+    let mass = |c: &[hhh_counters::Candidate<u64>]| -> u64 { c.iter().map(|e| e.upper).sum() };
+    assert_eq!(
+        mass(&flat.candidates()),
+        mass(&list.candidates()),
+        "count multisets diverged"
+    );
+
+    let exact = exact_counts(stream);
+    let n = stream.len() as u64;
+    let eps_n = n / cap as u64;
+    for (key, &f) in &exact {
+        for (label, upper, lower) in [
+            ("compact", flat.upper(key), flat.lower(key)),
+            ("stream-summary", list.upper(key), list.lower(key)),
+        ] {
+            assert!(lower <= f, "{label}: lower({key}) > truth");
+            assert!(upper >= f, "{label}: upper({key}) < truth");
+            assert!(
+                upper - lower <= eps_n.max(1),
+                "{label}: interval wider than N/capacity for {key}: [{lower}, {upper}]"
+            );
+        }
+    }
+    flat.debug_validate();
+    list.debug_validate();
+}
+
+/// Adversarial streams the random generator is unlikely to produce.
+#[test]
+fn compact_differential_adversarial_streams() {
+    for cap in [1usize, 7, 32, 100] {
+        // All-distinct: every post-fill update is an eviction.
+        let distinct: Vec<u64> = (0..4_000u64).collect();
+        check_compact_vs_stream_summary(&distinct, cap);
+
+        // Single key: pure bump path, no eviction ever.
+        let single = vec![42u64; 3_000];
+        check_compact_vs_stream_summary(&single, cap);
+
+        // Distinct-then-single and alternating phases: exercises the
+        // min-support bookkeeping across fill, churn and bump regimes.
+        let mut phases: Vec<u64> = (0..1_000u64).collect();
+        phases.extend(std::iter::repeat_n(7u64, 1_000));
+        phases.extend(1_000..2_000u64);
+        check_compact_vs_stream_summary(&phases, cap);
+    }
+}
+
+/// Zipf-distributed stream (the empirical shape of the paper's traces):
+/// heavy keys bump, the long tail churns the minimum.
+#[test]
+fn compact_differential_zipf_stream() {
+    let zipf = hhh_traces::Zipf::new(10_000, 1.2);
+    let mut x = 0x5EEDu64;
+    let mut uniform = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let stream: Vec<u64> = (0..30_000).map(|_| zipf.sample(&mut uniform)).collect();
+    for cap in [10usize, 100, 1_000] {
+        check_compact_vs_stream_summary(&stream, cap);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn space_saving_contract(stream in arb_stream(), cap in 1usize..32) {
         check_bounds::<SpaceSaving<u64>>(&stream, cap, true)?;
+    }
+
+    #[test]
+    fn compact_space_saving_contract(stream in arb_stream(), cap in 1usize..32) {
+        check_bounds::<CompactSpaceSaving<u64>>(&stream, cap, true)?;
+    }
+
+    /// Random-stream differential: flat arena vs stream summary.
+    #[test]
+    fn compact_differential_random(stream in arb_stream(), cap in 1usize..32) {
+        check_compact_vs_stream_summary(&stream, cap);
+    }
+
+    /// The flat-arena internals (probe chains, lazy minimum, support
+    /// counts) stay consistent under arbitrary streams.
+    #[test]
+    fn compact_structure_invariants(stream in arb_stream(), cap in 1usize..16) {
+        let mut ss: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+        for &k in &stream {
+            ss.increment(k);
+        }
+        ss.debug_validate();
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! Definition 4 invariant and agree with `w` repeated increments where the
 //! semantics are deterministic.
 
-use hhh_counters::{FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving};
+use hhh_counters::{
+    CompactSpaceSaving, FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -71,6 +73,42 @@ proptest! {
     #[test]
     fn heap_space_saving_weighted_contract(stream in arb_weighted_stream(), cap in 1usize..16) {
         check_weighted::<HeapSpaceSaving<u64>>(&stream, cap, true)?;
+    }
+
+    #[test]
+    fn compact_space_saving_weighted_contract(stream in arb_weighted_stream(), cap in 1usize..16) {
+        check_weighted::<CompactSpaceSaving<u64>>(&stream, cap, true)?;
+    }
+
+    /// Weighted updates drive the two Space Saving layouts to identical
+    /// count multisets, exactly like unit updates do.
+    #[test]
+    fn compact_weighted_matches_stream_summary(
+        stream in arb_weighted_stream(), cap in 1usize..16,
+    ) {
+        let mut flat: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+        let mut list: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+        for &(k, w) in &stream {
+            flat.add(k, w);
+            list.add(k, w);
+        }
+        prop_assert_eq!(flat.updates(), list.updates());
+        prop_assert_eq!(flat.min_count(), list.min_count());
+        let mass_flat: u64 = flat.candidates().iter().map(|c| c.upper).sum();
+        let mass_list: u64 = list.candidates().iter().map(|c| c.upper).sum();
+        prop_assert_eq!(mass_flat, mass_list, "count multisets diverged");
+        flat.debug_validate();
+    }
+
+    /// The flat-arena structure stays internally consistent under weighted
+    /// updates (probe chains, lazy minimum, error ≤ count).
+    #[test]
+    fn compact_weighted_structure(stream in arb_weighted_stream(), cap in 1usize..12) {
+        let mut ss: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+        for &(k, w) in &stream {
+            ss.add(k, w);
+        }
+        ss.debug_validate();
     }
 
     #[test]

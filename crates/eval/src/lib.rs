@@ -25,6 +25,9 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 
+pub use hhh_core::CounterKind;
 pub use metrics::{accuracy_error_ratio, coverage_error_ratio, false_positive_ratio};
 pub use report::Report;
-pub use runner::{checkpoints, measure_mpps, quality_sweep, AlgoKind, Args, QualityPoint};
+pub use runner::{
+    checkpoints, measure_mpps, measure_mpps_batch, quality_sweep, AlgoKind, Args, QualityPoint,
+};

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use hhh_baselines::{Ancestry, AncestryMode, Mst};
-use hhh_core::{ExactHhh, HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_core::{CounterKind, ExactHhh, HhhAlgorithm, RhhhConfig};
 use hhh_hierarchy::{KeyBits, Lattice};
 use hhh_traces::{Packet, TraceConfig, TraceGenerator};
 
@@ -67,10 +67,12 @@ impl Args {
 /// The algorithm roster of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgoKind {
-    /// RHHH with `V = v_scale · H`.
+    /// RHHH with `V = v_scale · H` over a selectable per-node counter.
     Rhhh {
         /// V as a multiple of H (1 = RHHH, 10 = 10-RHHH).
         v_scale: u64,
+        /// Per-node counter layout/algorithm.
+        counter: CounterKind,
     },
     /// Mitzenmacher–Steinke–Thaler update-all baseline.
     Mst,
@@ -81,6 +83,15 @@ pub enum AlgoKind {
 }
 
 impl AlgoKind {
+    /// RHHH with the default (stream-summary) counter, as the paper runs it.
+    #[must_use]
+    pub fn rhhh(v_scale: u64) -> AlgoKind {
+        AlgoKind::Rhhh {
+            v_scale,
+            counter: CounterKind::default(),
+        }
+    }
+
     /// The roster in the order the paper's figures list it.
     #[must_use]
     pub fn roster() -> Vec<AlgoKind> {
@@ -88,17 +99,28 @@ impl AlgoKind {
             AlgoKind::Mst,
             AlgoKind::FullAncestry,
             AlgoKind::PartialAncestry,
-            AlgoKind::Rhhh { v_scale: 1 },
-            AlgoKind::Rhhh { v_scale: 10 },
+            AlgoKind::rhhh(1),
+            AlgoKind::rhhh(10),
         ]
     }
 
-    /// Display name matching the paper's legends.
+    /// Display name matching the paper's legends; non-default counters are
+    /// tagged in brackets ("10-RHHH[compact]").
     #[must_use]
     pub fn label(&self) -> String {
         match self {
-            AlgoKind::Rhhh { v_scale: 1 } => "RHHH".into(),
-            AlgoKind::Rhhh { v_scale } => format!("{v_scale}-RHHH"),
+            AlgoKind::Rhhh { v_scale, counter } => {
+                let base = if *v_scale == 1 {
+                    "RHHH".to_string()
+                } else {
+                    format!("{v_scale}-RHHH")
+                };
+                if *counter == CounterKind::default() {
+                    base
+                } else {
+                    format!("{base}[{}]", counter.label())
+                }
+            }
             AlgoKind::Mst => "MST".into(),
             AlgoKind::FullAncestry => "FullAncestry".into(),
             AlgoKind::PartialAncestry => "PartialAncestry".into(),
@@ -116,7 +138,7 @@ impl AlgoKind {
         seed: u64,
     ) -> Box<dyn HhhAlgorithm<K>> {
         match self {
-            AlgoKind::Rhhh { v_scale } => Box::new(Rhhh::<K>::new(
+            AlgoKind::Rhhh { v_scale, counter } => counter.build_rhhh(
                 lattice,
                 RhhhConfig {
                     epsilon_a: epsilon,
@@ -126,7 +148,7 @@ impl AlgoKind {
                     updates_per_packet: 1,
                     seed,
                 },
-            )),
+            ),
             AlgoKind::Mst => Box::new(Mst::<K>::new(lattice, epsilon)),
             AlgoKind::FullAncestry => Box::new(Ancestry::new(lattice, AncestryMode::Full, epsilon)),
             AlgoKind::PartialAncestry => {
@@ -142,6 +164,23 @@ pub fn measure_mpps<K: KeyBits>(algo: &mut dyn HhhAlgorithm<K>, keys: &[K]) -> f
     let start = Instant::now();
     for &k in keys {
         algo.insert(k);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    keys.len() as f64 / secs / 1e6
+}
+
+/// Like [`measure_mpps`] but through the slice-at-a-time path
+/// ([`HhhAlgorithm::insert_batch`]) in rx-burst-sized chunks — the batch
+/// counterpart for speed comparisons.
+pub fn measure_mpps_batch<K: KeyBits>(
+    algo: &mut dyn HhhAlgorithm<K>,
+    keys: &[K],
+    chunk: usize,
+) -> f64 {
+    assert!(chunk > 0, "chunk size must be positive");
+    let start = Instant::now();
+    for part in keys.chunks(chunk) {
+        algo.insert_batch(part);
     }
     let secs = start.elapsed().as_secs_f64();
     keys.len() as f64 / secs / 1e6
@@ -280,10 +319,31 @@ mod tests {
     #[test]
     fn measure_mpps_is_positive() {
         let lat = Lattice::ipv4_src_bytes();
-        let mut algo = AlgoKind::Rhhh { v_scale: 1 }.build(lat, 0.01, 3);
+        let mut algo = AlgoKind::rhhh(1).build(lat, 0.01, 3);
         let keys: Vec<u32> = (0..100_000u32).collect();
         let mpps = measure_mpps(algo.as_mut(), &keys);
         assert!(mpps > 0.0);
+    }
+
+    #[test]
+    fn counter_kind_threads_through_build_and_label() {
+        for counter in CounterKind::roster() {
+            let kind = AlgoKind::Rhhh {
+                v_scale: 10,
+                counter,
+            };
+            if counter == CounterKind::default() {
+                assert_eq!(kind.label(), "10-RHHH");
+            } else {
+                assert_eq!(kind.label(), format!("10-RHHH[{}]", counter.label()));
+            }
+            let lat = Lattice::ipv4_src_bytes();
+            let mut algo = kind.build(lat, 0.01, 5);
+            let keys: Vec<u32> = (0..50_000u32).map(|i| i % 128).collect();
+            let mpps = measure_mpps_batch(algo.as_mut(), &keys, 4_096);
+            assert!(mpps > 0.0);
+            assert_eq!(algo.packets(), 50_000, "{}", kind.label());
+        }
     }
 
     #[test]
@@ -295,7 +355,7 @@ mod tests {
             theta: 0.05,
             epsilon: 0.02,
         };
-        let kinds = [AlgoKind::Mst, AlgoKind::Rhhh { v_scale: 1 }];
+        let kinds = [AlgoKind::Mst, AlgoKind::rhhh(1)];
         let points = quality_sweep(
             &lat,
             &hhh_traces::TraceConfig::sanjose14(),

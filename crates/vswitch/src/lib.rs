@@ -41,5 +41,7 @@ pub use distributed::{
     spawn_shared, Backpressure, DistributedRhhh, SharedCollector, SharedFrontend,
 };
 pub use flow_table::{Action, FlowKey, MegaflowTable, MicroflowCache};
-pub use monitor::{AlgoMonitor, BatchingMonitor, NoOpMonitor};
+pub use monitor::{
+    AlgoMonitor, BatchingMonitor, CompactBatchingMonitor, DynBatchingMonitor, NoOpMonitor,
+};
 pub use packet::{build_udp_frame, EthernetFrame, Ipv4View, ParseError, UdpView};

@@ -1,7 +1,8 @@
 //! Monitor adapters: plug any HHH algorithm into the datapath hook.
 
-use hhh_core::{HhhAlgorithm, Rhhh};
-use hhh_counters::{FrequencyEstimator, SpaceSaving};
+use hhh_core::{CounterKind, HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_counters::{CompactSpaceSaving, SpaceSaving};
+use hhh_hierarchy::Lattice;
 
 use crate::datapath::DataplaneMonitor;
 
@@ -55,48 +56,53 @@ impl<A: HhhAlgorithm<u64>> DataplaneMonitor for AlgoMonitor<A> {
     }
 }
 
-/// Dataplane monitor driving RHHH through its geometric-skip batch path:
-/// keys are buffered and flushed with [`Rhhh::update_batch`] once the batch
-/// fills — mirroring how DPDK-style datapaths already hand packets to the
-/// processing stage in rx bursts, so the measurement hook batches at the
-/// same grain as the switch itself.
+/// Dataplane monitor driving an algorithm through its slice-at-a-time path
+/// ([`HhhAlgorithm::insert_batch`], which RHHH overrides with the
+/// geometric-skip `update_batch`): keys are buffered and flushed once the
+/// batch fills — mirroring how DPDK-style datapaths already hand packets
+/// to the processing stage in rx bursts, so the measurement hook batches
+/// at the same grain as the switch itself.
 ///
 /// Call [`BatchingMonitor::flush`] (or tear down via
 /// [`BatchingMonitor::into_algorithm`], which flushes) before querying:
 /// buffered keys are not yet visible to the algorithm.
 #[derive(Debug)]
-pub struct BatchingMonitor<E: FrequencyEstimator<u64> = SpaceSaving<u64>> {
-    algo: Rhhh<u64, E>,
+pub struct BatchingMonitor<A: HhhAlgorithm<u64> = Rhhh<u64, SpaceSaving<u64>>> {
+    algo: A,
     buf: Vec<u64>,
     batch: usize,
+    /// Overrides the derived `label()` (used when the algorithm's own name
+    /// cannot distinguish the configuration, e.g. runtime counter kinds).
+    label: Option<String>,
 }
 
-impl<E: FrequencyEstimator<u64>> BatchingMonitor<E> {
+impl<A: HhhAlgorithm<u64>> BatchingMonitor<A> {
     /// Wraps `algo`, flushing every `batch` packets (a DPDK-like rx-burst
     /// grain such as 256 works well).
     ///
     /// # Panics
     ///
     /// Panics when `batch` is zero.
-    pub fn new(algo: Rhhh<u64, E>, batch: usize) -> Self {
+    pub fn new(algo: A, batch: usize) -> Self {
         assert!(batch > 0, "batch size must be positive");
         Self {
             algo,
             buf: Vec::with_capacity(batch),
             batch,
+            label: None,
         }
     }
 
     /// Delivers all buffered keys to the algorithm.
     pub fn flush(&mut self) {
         if !self.buf.is_empty() {
-            self.algo.update_batch(&self.buf);
+            self.algo.insert_batch(&self.buf);
             self.buf.clear();
         }
     }
 
     /// Flushes and unwraps the algorithm for querying.
-    pub fn into_algorithm(mut self) -> Rhhh<u64, E> {
+    pub fn into_algorithm(mut self) -> A {
         self.flush();
         self.algo
     }
@@ -108,18 +114,58 @@ impl<E: FrequencyEstimator<u64>> BatchingMonitor<E> {
     }
 }
 
-impl<E: FrequencyEstimator<u64>> DataplaneMonitor for BatchingMonitor<E> {
+impl<A: HhhAlgorithm<u64>> DataplaneMonitor for BatchingMonitor<A> {
     #[inline]
     fn on_packet(&mut self, key2: u64) {
         self.buf.push(key2);
         if self.buf.len() >= self.batch {
-            self.algo.update_batch(&self.buf);
+            self.algo.insert_batch(&self.buf);
             self.buf.clear();
         }
     }
 
     fn label(&self) -> String {
-        format!("{}(batch)", self.algo.name())
+        self.label
+            .clone()
+            .unwrap_or_else(|| format!("{}(batch)", self.algo.name()))
+    }
+}
+
+/// [`BatchingMonitor`] over the cache-packed flat-arena counter — the
+/// highest-throughput monitor configuration this workspace offers.
+pub type CompactBatchingMonitor = BatchingMonitor<Rhhh<u64, CompactSpaceSaving<u64>>>;
+
+/// The type-erased [`BatchingMonitor`]: the per-node counter layout is
+/// selected at runtime via [`CounterKind`] (e.g. from deployment
+/// configuration) instead of at the type level. Build with
+/// [`DynBatchingMonitor::with_counter`].
+pub type DynBatchingMonitor = BatchingMonitor<Box<dyn HhhAlgorithm<u64>>>;
+
+impl DynBatchingMonitor {
+    /// Builds a batching RHHH monitor over `lattice` with `kind` counters,
+    /// flushing every `batch` packets. The label carries the counter kind
+    /// (`"10-RHHH[compact](batch)"`-style, non-default kinds only) so rows
+    /// for different kinds stay distinguishable in reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` is zero.
+    #[must_use]
+    pub fn with_counter(
+        kind: CounterKind,
+        lattice: Lattice<u64>,
+        config: RhhhConfig,
+        batch: usize,
+    ) -> Self {
+        let mut monitor = Self::new(kind.build_rhhh(lattice, config), batch);
+        let base = monitor.algo.name();
+        let tag = if kind == CounterKind::default() {
+            String::new()
+        } else {
+            format!("[{}]", kind.label())
+        };
+        monitor.label = Some(format!("{base}{tag}(batch)"));
+        monitor
     }
 }
 
@@ -190,6 +236,61 @@ mod tests {
         assert_eq!(m.pending(), 0);
         let algo = m.into_algorithm();
         assert_eq!(algo.packets(), 10);
+    }
+
+    #[test]
+    fn dyn_batching_monitor_labels_carry_the_counter_kind() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let labels: Vec<String> = CounterKind::roster()
+            .iter()
+            .map(|&kind| {
+                DynBatchingMonitor::with_counter(kind, lat.clone(), RhhhConfig::ten_rhhh(), 64)
+                    .label()
+            })
+            .collect();
+        assert_eq!(labels[0], "10-RHHH(batch)");
+        assert!(labels.contains(&"10-RHHH[compact](batch)".to_string()));
+        let distinct: std::collections::HashSet<&String> = labels.iter().collect();
+        assert_eq!(distinct.len(), labels.len(), "label collision: {labels:?}");
+    }
+
+    #[test]
+    fn dyn_batching_monitor_selects_counter_at_runtime() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        for kind in CounterKind::roster() {
+            let mut dp = Datapath::new(DynBatchingMonitor::with_counter(
+                kind,
+                lat.clone(),
+                RhhhConfig::default(),
+                256,
+            ));
+            let frame = build_udp_frame(
+                u32::from_be_bytes([10, 20, 1, 1]),
+                u32::from_be_bytes([8, 8, 8, 8]),
+                1000,
+                80,
+                22,
+            );
+            for _ in 0..3_000 {
+                dp.process_frame(&frame).expect("valid");
+            }
+            let algo = dp.into_monitor().into_algorithm();
+            assert_eq!(algo.packets(), 3_000, "{}", kind.label());
+            assert!(!algo.query(0.5).is_empty(), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn compact_batching_monitor_is_a_batching_monitor() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let algo =
+            Rhhh::<u64, hhh_counters::CompactSpaceSaving<u64>>::new(lat, RhhhConfig::ten_rhhh());
+        let mut m: super::CompactBatchingMonitor = BatchingMonitor::new(algo, 128);
+        for i in 0..1_000u64 {
+            m.on_packet(i % 16);
+        }
+        let algo = m.into_algorithm();
+        assert_eq!(algo.packets(), 1_000);
     }
 
     #[test]

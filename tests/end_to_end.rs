@@ -86,7 +86,7 @@ fn rhhh_matches_mst_quality_once_converged() {
     // The paper's core claim: randomization costs speed of convergence, not
     // final quality. Compare the reported sets after ψ.
     let lat = Lattice::ipv4_src_dst_bytes();
-    let mut rhhh = AlgoKind::Rhhh { v_scale: 1 }.build(lat.clone(), EPS, 0xE2E);
+    let mut rhhh = AlgoKind::rhhh(1).build(lat.clone(), EPS, 0xE2E);
     let mut mst = AlgoKind::Mst.build(lat.clone(), EPS, 0xE2E);
     let mut exact = ExactHhh::new(lat);
     let mut gen = TraceGenerator::new(&TraceConfig::chicago15());
