@@ -1,0 +1,157 @@
+//! Shard-parallel pipeline cost model: what merge-on-query buys and costs.
+//!
+//! Three groups:
+//!
+//! * `sharded_throughput/pipeline` — end-to-end packets/s of the
+//!   [`ShardedMonitor`] (hash-route → per-shard batch workers → harvest
+//!   merge) for 1, 2 and 4 shards, both Space Saving layouts. On a
+//!   single-vCPU box the extra shards measure the *coordination overhead*
+//!   (hash, buffer, channel, merge) rather than a speedup — the number a
+//!   deployment needs to know before reaching for threads.
+//! * `sharded_throughput/merge` — the harvest-time cost of one
+//!   [`Rhhh::merge`] of two steady-state instances (25 nodes × 1001
+//!   counters each); this is the per-query price of shard parallelism and
+//!   of multi-VM aggregation.
+//! * `sharded_throughput/multi-vm` — switch-side throughput of the
+//!   [`MultiVmDistributedRhhh`] fan-out (10-RHHH, blocking link) for 1, 2
+//!   and 4 measurement VMs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhh_bench::Workload;
+use hhh_core::{Rhhh, RhhhConfig};
+use hhh_counters::{CompactSpaceSaving, SpaceSaving};
+use hhh_hierarchy::Lattice;
+use hhh_vswitch::{Backpressure, MultiVmDistributedRhhh, ShardedMonitor};
+
+const PACKETS: usize = 1_000_000;
+const SHARD_BATCH: usize = 4_096;
+
+fn config(v_scale: u64) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: 0.001,
+        epsilon_s: 0.001,
+        delta_s: 0.001,
+        v_scale,
+        updates_per_packet: 1,
+        seed: 0x5AAD,
+    }
+}
+
+fn pipeline(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut g = c.benchmark_group("sharded_throughput/pipeline");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(w.keys2.len() as u64));
+    for shards in [1usize, 2, 4] {
+        g.bench_function(BenchmarkId::from_parameter(format!("x{shards}")), |b| {
+            b.iter(|| {
+                let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(
+                    lat.clone(),
+                    config(10),
+                    shards,
+                    SHARD_BATCH,
+                );
+                for &k in &w.keys2 {
+                    mon.update(k);
+                }
+                mon.harvest()
+            });
+        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("x{shards}-compact")),
+            |b| {
+                b.iter(|| {
+                    let mut mon = ShardedMonitor::<u64, CompactSpaceSaving<u64>>::spawn(
+                        lat.clone(),
+                        config(10),
+                        shards,
+                        SHARD_BATCH,
+                    );
+                    for &k in &w.keys2 {
+                        mon.update(k);
+                    }
+                    mon.harvest()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn merge_cost(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+
+    // Two steady-state halves: each instance absorbed half the workload.
+    let half = w.keys2.len() / 2;
+    let mut left_list = Rhhh::<u64, SpaceSaving<u64>>::new(lat.clone(), config(1));
+    let mut right_list = Rhhh::<u64, SpaceSaving<u64>>::new(lat.clone(), config(1));
+    left_list.update_batch(&w.keys2[..half]);
+    right_list.update_batch(&w.keys2[half..]);
+    let mut left_flat = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), config(1));
+    let mut right_flat = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat, config(1));
+    left_flat.update_batch(&w.keys2[..half]);
+    right_flat.update_batch(&w.keys2[half..]);
+
+    let mut g = c.benchmark_group("sharded_throughput/merge");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.bench_function(BenchmarkId::from_parameter("stream-summary"), |b| {
+        b.iter_batched(
+            || (left_list.clone(), right_list.clone()),
+            |(mut a, b)| {
+                a.merge(b);
+                a
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function(BenchmarkId::from_parameter("compact"), |b| {
+        b.iter_batched(
+            || (left_flat.clone(), right_flat.clone()),
+            |(mut a, b)| {
+                a.merge(b);
+                a
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn multi_vm(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut g = c.benchmark_group("sharded_throughput/multi-vm");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(w.keys2.len() as u64));
+    for vms in [1usize, 2, 4] {
+        g.bench_function(BenchmarkId::from_parameter(format!("x{vms}")), |b| {
+            b.iter(|| {
+                let mut dist = MultiVmDistributedRhhh::spawn(
+                    lat.clone(),
+                    config(10),
+                    vms,
+                    8_192,
+                    Backpressure::Block,
+                );
+                for &k in &w.keys2 {
+                    dist.update(k);
+                }
+                dist.finish()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sharded, pipeline, merge_cost, multi_vm);
+criterion_main!(sharded);

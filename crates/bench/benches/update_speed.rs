@@ -152,44 +152,57 @@ fn batch_vs_scalar(c: &mut Criterion) {
 /// packets each node only sees ~4k updates there, so that group mostly
 /// measures the cold fill transient.)
 ///
-/// Warming replays the 1M-packet workload 12× through the batch path
-/// (~48k updates per node at `V = 10H`, 48× capacity at ε = 0.001); each
-/// timed iteration then runs on a clone of the warmed instance, so the
-/// flush hits monitored-bump and replace-min paths in their sustained
-/// proportions.
+/// Warming streams the *next* 12M packets of the same chicago16 generator
+/// through the batch path — a non-repeating trace, so the warmed state
+/// carries the trace's true key-churn statistics (an earlier protocol
+/// replayed the 1M-packet workload 12×, which over-represents its tail
+/// keys as recurring flows). ~48k updates per node at `V = 10H`, 48×
+/// capacity at ε = 0.001; each timed iteration then runs on a clone of the
+/// warmed instance, so the flush hits monitored-bump and replace-min paths
+/// in their sustained proportions.
 fn compact_vs_stream_summary(c: &mut Criterion) {
     const STEADY_PACKETS: usize = 1_000_000;
-    const WARM_ROUNDS: usize = 12;
-    let w = Workload::chicago16(STEADY_PACKETS);
+    const WARM_PACKETS: usize = 12_000_000;
+    const WARM_CHUNK: usize = 65_536;
     let lat = Lattice::ipv4_src_dst_bytes();
     for v_scale in [1u64, 10] {
         let group = format!("compact-vs-stream-summary/v{v_scale}");
 
+        // One generator supplies the measured workload (its first 1M
+        // packets) and then keeps producing the fresh warm trace, so no
+        // key sequence is ever replayed during warm-up.
+        let mut gen = hhh_traces::TraceGenerator::new(&hhh_traces::TraceConfig::chicago16());
+        let keys2: Vec<u64> = (0..STEADY_PACKETS).map(|_| gen.generate().key2()).collect();
         let mut warm_list = Rhhh::<u64>::new(lat.clone(), rhhh_config(v_scale));
         let mut warm_compact =
             Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), rhhh_config(v_scale));
-        for _ in 0..WARM_ROUNDS {
-            warm_list.update_batch(&w.keys2);
-            warm_compact.update_batch(&w.keys2);
+        let mut chunk = Vec::with_capacity(WARM_CHUNK);
+        let mut warmed = 0usize;
+        while warmed < WARM_PACKETS {
+            chunk.clear();
+            for _ in 0..WARM_CHUNK {
+                chunk.push(gen.generate().key2());
+            }
+            warm_list.update_batch(&chunk);
+            warm_compact.update_batch(&chunk);
+            warmed += WARM_CHUNK;
         }
 
-        bench_algo(c, &group, "scalar/stream-summary", &w.keys2, || {
+        bench_algo(c, &group, "scalar/stream-summary", &keys2, || {
             warm_list.clone()
         });
-        bench_algo(c, &group, "scalar/compact", &w.keys2, || {
-            warm_compact.clone()
-        });
+        bench_algo(c, &group, "scalar/compact", &keys2, || warm_compact.clone());
 
         let mut g = c.benchmark_group(&group);
         g.sample_size(10)
             .warm_up_time(Duration::from_millis(300))
             .measurement_time(Duration::from_secs(1))
-            .throughput(Throughput::Elements(w.keys2.len() as u64));
+            .throughput(Throughput::Elements(keys2.len() as u64));
         g.bench_function(BenchmarkId::from_parameter("batch/stream-summary"), |b| {
             b.iter_batched(
                 || warm_list.clone(),
                 |mut algo| {
-                    algo.update_batch(&w.keys2);
+                    algo.update_batch(&keys2);
                     algo
                 },
                 criterion::BatchSize::LargeInput,
@@ -199,7 +212,7 @@ fn compact_vs_stream_summary(c: &mut Criterion) {
             b.iter_batched(
                 || warm_compact.clone(),
                 |mut algo| {
-                    algo.update_batch(&w.keys2);
+                    algo.update_batch(&keys2);
                     algo
                 },
                 criterion::BatchSize::LargeInput,

@@ -12,6 +12,7 @@ use hhh_eval::AlgoKind;
 use hhh_hierarchy::{KeyBits, Lattice};
 use hhh_traces::io::{write_trace, TraceReader};
 use hhh_traces::{AttackConfig, Packet, TraceConfig, TraceGenerator};
+use hhh_vswitch::ShardedMonitor;
 
 use crate::args::Flags;
 
@@ -49,6 +50,61 @@ fn counter_kind(flags: &Flags) -> Result<CounterKind, String> {
 /// per-node flush better dedup and cache locality; 64Ki keys ≈ 512 KiB of
 /// input is still insignificant next to the counter state.
 const BATCH_CHUNK: usize = 65_536;
+
+/// Per-shard hand-off grain for `--shards`: one channel send per this many
+/// packets of a shard's sub-stream (an rx-burst-sized batch each worker
+/// flushes through `update_batch`).
+const SHARD_BATCH: usize = 4_096;
+
+/// Upper bound for `--shards`: each shard is an OS thread plus a full set
+/// of counter instances, so a typo like `1e9` must fail cleanly instead of
+/// reaching thread spawn.
+const MAX_SHARDS: usize = 256;
+
+/// Parses the optional `--shards N` flag (`None` when absent or `0`).
+fn shards_flag(flags: &Flags) -> Result<Option<usize>, String> {
+    let n = flags.num("shards", 0.0)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("--shards expects a non-negative integer, got {n}"));
+    }
+    if n > MAX_SHARDS as f64 {
+        return Err(format!(
+            "--shards {n} is beyond the supported maximum of {MAX_SHARDS} worker threads"
+        ));
+    }
+    Ok(if n == 0.0 { None } else { Some(n as usize) })
+}
+
+/// Monomorphizes one expression over the selected [`CounterKind`]: inside
+/// `$body`, `$est` is a type alias for the concrete estimator. The single
+/// place this crate maps the counter roster to types — the analyze and
+/// speed dispatches all expand through it.
+macro_rules! with_counter_type {
+    ($kind:expr, $est:ident, $body:expr) => {
+        match $kind {
+            CounterKind::StreamSummary => {
+                type $est<K> = SpaceSaving<K>;
+                $body
+            }
+            CounterKind::Compact => {
+                type $est<K> = CompactSpaceSaving<K>;
+                $body
+            }
+            CounterKind::Heap => {
+                type $est<K> = HeapSpaceSaving<K>;
+                $body
+            }
+            CounterKind::MisraGries => {
+                type $est<K> = MisraGries<K>;
+                $body
+            }
+            CounterKind::LossyCounting => {
+                type $est<K> = LossyCounting<K>;
+                $body
+            }
+        }
+    };
+}
 
 /// Parses `10.20.0.0/16->8.8.8.8@0.3`.
 fn parse_attack(spec: &str) -> Result<AttackConfig, String> {
@@ -123,6 +179,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
     let volume = flags.switch("volume");
     let batch = flags.switch("batch");
     let counter = counter_kind(&flags)?;
+    let shards = shards_flag(&flags)?;
     let filter = flags.get("filter").map(ToString::to_string);
     let packets = load_packets(&flags)?;
 
@@ -137,6 +194,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             volume,
             batch,
             counter,
+            shards,
             top,
             filter.as_deref(),
         ),
@@ -150,6 +208,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             volume,
             batch,
             counter,
+            shards,
             top,
             filter.as_deref(),
         ),
@@ -163,6 +222,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             volume,
             batch,
             counter,
+            shards,
             top,
             filter.as_deref(),
         ),
@@ -210,6 +270,28 @@ fn run_rhhh_timed<K: KeyBits, E: FrequencyEstimator<K>>(
     (algo.output(theta), total, elapsed)
 }
 
+/// Drives the shard-parallel pipeline with the clock running: hash-route
+/// every key across `shards` worker threads (each on its own RHHH instance
+/// through the batch path), then merge-on-harvest. The elapsed time covers
+/// feed, drain and merge — the end-to-end pipeline cost a deployment pays.
+fn run_sharded_timed<K: KeyBits, E: FrequencyEstimator<K>>(
+    lattice: &Lattice<K>,
+    config: RhhhConfig,
+    shards: usize,
+    keys: &[K],
+    theta: f64,
+) -> (Vec<HeavyHitter<K>>, u64, f64) {
+    let start = Instant::now();
+    let mut mon = ShardedMonitor::<K, E>::spawn(lattice.clone(), config, shards, SHARD_BATCH);
+    for &k in keys {
+        mon.update(k);
+    }
+    let merged = mon.harvest();
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = merged.packets();
+    (merged.output(theta), total, elapsed)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_analysis<K: KeyBits>(
     lattice: &Lattice<K>,
@@ -221,6 +303,7 @@ fn run_analysis<K: KeyBits>(
     volume: bool,
     batch: bool,
     counter: CounterKind,
+    shards: Option<usize>,
     top: usize,
     filter: Option<&str>,
 ) -> Result<(), String> {
@@ -235,13 +318,22 @@ fn run_analysis<K: KeyBits>(
     let total: u64;
     let elapsed: f64;
 
-    if volume || batch {
-        // Volume weighting and the batch update path are RHHH-side
-        // extensions; run the concrete algorithm directly, monomorphized
-        // over the selected per-node counter.
+    if volume || batch || shards.is_some() {
+        // Volume weighting, the batch update path and shard parallelism are
+        // RHHH-side extensions; run the concrete algorithm directly,
+        // monomorphized over the selected per-node counter.
         if !algo_name.starts_with("rhhh") && algo_name != "10-rhhh" {
-            let flag = if volume { "--volume" } else { "--batch" };
+            let flag = if volume {
+                "--volume"
+            } else if batch {
+                "--batch"
+            } else {
+                "--shards"
+            };
             return Err(format!("{flag} supports rhhh/10-rhhh only"));
+        }
+        if shards.is_some() && volume {
+            return Err("--shards counts packets only; drop --volume".into());
         }
         let v_scale = if algo_name == "10-rhhh" { 10 } else { 1 };
         let config = RhhhConfig {
@@ -268,22 +360,14 @@ fn run_analysis<K: KeyBits>(
         } else {
             packets.iter().map(&key_of).collect()
         };
-        (output, total, elapsed) = match counter {
-            CounterKind::StreamSummary => run_rhhh_timed::<K, SpaceSaving<K>>(
-                lattice, config, volume, batch, &weighted, &keys, theta,
-            ),
-            CounterKind::Compact => run_rhhh_timed::<K, CompactSpaceSaving<K>>(
-                lattice, config, volume, batch, &weighted, &keys, theta,
-            ),
-            CounterKind::Heap => run_rhhh_timed::<K, HeapSpaceSaving<K>>(
-                lattice, config, volume, batch, &weighted, &keys, theta,
-            ),
-            CounterKind::MisraGries => run_rhhh_timed::<K, MisraGries<K>>(
-                lattice, config, volume, batch, &weighted, &keys, theta,
-            ),
-            CounterKind::LossyCounting => run_rhhh_timed::<K, LossyCounting<K>>(
-                lattice, config, volume, batch, &weighted, &keys, theta,
-            ),
+        (output, total, elapsed) = if let Some(shards) = shards {
+            with_counter_type!(counter, Est, {
+                run_sharded_timed::<K, Est<K>>(lattice, config, shards, &keys, theta)
+            })
+        } else {
+            with_counter_type!(counter, Est, {
+                run_rhhh_timed::<K, Est<K>>(lattice, config, volume, batch, &weighted, &keys, theta)
+            })
         };
     } else {
         let kind = algo_kind(algo_name, counter)?;
@@ -348,6 +432,7 @@ fn speed_inner(argv: &[String]) -> Result<(), String> {
     let hierarchy = flags.get("hierarchy").unwrap_or("2d-bytes");
     let batch = flags.switch("batch");
     let counter = counter_kind(&flags)?;
+    let shards = shards_flag(&flags)?;
     let data = TraceGenerator::new(&config).take_packets(packets);
 
     println!(
@@ -364,19 +449,58 @@ fn speed_inner(argv: &[String]) -> Result<(), String> {
                 epsilon,
                 batch,
                 counter,
+                shards,
             );
         }
         "1d-bytes" => {
             let keys: Vec<u32> = data.iter().map(Packet::key1).collect();
-            speed_table(&Lattice::ipv4_src_bytes(), &keys, epsilon, batch, counter);
+            speed_table(
+                &Lattice::ipv4_src_bytes(),
+                &keys,
+                epsilon,
+                batch,
+                counter,
+                shards,
+            );
         }
         "1d-bits" => {
             let keys: Vec<u32> = data.iter().map(Packet::key1).collect();
-            speed_table(&Lattice::ipv4_src_bits(), &keys, epsilon, batch, counter);
+            speed_table(
+                &Lattice::ipv4_src_bits(),
+                &keys,
+                epsilon,
+                batch,
+                counter,
+                shards,
+            );
         }
         other => return Err(format!("unknown hierarchy `{other}`")),
     }
     Ok(())
+}
+
+/// Measures the shard-parallel pipeline end to end (feed + drain + merge),
+/// monomorphized over the selected counter kind.
+fn measure_sharded_mpps<K: KeyBits>(
+    counter: CounterKind,
+    lattice: &Lattice<K>,
+    keys: &[K],
+    epsilon: f64,
+    v_scale: u64,
+    shards: usize,
+) -> f64 {
+    let config = RhhhConfig {
+        epsilon_a: epsilon,
+        epsilon_s: epsilon,
+        delta_s: 0.001,
+        v_scale,
+        updates_per_packet: 1,
+        seed: 1,
+    };
+    let (_, total, elapsed) = with_counter_type!(counter, Est, {
+        run_sharded_timed::<K, Est<K>>(lattice, config, shards, keys, 1.0)
+    });
+    total as f64 / elapsed / 1e6
 }
 
 fn speed_table<K: KeyBits>(
@@ -385,6 +509,7 @@ fn speed_table<K: KeyBits>(
     epsilon: f64,
     batch: bool,
     counter: CounterKind,
+    shards: Option<usize>,
 ) {
     let mut kinds = AlgoKind::roster();
     if counter != CounterKind::default() {
@@ -412,6 +537,19 @@ fn speed_table<K: KeyBits>(
             let mut algo = kind.build(lattice.clone(), epsilon, 1);
             let mpps = hhh_eval::measure_mpps_batch(algo.as_mut(), keys, BATCH_CHUNK);
             println!("{:<26} {:>10.2}", format!("{}(batch)", kind.label()), mpps);
+        }
+    }
+    if let Some(shards) = shards {
+        for kind in &kinds {
+            let AlgoKind::Rhhh { v_scale, counter } = kind else {
+                continue;
+            };
+            let mpps = measure_sharded_mpps(*counter, lattice, keys, epsilon, *v_scale, shards);
+            println!(
+                "{:<26} {:>10.2}",
+                format!("{}(x{shards} shards)", kind.label()),
+                mpps
+            );
         }
     }
 }
@@ -454,6 +592,55 @@ mod tests {
             assert!(algo_kind(name, CounterKind::default()).is_ok(), "{name}");
         }
         assert!(algo_kind("bogus", CounterKind::default()).is_err());
+    }
+
+    #[test]
+    fn shards_flag_parses() {
+        let f = Flags::parse(&["--shards".to_string(), "4".to_string()], &[]).expect("parse");
+        assert_eq!(shards_flag(&f), Ok(Some(4)));
+        let none = Flags::parse(&[], &[]).expect("parse");
+        assert_eq!(shards_flag(&none), Ok(None));
+        let zero = Flags::parse(&["--shards".to_string(), "0".to_string()], &[]).expect("parse");
+        assert_eq!(shards_flag(&zero), Ok(None));
+        let bad = Flags::parse(&["--shards".to_string(), "2.5".to_string()], &[]).expect("parse");
+        assert!(shards_flag(&bad).is_err());
+        let neg = Flags::parse(&["--shards".to_string(), "-1".to_string()], &[]).expect("parse");
+        assert!(shards_flag(&neg).is_err());
+        let huge = Flags::parse(&["--shards".to_string(), "1e9".to_string()], &[]).expect("parse");
+        assert!(shards_flag(&huge).is_err(), "absurd shard counts rejected");
+    }
+
+    #[test]
+    fn sharded_analysis_runs_end_to_end() {
+        // A small in-process run through the full --shards path: generate,
+        // analyze sharded, find the planted attack in the output table.
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let config = RhhhConfig {
+            epsilon_a: 0.005,
+            epsilon_s: 0.02,
+            delta_s: 0.05,
+            v_scale: 1,
+            updates_per_packet: 1,
+            seed: 0xC11,
+        };
+        let trace = preset("chicago16")
+            .expect("preset")
+            .with_attack(parse_attack("10.20.0.0/16->8.8.8.8@0.3").expect("attack"));
+        let keys: Vec<u64> = TraceGenerator::new(&trace)
+            .take_packets(200_000)
+            .iter()
+            .map(Packet::key2)
+            .collect();
+        let (output, total, elapsed) =
+            run_sharded_timed::<u64, SpaceSaving<u64>>(&lat, config, 3, &keys, 0.1);
+        assert_eq!(total, 200_000);
+        assert!(elapsed > 0.0);
+        assert!(
+            output
+                .iter()
+                .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
+            "sharded analysis must find the planted attack"
+        );
     }
 
     #[test]

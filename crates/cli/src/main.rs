@@ -40,10 +40,11 @@ USAGE:
                   [--algorithm rhhh|10-rhhh|mst|full-ancestry|partial-ancestry] \\
                   [--hierarchy 1d-bytes|1d-bits|2d-bytes] \\
                   [--counter stream-summary|compact|heap|misra-gries|lossy-counting] \\
-                  [--theta <t>] [--epsilon <e>] [--volume] [--batch] [--top <k>] \
-                  [--filter <prefix>]      (e.g. --filter 10.0.0.0/8,*)
+                  [--theta <t>] [--epsilon <e>] [--volume] [--batch] \\
+                  [--shards <n>]           (hash-partition across n worker threads) \\
+                  [--top <k>] [--filter <prefix>]   (e.g. --filter 10.0.0.0/8,*)
     rhhh speed    [--hierarchy <h>] [--packets <n>] [--preset <name>] [--batch] \\
-                  [--counter <kind>]
+                  [--counter <kind>] [--shards <n>]
 
 PRESETS: chicago15 chicago16 sanjose13 sanjose14"
     );

@@ -13,7 +13,7 @@ use hhh_stats::{psi, sampling_slack};
 use crate::batch::BatchScratch;
 use crate::output::{extract_hhh, HeavyHitter, NodeEstimates};
 use crate::sampling::{FastRng, GeometricSkip};
-use crate::HhhAlgorithm;
+use crate::{HhhAlgorithm, MergeError};
 
 /// Configuration of an RHHH instance.
 ///
@@ -230,6 +230,71 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
         self.weight = 0;
     }
 
+    /// Merges `other` — an instance over the same lattice with the same
+    /// accuracy configuration — into `self`, so that `self` summarizes the
+    /// union of both input streams. This is the aggregation step of every
+    /// shard-parallel deployment: per-RSS-queue instances, per-VM backends
+    /// and per-device monitors each count their own sub-stream cheaply and
+    /// combine at query time.
+    ///
+    /// Mechanics: node `i`'s counter instance absorbs `other`'s node-`i`
+    /// instance via [`FrequencyEstimator::merge`] (exact Space Saving merge
+    /// semantics: count+error pairing, re-eviction to capacity), and the
+    /// packet and weight totals accumulate — so `N`, the ψ convergence
+    /// check and the sampling slack all recompute over the union.
+    ///
+    /// Accuracy: the per-node counter error bounds *add* (`ε_a` over the
+    /// summed updates, unchanged), and the sampling errors of the shards
+    /// are independent, so their variances add — the merged instance's
+    /// `slack() = 2·Z·√(N·V)` over the total `N` is exactly the standard
+    /// deviation bound of the summed estimators, the same guarantee a
+    /// single instance earns on the whole stream. Convergence still
+    /// requires the *total* `N > ψ`, which the accumulated packet count
+    /// reflects. Seeds may differ (shards should use distinct seeds);
+    /// `self` keeps its own RNG state.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::ConfigMismatch`] when the lattices (masks) differ or
+    /// any accuracy/performance field of the configuration differs; `self`
+    /// is unchanged in that case.
+    pub fn try_merge(&mut self, other: Self) -> Result<(), MergeError> {
+        if self.masks != other.masks {
+            return Err(MergeError::ConfigMismatch(format!(
+                "lattice `{}` vs `{}`",
+                self.lattice.name(),
+                other.lattice.name()
+            )));
+        }
+        let (a, b) = (&self.config, &other.config);
+        if (a.epsilon_a, a.epsilon_s, a.delta_s) != (b.epsilon_a, b.epsilon_s, b.delta_s)
+            || a.v_scale != b.v_scale
+            || a.updates_per_packet != b.updates_per_packet
+        {
+            return Err(MergeError::ConfigMismatch(format!(
+                "config {a:?} vs {b:?} (seed may differ, everything else must match)"
+            )));
+        }
+        self.packets += other.packets;
+        self.weight += other.weight;
+        for (mine, theirs) in self.instances.iter_mut().zip(other.instances) {
+            mine.merge(theirs);
+        }
+        Ok(())
+    }
+
+    /// [`Rhhh::try_merge`] for callers that construct both sides — shard
+    /// pipelines built from one configuration — where a mismatch is a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lattices or configurations are incompatible.
+    pub fn merge(&mut self, other: Self) {
+        if let Err(e) = self.try_merge(other) {
+            panic!("Rhhh::merge: {e}");
+        }
+    }
+
     /// Applies an already-drawn update directly to one node's instance —
     /// the backend half of the distributed integration (Section 5.2's
     /// "HHH measurement … performed in a separate virtual machine"): the
@@ -318,6 +383,23 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> HhhAlgorithm<K> for Rhhh<K, E> {
 
     fn insert_batch(&mut self, keys: &[K]) {
         self.update_batch(keys);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+
+    fn merge(&mut self, other: Box<dyn HhhAlgorithm<K>>) -> Result<(), MergeError> {
+        let right = other.name();
+        match other.into_any().downcast::<Self>() {
+            Ok(other) => self.try_merge(*other),
+            // A different algorithm — or RHHH over a different per-node
+            // counter type, which erases to a different `Self`.
+            Err(_) => Err(MergeError::AlgorithmMismatch {
+                left: self.name(),
+                right,
+            }),
+        }
     }
 
     fn packets(&self) -> u64 {

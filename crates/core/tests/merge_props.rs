@@ -1,0 +1,316 @@
+//! Shard-merge differential suite.
+//!
+//! A K-shard pipeline partitions the stream by key hash, runs one RHHH
+//! instance per shard through the geometric-skip batch path, and merges at
+//! harvest. These tests pin the merge contract at the RHHH level:
+//!
+//! * the merged per-node summaries keep the Space Saving sandwich with the
+//!   error of the K per-shard summaries *summed* (the bound the merge
+//!   analysis promises — shard and merge costs no accuracy class, only a
+//!   constant),
+//! * the merged `Output(θ)` finds the same planted hierarchical heavy
+//!   hitter a single instance over the whole stream finds — on random,
+//!   Zipf-tailed and phase-change streams, for both Space Saving layouts,
+//! * the `HhhAlgorithm`-level merge (through `Box<dyn …>`, the way a
+//!   runtime-configured pipeline holds its workers) succeeds exactly when
+//!   the two sides are the same algorithm over the same configuration.
+
+use hhh_core::{CounterKind, HhhAlgorithm, MergeError, NodeEstimates, Rhhh, RhhhConfig};
+use hhh_counters::{CompactSpaceSaving, FrequencyEstimator, SpaceSaving};
+use hhh_hierarchy::{pack2, shard_of, Lattice, NodeId};
+use hhh_traces::{TraceConfig, TraceGenerator};
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// Uniform random keys plus the planted /16 → victim attack (30%).
+fn random_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|i| {
+            if i % 10 < 3 {
+                pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                pack2(rng.next() as u32, rng.next() as u32)
+            }
+        })
+        .collect()
+}
+
+/// Zipf-tailed realistic keys (chicago16 generator) with the attack planted
+/// on top — the flow-size law the paper's traces follow.
+fn zipf_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|i| {
+            if i % 10 < 3 {
+                pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                gen.generate().key2()
+            }
+        })
+        .collect()
+}
+
+/// Phase-change stream: the attack is entirely absent for the first 60% of
+/// the stream, then bursts at 75% intensity — the regime where shards see
+/// wildly different local mixes over time.
+fn phase_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Lcg(seed);
+    let cut = n * 6 / 10;
+    (0..n)
+        .map(|i| {
+            if i >= cut && i % 4 != 0 {
+                pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                pack2(rng.next() as u32, rng.next() as u32)
+            }
+        })
+        .collect()
+}
+
+fn test_config(v_scale: u64, seed: u64) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: 0.005,
+        epsilon_s: 0.02,
+        delta_s: 0.05,
+        v_scale,
+        updates_per_packet: 1,
+        seed,
+    }
+}
+
+/// Partitions `keys` by key hash into `shards` instances (distinct seeds),
+/// drives each through the batch path, and merges them all.
+fn shard_and_merge<E: FrequencyEstimator<u64>>(
+    lat: &Lattice<u64>,
+    config: RhhhConfig,
+    keys: &[u64],
+    shards: usize,
+) -> Rhhh<u64, E> {
+    let mut parts: Vec<Rhhh<u64, E>> = (0..shards)
+        .map(|i| {
+            Rhhh::new(
+                lat.clone(),
+                RhhhConfig {
+                    seed: config.seed ^ (0xD00D + i as u64 * 0x9E37),
+                    ..config
+                },
+            )
+        })
+        .collect();
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for &k in keys {
+        buckets[shard_of(k, shards)].push(k);
+    }
+    for (part, bucket) in parts.iter_mut().zip(&buckets) {
+        for chunk in bucket.chunks(8_192) {
+            part.update_batch(chunk);
+        }
+    }
+    let mut merged = parts.remove(0);
+    for part in parts {
+        merged.merge(part);
+    }
+    merged
+}
+
+/// The merged per-node summaries keep the counter-level sandwich with the
+/// per-shard errors summed: `lower ≤ upper`, per-candidate error within the
+/// summed deterministic bounds (`Σᵢ deliveredᵢ/cap ≤ delivered/cap`, plus
+/// one flooring unit per shard), and guaranteed mass reconciling with the
+/// accumulated delivered updates.
+fn check_merged_node_sandwich<E: FrequencyEstimator<u64>>(keys: &[u64], shards: usize) {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let config = test_config(1, 0xA11CE);
+    let merged = shard_and_merge::<E>(&lat, config, keys, shards);
+    assert_eq!(
+        merged.packets(),
+        keys.len() as u64,
+        "packet totals must sum"
+    );
+    assert_eq!(
+        merged.total_weight(),
+        keys.len() as u64,
+        "weight totals must sum"
+    );
+    let cap = hhh_counters::counters_for(config.epsilon_a, config.epsilon_s) as u64;
+    for node in 0..merged.h() as u16 {
+        let node = NodeId(node);
+        let delivered = merged.node_updates(node);
+        let allow = delivered / cap + shards as u64;
+        let mut guaranteed = 0u64;
+        for c in merged.node_candidates(node) {
+            assert!(c.lower <= c.upper, "sandwich inverted at {node:?}");
+            assert!(
+                c.upper - c.lower <= allow,
+                "merged error {} beyond summed per-shard bounds {allow} at {node:?}",
+                c.upper - c.lower
+            );
+            guaranteed += c.lower;
+        }
+        assert!(
+            guaranteed <= delivered,
+            "guaranteed {guaranteed} > delivered {delivered} at {node:?}"
+        );
+    }
+}
+
+#[test]
+fn merged_node_summaries_keep_sandwich_stream_summary() {
+    for (name, keys) in [
+        ("random", random_stream(240_000, 7)),
+        ("zipf", zipf_stream(240_000, 8)),
+        ("phase", phase_stream(240_000, 9)),
+    ] {
+        for shards in [2usize, 4] {
+            check_merged_node_sandwich::<SpaceSaving<u64>>(&keys, shards);
+            let _ = name;
+        }
+    }
+}
+
+#[test]
+fn merged_node_summaries_keep_sandwich_compact() {
+    for keys in [
+        random_stream(240_000, 17),
+        zipf_stream(240_000, 18),
+        phase_stream(240_000, 19),
+    ] {
+        for shards in [2usize, 4] {
+            check_merged_node_sandwich::<CompactSpaceSaving<u64>>(&keys, shards);
+        }
+    }
+}
+
+/// End-to-end recall differential: the K-shard merged pipeline reports the
+/// planted attack prefix whenever the single-instance run does — on all
+/// three stream shapes, both layouts, both operating points.
+fn check_merged_recall<E: FrequencyEstimator<u64>>(keys: &[u64], shards: usize, v_scale: u64) {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let config = test_config(v_scale, 0xBEE);
+    let planted = |out: &[hhh_core::HeavyHitter<u64>]| {
+        out.iter()
+            .map(|h| h.prefix.display(&lat))
+            .any(|s| s.contains("10.20.0.0/16") && s.contains("8.8.8.8/32"))
+    };
+
+    let mut single = Rhhh::<u64, E>::new(lat.clone(), config);
+    for chunk in keys.chunks(8_192) {
+        single.update_batch(chunk);
+    }
+    assert!(planted(&single.output(0.1)), "single instance lost attack");
+
+    let merged = shard_and_merge::<E>(&lat, config, keys, shards);
+    assert!(
+        planted(&merged.output(0.1)),
+        "{shards}-shard merged run lost the attack the single run found"
+    );
+}
+
+#[test]
+fn merged_output_matches_single_instance_recall() {
+    for keys in [
+        random_stream(400_000, 21),
+        zipf_stream(400_000, 22),
+        phase_stream(400_000, 23),
+    ] {
+        for shards in [2usize, 4] {
+            check_merged_recall::<SpaceSaving<u64>>(&keys, shards, 1);
+            check_merged_recall::<CompactSpaceSaving<u64>>(&keys, shards, 1);
+        }
+        // 10-RHHH: higher sampling variance, same recall requirement.
+        check_merged_recall::<SpaceSaving<u64>>(&keys, 4, 10);
+        check_merged_recall::<CompactSpaceSaving<u64>>(&keys, 4, 10);
+    }
+}
+
+/// Merging must also commute with *what* gets counted: a merged run and a
+/// single run see different RNG draw schedules, but the total recorded
+/// update mass per node must agree within binomial noise (5σ), because both
+/// realise the same per-packet selection law.
+#[test]
+fn merged_update_totals_match_selection_law() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let keys = random_stream(300_000, 33);
+    let config = test_config(10, 0xFEED);
+    let merged = shard_and_merge::<SpaceSaving<u64>>(&lat, config, &keys, 4);
+    let n = keys.len() as f64;
+    let p = 0.1f64;
+    let sigma = (n * p * (1.0 - p)).sqrt();
+    let dev = (merged.total_updates() as f64 - n * p).abs();
+    assert!(
+        dev < 5.0 * sigma,
+        "merged updates {} deviate {dev:.0} > 5σ from binomial mean",
+        merged.total_updates()
+    );
+}
+
+#[test]
+fn rhhh_merge_rejects_incompatible_configs() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut a = Rhhh::<u64>::new(lat.clone(), test_config(1, 1));
+    // Different v_scale.
+    let b = Rhhh::<u64>::new(lat.clone(), test_config(10, 2));
+    assert!(matches!(a.try_merge(b), Err(MergeError::ConfigMismatch(_))));
+    // Different lattice (coarser 16-bit granularity → different masks).
+    let c = Rhhh::<u64>::new(
+        Lattice::new(
+            "other",
+            vec![
+                hhh_hierarchy::FieldSpec::new(32, 16),
+                hhh_hierarchy::FieldSpec::new(32, 16),
+            ],
+        ),
+        test_config(1, 3),
+    );
+    assert!(matches!(a.try_merge(c), Err(MergeError::ConfigMismatch(_))));
+    // Different seed alone is fine — shards must use distinct seeds.
+    let d = Rhhh::<u64>::new(lat, test_config(1, 99));
+    assert!(a.try_merge(d).is_ok());
+}
+
+/// The dyn-dispatch surface: a pipeline that holds `Box<dyn HhhAlgorithm>`
+/// workers (runtime counter selection via `CounterKind`) merges through the
+/// trait exactly like the concrete types do.
+#[test]
+fn boxed_merge_survives_dyn_dispatch() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let keys = random_stream(100_000, 44);
+    for kind in [CounterKind::StreamSummary, CounterKind::Compact] {
+        let mut a = kind.build_rhhh::<u64>(lat.clone(), test_config(1, 10));
+        let mut b = kind.build_rhhh::<u64>(lat.clone(), test_config(1, 11));
+        a.insert_batch(&keys[..50_000]);
+        b.insert_batch(&keys[50_000..]);
+        a.merge(b).expect("same kind and config must merge");
+        assert_eq!(a.packets(), 100_000);
+        assert!(
+            !a.query(0.1).is_empty(),
+            "{}: merged dyn instance must answer queries",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn boxed_merge_rejects_cross_kind() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    // RHHH[stream-summary] vs RHHH[compact]: different erased types.
+    let mut a = CounterKind::StreamSummary.build_rhhh::<u64>(lat.clone(), test_config(1, 1));
+    let b = CounterKind::Compact.build_rhhh::<u64>(lat, test_config(1, 2));
+    assert!(matches!(
+        a.merge(b),
+        Err(MergeError::AlgorithmMismatch { .. })
+    ));
+    // `self` must be untouched by the failed merge.
+    assert_eq!(a.packets(), 0);
+}

@@ -97,6 +97,11 @@ pub struct CompactSpaceSaving<K> {
     len: usize,
     capacity: usize,
     updates: u64,
+    /// Guaranteed mass (`count − error`) dropped by merge re-eviction;
+    /// zero until the first [`FrequencyEstimator::merge`]. Keeps the mass
+    /// ledger `Σ(count − error) + discarded ≤ updates` exact so
+    /// [`CompactSpaceSaving::debug_validate`] can audit merged instances.
+    discarded: u64,
     /// Exact minimum count over occupied slots (meaningful when `len > 0`).
     min_val: u64,
     /// Number of occupied slots with `count == min_val`.
@@ -433,10 +438,39 @@ impl<K: CounterKey> CompactSpaceSaving<K> {
             .iter()
             .map(|&i| self.slots[i].count - self.slots[i].error)
             .sum();
-        assert!(guaranteed <= self.updates, "counted mass exceeds updates");
+        assert!(
+            guaranteed + self.discarded <= self.updates,
+            "counted mass exceeds updates"
+        );
         if occupied.iter().all(|&i| self.slots[i].error == 0) {
-            assert_eq!(guaranteed, self.updates, "mass lost without evictions");
+            assert_eq!(
+                guaranteed + self.discarded,
+                self.updates,
+                "mass lost without evictions"
+            );
         }
+    }
+
+    /// Inserts a merged entry into a rebuilt (not yet full) table: plain
+    /// probe to the first empty slot. The caller re-establishes the lazy
+    /// minimum with one `rescan_min` after the last insert.
+    fn insert_entry(&mut self, key: K, count: u64, error: u64) {
+        debug_assert!(count >= 1 && error <= count && self.len < self.capacity);
+        if self.slots.is_empty() {
+            self.init_table(key);
+        }
+        let home = self.home_of(&key);
+        let mut i = home;
+        while self.slots[i].count != 0 {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = Slot {
+            count,
+            error,
+            home: home as u32,
+            key,
+        };
+        self.len += 1;
     }
 }
 
@@ -449,11 +483,41 @@ impl<K: CounterKey> FrequencyEstimator<K> for CompactSpaceSaving<K> {
             len: 0,
             capacity,
             updates: 0,
+            discarded: 0,
             min_val: 0,
             min_support: 0,
             min_stack: Vec::new(),
             hasher: IntHashBuilder,
         }
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "merge requires equal capacities"
+        );
+        // Same exact merge as the stream summary (the two layouts stay
+        // differentially pinned): additive count+error pairing with
+        // min-count padding, then re-eviction to capacity. The arena is
+        // rebuilt from scratch — merge runs at harvest time, off the
+        // per-packet path, so one O(table) pass is irrelevant.
+        let (entries, dropped) = crate::merge_entries(
+            &self.candidates(),
+            self.min_count(),
+            &other.candidates(),
+            other.min_count(),
+            self.capacity,
+        );
+        let mut merged = Self::with_capacity(self.capacity);
+        merged.updates = self.updates + other.updates;
+        merged.discarded = self.discarded + other.discarded + dropped;
+        for &(key, count, error) in &entries {
+            merged.insert_entry(key, count, error);
+        }
+        if merged.len > 0 {
+            merged.rescan_min();
+        }
+        *self = merged;
     }
 
     #[inline]

@@ -133,6 +133,39 @@ impl<K: CounterKey> FrequencyEstimator<K> for CountMin<K> {
         crate::for_each_run(keys, |key, run| self.add(key, run));
     }
 
+    /// Element-wise sketch merge: equal capacities imply equal widths and
+    /// (deterministically derived) equal row seeds, so summing the tables
+    /// cell by cell yields *exactly* the sketch of the concatenated stream
+    /// — estimates never underestimate, and each query overestimates by at
+    /// most `ε·(N₁+N₂)` with probability `1 − δ`, the same bound a single
+    /// sketch over the whole stream carries. The candidate lists union and
+    /// re-trim to capacity on the merged estimates.
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "merge requires equal capacities"
+        );
+        debug_assert_eq!(self.width, other.width);
+        debug_assert_eq!(self.seeds, other.seeds);
+        for (cell, &o) in self.table.iter_mut().zip(&other.table) {
+            *cell += o;
+        }
+        self.updates += other.updates;
+        let mut keys: Vec<K> = self.candidates.keys().copied().collect();
+        keys.extend(other.candidates.keys().copied());
+        let mut merged: Vec<(K, u64)> = keys
+            .into_iter()
+            .map(|key| (key, self.estimate(&key)))
+            .collect();
+        merged.sort_unstable_by_key(|&(key, est)| (std::cmp::Reverse(est), std::cmp::Reverse(key)));
+        merged.dedup_by_key(|e| e.0);
+        merged.truncate(self.capacity);
+        self.candidates.clear();
+        for (key, est) in merged {
+            self.candidates.insert(key, est);
+        }
+    }
+
     fn updates(&self) -> u64 {
         self.updates
     }

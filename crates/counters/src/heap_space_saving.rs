@@ -98,6 +98,43 @@ impl<K: CounterKey> FrequencyEstimator<K> for HeapSpaceSaving<K> {
         }
     }
 
+    /// Same combine rule as the stream-summary merge (additive count+error
+    /// pairing with min-count padding, re-eviction to capacity), so the
+    /// merged bound is the documented sum of the two inputs' bounds. The
+    /// count-ascending entry list is already a valid min-heap (every parent
+    /// index precedes — hence bounds — its children), so the rebuild is one
+    /// pass with no sifting.
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "merge requires equal capacities"
+        );
+        let min_self = match self.pos.len() < self.capacity {
+            true => 0,
+            false => self.heap.first().map_or(0, |e| e.count),
+        };
+        let min_other = match other.pos.len() < other.capacity {
+            true => 0,
+            false => other.heap.first().map_or(0, |e| e.count),
+        };
+        let (entries, _) = crate::merge_entries(
+            &self.candidates(),
+            min_self,
+            &other.candidates(),
+            min_other,
+            self.capacity,
+        );
+        self.updates += other.updates;
+        self.heap = entries
+            .iter()
+            .map(|&(key, count, error)| Entry { key, count, error })
+            .collect();
+        self.pos.clear();
+        for (i, &(key, _, _)) in entries.iter().enumerate() {
+            self.pos.insert(key, i);
+        }
+    }
+
     fn increment(&mut self, key: K) {
         self.updates += 1;
         if let Some(&i) = self.pos.get(&key) {

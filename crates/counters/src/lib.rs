@@ -108,11 +108,12 @@ pub struct Candidate<K> {
 }
 
 /// The (ε, δ)-Frequency Estimation interface of Definition 4, extended with
-/// the candidate enumeration that `Output` (Algorithm 1) requires.
+/// the candidate enumeration that `Output` (Algorithm 1) requires and the
+/// summary merge that shard-parallel deployments need.
 ///
 /// Implementations count *updates* (the paper's `X_p`); RHHH scales them by
 /// `V` to estimate frequencies (Definition 11).
-pub trait FrequencyEstimator<K: CounterKey>: Send {
+pub trait FrequencyEstimator<K: CounterKey>: Send + 'static {
     /// Creates an instance with `capacity` counters, i.e. `ε_a ≈ 1/capacity`
     /// for the deterministic algorithms.
     ///
@@ -170,6 +171,36 @@ pub trait FrequencyEstimator<K: CounterKey>: Send {
         self.increment_batch(keys);
     }
 
+    /// Merges `other` — a summary of a *different portion* of the same
+    /// logical stream, built with the same capacity — into `self`, so the
+    /// result summarizes the concatenated stream. This is what lets
+    /// shard-parallel pipelines (one instance per RSS queue or per
+    /// measurement VM) answer queries over their union.
+    ///
+    /// The contract every implementation keeps (following Mitzenmacher,
+    /// Steinke & Thaler's merge analysis for Space-Saving-style summaries):
+    ///
+    /// * `updates()` becomes the sum of both inputs' update counts;
+    /// * the sandwich survives: for every key, `lower(x) ≤ X ≤ upper(x)`
+    ///   where `X` is the key's count in the concatenated stream;
+    /// * the additive error is at most the *sum* of the two inputs'
+    ///   per-summary error bounds (`n₁/m + n₂/m = n/m`), so merging `k`
+    ///   shards of one stream costs no accuracy versus one instance of the
+    ///   same capacity — only the constant hidden in the per-shard bound.
+    ///
+    /// The Space Saving implementations merge *exactly*: counts and errors
+    /// pair up additively (an absent key contributes the other summary's
+    /// `min_count` to both), then the union is re-evicted to capacity by
+    /// dropping minimal counters. The sketch and deterministic structures
+    /// document their own (weaker or equal) merged bounds inline.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the two capacities differ.
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
+
     /// Total number of updates processed (the per-instance `X_i`).
     fn updates(&self) -> u64;
 
@@ -214,6 +245,62 @@ pub fn counters_for(epsilon_a: f64, epsilon_s: f64) -> usize {
     );
     assert!(epsilon_s >= 0.0, "epsilon_s must be non-negative");
     ((1.0 + epsilon_s) / epsilon_a).ceil() as usize
+}
+
+/// Combines two Space-Saving-style summaries for [`FrequencyEstimator::merge`]:
+/// counts and errors pair up additively — a key absent from one side
+/// contributes that side's min-count to *both* its count and its error
+/// (the absent side may have seen it up to `min` times, all of which must
+/// stay deniable) — then the union is re-evicted back to `capacity` by
+/// dropping minimal counters. Every dropped entry's merged count is bounded
+/// by every survivor's, so the merged structure's min-count still bounds
+/// any unmonitored key.
+///
+/// Returns the kept `(key, count, error)` entries sorted ascending by count
+/// (the order both rebuild paths want: the stream summary appends buckets
+/// tail-ward, and a count-sorted array is already a valid min-heap), plus
+/// the guaranteed mass (`count − error`) that re-eviction discarded — the
+/// mass ledger the debug validators audit needs it, because discarded
+/// guaranteed units leave the summary without becoming error.
+pub(crate) fn merge_entries<K: CounterKey>(
+    a: &[Candidate<K>],
+    min_a: u64,
+    b: &[Candidate<K>],
+    min_b: u64,
+    capacity: usize,
+) -> (Vec<(K, u64, u64)>, u64) {
+    let mut combined: std::collections::HashMap<K, (u64, u64), fast_hash::IntHashBuilder> =
+        std::collections::HashMap::with_capacity_and_hasher(
+            a.len() + b.len(),
+            fast_hash::IntHashBuilder,
+        );
+    for c in a {
+        combined.insert(c.key, (c.upper + min_b, c.upper - c.lower + min_b));
+    }
+    for c in b {
+        match combined.entry(c.key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (count, error) = *e.get();
+                // Both sides monitored the key: undo the min-padding the
+                // first pass assumed and pair the real counts and errors.
+                *e.get_mut() = (count - min_b + c.upper, error - min_b + (c.upper - c.lower));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((c.upper + min_a, c.upper - c.lower + min_a));
+            }
+        }
+    }
+    let mut entries: Vec<(K, u64, u64)> = combined
+        .into_iter()
+        .map(|(key, (count, error))| (key, count, error))
+        .collect();
+    // Deterministic re-eviction: order by (count, key) so ties among equal
+    // minimal counters break the same way on every run.
+    entries.sort_unstable_by_key(|&(key, count, _)| (count, key));
+    let keep_from = entries.len().saturating_sub(capacity);
+    let discarded = entries[..keep_from].iter().map(|e| e.1 - e.2).sum();
+    entries.drain(..keep_from);
+    (entries, discarded)
 }
 
 /// Run-length encodes a key slice: invokes `f(key, run_length)` once per

@@ -102,6 +102,38 @@ impl<K: CounterKey> FrequencyEstimator<K> for MisraGries<K> {
         crate::for_each_run(keys, |key, run| self.add(key, run));
     }
 
+    /// The Misra–Gries merge of Agarwal et al. (*Mergeable Summaries*,
+    /// PODS 2012): sum counts key-wise, then subtract the `(k+1)`-st
+    /// largest combined count from every entry and drop the non-positive
+    /// ones. Each key loses at most that subtrahend while at least `k+1`
+    /// entries lose it in full, so the data-dependent deficit invariant
+    /// `underestimate ≤ (N − Σcounts)/(k+1)` — and with it the documented
+    /// `N/(k+1)` bound over the concatenated stream — survives merging.
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "merge requires equal capacities"
+        );
+        self.updates += other.updates;
+        self.stored += other.stored;
+        for (key, c) in other.counts {
+            *self.counts.entry(key).or_insert(0) += c;
+        }
+        if self.counts.len() > self.capacity {
+            let mut counts: Vec<u64> = self.counts.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let sub = counts[self.capacity];
+            let mut removed = 0u64;
+            self.counts.retain(|_, c| {
+                let cut = (*c).min(sub);
+                removed += cut;
+                *c -= cut;
+                *c > 0
+            });
+            self.stored -= removed;
+        }
+    }
+
     fn updates(&self) -> u64 {
         self.updates
     }

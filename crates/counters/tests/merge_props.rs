@@ -1,0 +1,336 @@
+//! Differential merge tests: a stream split across K shard summaries and
+//! merged back must still satisfy the (ε, δ)-Frequency Estimation sandwich
+//! against exact counts of the *whole* stream, with the additive error of
+//! the per-shard bounds summed — for every counter algorithm, on random,
+//! Zipf, phase-change and adversarial streams.
+
+use hhh_counters::{
+    CompactSpaceSaving, CountMin, FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries,
+    SpaceSaving,
+};
+use hhh_hierarchy::shard_of;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn exact_counts(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &k in stream {
+        *m.entry(k).or_insert(0u64) += 1;
+    }
+    m
+}
+
+/// Feeds `stream` into `shards` instances partitioned by key hash, merges
+/// them all into one, and returns it together with the summed per-shard
+/// deterministic error bounds.
+fn shard_and_merge<E: FrequencyEstimator<u64>>(
+    stream: &[u64],
+    shards: usize,
+    capacity: usize,
+) -> (E, u64) {
+    let mut parts: Vec<E> = (0..shards).map(|_| E::with_capacity(capacity)).collect();
+    for &k in stream {
+        parts[shard_of(k, shards)].increment(k);
+    }
+    let summed_bound: u64 = parts.iter().map(|p| p.error_bound()).sum();
+    let mut merged = parts.remove(0);
+    for part in parts {
+        merged.merge(part);
+    }
+    (merged, summed_bound)
+}
+
+/// The sandwich bound of the merge contract: `lower ≤ f ≤ upper` for every
+/// key of the stream, and for monitored keys the overestimate (or, for the
+/// underestimating structures, the deficit) stays within the summed
+/// per-shard error bounds plus one floor-rounding unit per shard.
+fn check_merged_sandwich<E: FrequencyEstimator<u64>>(
+    stream: &[u64],
+    shards: usize,
+    capacity: usize,
+    overestimating: bool,
+) -> (E, Result<(), TestCaseError>) {
+    let (merged, summed_bound) = shard_and_merge::<E>(stream, shards, capacity);
+    let exact = exact_counts(stream);
+    let n = stream.len() as u64;
+    let allow = summed_bound + shards as u64;
+    let check = (|| {
+        prop_assert_eq!(merged.updates(), n, "merged update count must sum");
+        let monitored: HashMap<u64, (u64, u64)> = merged
+            .candidates()
+            .iter()
+            .map(|c| (c.key, (c.lower, c.upper)))
+            .collect();
+        for (key, &f) in &exact {
+            prop_assert!(
+                merged.upper(key) >= f,
+                "merged upper({key}) = {} < truth {f}",
+                merged.upper(key)
+            );
+            prop_assert!(
+                merged.lower(key) <= f,
+                "merged lower({key}) = {} > truth {f}",
+                merged.lower(key)
+            );
+            if let Some(&(lower, upper)) = monitored.get(key) {
+                if overestimating {
+                    prop_assert!(
+                        upper <= f + allow,
+                        "merged overestimate beyond summed bounds for {key}: \
+                         upper={upper} f={f} allow={allow}"
+                    );
+                } else {
+                    prop_assert!(
+                        f - lower <= allow,
+                        "merged deficit beyond summed bounds for {key}: \
+                         lower={lower} f={f} allow={allow}"
+                    );
+                }
+            }
+        }
+        // The heavy-hitter property over the merged stream: any key heavier
+        // than the summed bounds must have survived re-eviction.
+        let heavy_floor = allow;
+        for (key, &f) in &exact {
+            if f > heavy_floor {
+                prop_assert!(
+                    monitored.contains_key(key),
+                    "heavy key {key} (f={f} > {heavy_floor}) lost in merge"
+                );
+            }
+        }
+        Ok(())
+    })();
+    (merged, check)
+}
+
+fn check_all_counters(stream: &[u64], shards: usize, capacity: usize) {
+    let (merged, r) = check_merged_sandwich::<SpaceSaving<u64>>(stream, shards, capacity, true);
+    r.unwrap_or_else(|e| panic!("stream-summary: {e}"));
+    merged.debug_validate();
+    let (merged, r) =
+        check_merged_sandwich::<CompactSpaceSaving<u64>>(stream, shards, capacity, true);
+    r.unwrap_or_else(|e| panic!("compact: {e}"));
+    merged.debug_validate();
+    let (merged, r) = check_merged_sandwich::<HeapSpaceSaving<u64>>(stream, shards, capacity, true);
+    r.unwrap_or_else(|e| panic!("heap: {e}"));
+    merged.debug_validate();
+    let (_, r) = check_merged_sandwich::<MisraGries<u64>>(stream, shards, capacity, false);
+    r.unwrap_or_else(|e| panic!("misra-gries: {e}"));
+    let (_, r) = check_merged_sandwich::<LossyCounting<u64>>(stream, shards, capacity, false);
+    r.unwrap_or_else(|e| panic!("lossy-counting: {e}"));
+}
+
+#[test]
+fn merged_shards_keep_sandwich_on_adversarial_streams() {
+    for shards in [2usize, 3, 5] {
+        for cap in [4usize, 16, 64] {
+            // All-distinct: maximal re-eviction pressure at merge time.
+            let distinct: Vec<u64> = (0..3_000u64).collect();
+            check_all_counters(&distinct, shards, cap);
+
+            // Single key: the merge must pair the counts exactly.
+            let single = vec![42u64; 2_000];
+            check_all_counters(&single, shards, cap);
+
+            // Phase change: fill, churn, then a late heavy phase.
+            let mut phases: Vec<u64> = (0..800u64).collect();
+            phases.extend(std::iter::repeat_n(7u64, 900));
+            phases.extend(800..1_600u64);
+            phases.extend(std::iter::repeat_n(13u64, 700));
+            check_all_counters(&phases, shards, cap);
+        }
+    }
+}
+
+#[test]
+fn merged_shards_keep_sandwich_on_zipf_stream() {
+    let zipf = hhh_traces::Zipf::new(10_000, 1.2);
+    let mut x = 0x5EEDu64;
+    let mut uniform = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let stream: Vec<u64> = (0..30_000).map(|_| zipf.sample(&mut uniform)).collect();
+    for shards in [2usize, 4, 8] {
+        for cap in [16usize, 100, 1_000] {
+            check_all_counters(&stream, shards, cap);
+        }
+    }
+}
+
+#[test]
+fn merge_below_capacity_is_exact_union() {
+    // Disjoint key sets that fit: the merged summary is the exact union,
+    // with zero error.
+    let mut a: SpaceSaving<u64> = SpaceSaving::with_capacity(16);
+    let mut b: SpaceSaving<u64> = SpaceSaving::with_capacity(16);
+    for _ in 0..5 {
+        a.increment(1);
+    }
+    for _ in 0..3 {
+        a.increment(2);
+    }
+    for _ in 0..7 {
+        b.increment(10);
+    }
+    b.increment(11);
+    a.merge(b);
+    assert_eq!(a.updates(), 16);
+    for (key, f) in [(1u64, 5u64), (2, 3), (10, 7), (11, 1)] {
+        assert_eq!(a.upper(&key), f, "key {key}");
+        assert_eq!(a.lower(&key), f, "key {key}");
+    }
+    assert_eq!(a.len(), 4);
+    a.debug_validate();
+}
+
+#[test]
+fn merge_with_empty_preserves_counts() {
+    let mut a: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(8);
+    for i in 0..20u64 {
+        a.increment(i % 5);
+    }
+    let before: Vec<_> = {
+        let mut c = a.candidates();
+        c.sort_unstable_by_key(|e| e.key);
+        c
+    };
+    a.merge(CompactSpaceSaving::with_capacity(8));
+    let mut after = a.candidates();
+    after.sort_unstable_by_key(|e| e.key);
+    assert_eq!(before, after);
+    assert_eq!(a.updates(), 20);
+    a.debug_validate();
+
+    // And merging *into* an empty instance adopts the other's contents.
+    let mut empty: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(8);
+    empty.merge(a);
+    let mut adopted = empty.candidates();
+    adopted.sort_unstable_by_key(|e| e.key);
+    assert_eq!(adopted, after);
+    empty.debug_validate();
+}
+
+#[test]
+fn merge_overflow_re_evicts_to_capacity() {
+    // Two full summaries with disjoint keys: the union re-evicts back to
+    // capacity, keeping the largest counters, and the merged min-count
+    // still bounds every dropped key.
+    let cap = 4;
+    let mut a: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+    let mut b: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+    for (key, w) in [(1u64, 10u64), (2, 8), (3, 2), (4, 1)] {
+        a.add(key, w);
+    }
+    for (key, w) in [(11u64, 9u64), (12, 7), (13, 2), (14, 1)] {
+        b.add(key, w);
+    }
+    a.merge(b);
+    assert_eq!(a.len(), cap);
+    assert_eq!(a.updates(), 40);
+    // Min-padding: min_a = 1, min_b = 1, so each side's keys carry +1.
+    assert_eq!(a.upper(&1), 11);
+    assert_eq!(a.lower(&1), 10);
+    assert!(a.upper(&3) >= 2, "dropped key still bounded by min-count");
+    let min = a.min_count();
+    assert!(min >= 3, "kept counters dominate dropped ones (min={min})");
+    a.debug_validate();
+}
+
+#[test]
+fn count_min_merge_is_element_wise_exact() {
+    let mut whole: CountMin<u64> = CountMin::with_capacity(32);
+    let mut a: CountMin<u64> = CountMin::with_capacity(32);
+    let mut b: CountMin<u64> = CountMin::with_capacity(32);
+    let mut x = 9u64;
+    for i in 0..20_000u64 {
+        x = x.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
+        let key = x % 500;
+        whole.increment(key);
+        if i % 2 == 0 {
+            a.increment(key);
+        } else {
+            b.increment(key);
+        }
+    }
+    a.merge(b);
+    assert_eq!(a.updates(), whole.updates());
+    // Identical seeds + element-wise sum ⇒ identical point estimates.
+    for key in 0..500u64 {
+        assert_eq!(a.upper(&key), whole.upper(&key), "key {key}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "merge requires equal capacities")]
+fn merge_rejects_capacity_mismatch() {
+    let mut a: SpaceSaving<u64> = SpaceSaving::with_capacity(8);
+    let b: SpaceSaving<u64> = SpaceSaving::with_capacity(16);
+    a.merge(b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random streams, random shard counts: the merged Space Saving
+    /// summaries keep the sandwich and their internal invariants.
+    #[test]
+    fn merged_space_saving_random(
+        stream in vec(0u64..64, 1..2_000),
+        shards in 2usize..6,
+        cap in 1usize..32,
+    ) {
+        let (merged, r) =
+            check_merged_sandwich::<SpaceSaving<u64>>(&stream, shards, cap, true);
+        r?;
+        merged.debug_validate();
+    }
+
+    #[test]
+    fn merged_compact_random(
+        stream in vec(0u64..64, 1..2_000),
+        shards in 2usize..6,
+        cap in 1usize..32,
+    ) {
+        let (merged, r) =
+            check_merged_sandwich::<CompactSpaceSaving<u64>>(&stream, shards, cap, true);
+        r?;
+        merged.debug_validate();
+    }
+
+    /// Merging is associative enough for pipelines: left-fold and
+    /// right-leaning fold of the same shards give summaries with the same
+    /// update count and total guaranteed mass.
+    #[test]
+    fn merge_fold_order_preserves_ledger(
+        stream in vec(0u64..48, 1..1_500),
+        cap in 2usize..24,
+    ) {
+        let build = |part: &[u64]| {
+            let mut e: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+            for &k in part {
+                e.increment(k);
+            }
+            e
+        };
+        let third = (stream.len() / 3).max(1).min(stream.len());
+        let (p1, rest) = stream.split_at(third);
+        let (p2, p3) = rest.split_at((rest.len() / 2).min(rest.len()));
+        // ((1 ⊕ 2) ⊕ 3)
+        let mut left = build(p1);
+        left.merge(build(p2));
+        left.merge(build(p3));
+        // (1 ⊕ (2 ⊕ 3))
+        let mut tail = build(p2);
+        tail.merge(build(p3));
+        let mut right = build(p1);
+        right.merge(tail);
+        prop_assert_eq!(left.updates(), right.updates());
+        left.debug_validate();
+        right.debug_validate();
+    }
+}

@@ -1,0 +1,103 @@
+//! Merged-vs-single accuracy: what does shard-parallelism cost?
+//!
+//! A K-shard pipeline partitions the stream by key hash, counts each
+//! sub-stream on its own RHHH instance and merges at query time. The merge
+//! analysis says the per-node counter errors add (`Σᵢ nᵢ/m = n/m` — the
+//! same class as one instance) while the independent sampling errors add in
+//! variance, so accuracy should be *flat in K*. This experiment measures
+//! that claim with the paper's three quality metrics against exact ground
+//! truth, for K ∈ {1, 2, 4, 8} and both Space Saving layouts, plus the
+//! wall-clock cost of the merge fold itself.
+//!
+//! The shards are held as `Box<dyn HhhAlgorithm>` and merged through the
+//! driver trait — the exact code path a runtime-configured pipeline runs.
+
+use std::time::Instant;
+
+use hhh_core::{CounterKind, ExactHhh, HhhAlgorithm, RhhhConfig};
+use hhh_eval::{accuracy_error_ratio, coverage_error_ratio, false_positive_ratio, Args, Report};
+use hhh_hierarchy::Lattice;
+use hhh_traces::{Packet, TraceConfig, TraceGenerator};
+use hhh_vswitch::shard_of;
+
+fn main() {
+    let args = Args::parse(1_000_000, 1);
+    let mut report = Report::new(
+        "merge_accuracy",
+        &[
+            "trace",
+            "counter",
+            "shards",
+            "accuracy_error",
+            "coverage_error",
+            "false_positive",
+            "merge_ms",
+        ],
+    );
+    report.comment(&format!(
+        "merged-vs-single: 2D bytes (H=25), theta={}, eps_a=eps_s={}, packets={}",
+        args.theta, args.epsilon, args.packets
+    ));
+
+    let lattice = Lattice::ipv4_src_dst_bytes();
+    for trace in [TraceConfig::chicago16(), TraceConfig::sanjose14()] {
+        let keys: Vec<u64> = TraceGenerator::new(&trace)
+            .take_packets(args.packets as usize)
+            .iter()
+            .map(Packet::key2)
+            .collect();
+        let mut exact = ExactHhh::new(lattice.clone());
+        for &k in &keys {
+            exact.insert(k);
+        }
+        let epsilon_total = 2.0 * args.epsilon; // ε = ε_a + ε_s
+
+        for counter in [CounterKind::StreamSummary, CounterKind::Compact] {
+            for shards in [1usize, 2, 4, 8] {
+                let mut parts: Vec<Box<dyn HhhAlgorithm<u64>>> = (0..shards)
+                    .map(|i| {
+                        counter.build_rhhh(
+                            lattice.clone(),
+                            RhhhConfig {
+                                epsilon_a: args.epsilon,
+                                epsilon_s: args.epsilon,
+                                delta_s: 0.001,
+                                v_scale: 1,
+                                updates_per_packet: 1,
+                                seed: 0x3E6 + i as u64 * 0x9E37,
+                            },
+                        )
+                    })
+                    .collect();
+                if shards == 1 {
+                    parts[0].insert_batch(&keys);
+                } else {
+                    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); shards];
+                    for &k in &keys {
+                        buckets[shard_of(k, shards)].push(k);
+                    }
+                    for (part, bucket) in parts.iter_mut().zip(&buckets) {
+                        part.insert_batch(bucket);
+                    }
+                }
+                let mut merged = parts.remove(0);
+                let t0 = Instant::now();
+                for part in parts {
+                    merged.merge(part).expect("same kind and config");
+                }
+                let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+                let out = merged.query(args.theta);
+                report.row(&[
+                    trace.name.clone(),
+                    counter.label().to_string(),
+                    shards.to_string(),
+                    format!("{:.4}", accuracy_error_ratio(&out, &exact, epsilon_total)),
+                    format!("{:.4}", coverage_error_ratio(&out, &exact, args.theta)),
+                    format!("{:.4}", false_positive_ratio(&out, &exact, args.theta)),
+                    format!("{merge_ms:.2}"),
+                ]);
+            }
+        }
+    }
+}

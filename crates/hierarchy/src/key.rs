@@ -144,6 +144,23 @@ impl_key_bits!(u32);
 impl_key_bits!(u64);
 impl_key_bits!(u128);
 
+/// Mixes a packed key into a shard index in `[0, shards)` — the canonical
+/// key-hash partitioning of the shard-parallel pipelines (one multiply +
+/// shift, the flavour of hash NIC RSS uses; both packed halves of a 2D key
+/// influence the result). Lives here, at the bottom of the dependency
+/// graph, so the pipeline, the evaluation harness and every differential
+/// test partition with exactly the same routing.
+///
+/// # Panics
+///
+/// Debug-panics when `shards` is zero.
+#[inline]
+#[must_use]
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+}
+
 /// Packs a (source, destination) IPv4 pair into a `u64` key with the source
 /// in the high 32 bits — the layout used by the 2D lattices.
 #[inline(always)]

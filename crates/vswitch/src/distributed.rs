@@ -35,6 +35,10 @@ pub enum Backpressure {
 }
 
 /// Statistics of a finished distributed run.
+///
+/// Every switch-side packet is accounted for exactly once:
+/// `packets == forwarded + dropped + unsampled` (pinned by the
+/// `distributed_props` property suite across seeds and configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DistributedStats {
     /// Packets the switch processed.
@@ -43,6 +47,9 @@ pub struct DistributedStats {
     pub forwarded: u64,
     /// Samples dropped because the channel was full.
     pub dropped: u64,
+    /// Packets whose `[0, V)` draw selected no node (the `1 − H/V`
+    /// fraction that never leaves the switch).
+    pub unsampled: u64,
 }
 
 /// Switch-side frontend plus the measurement thread.
@@ -61,6 +68,7 @@ pub struct DistributedRhhh {
     packets: u64,
     forwarded: u64,
     dropped: u64,
+    unsampled: u64,
     backpressure: Backpressure,
 }
 
@@ -97,6 +105,7 @@ impl DistributedRhhh {
             packets: 0,
             forwarded: 0,
             dropped: 0,
+            unsampled: 0,
             backpressure,
         }
     }
@@ -121,6 +130,8 @@ impl DistributedRhhh {
                     Err(_) => self.dropped += 1,
                 },
             }
+        } else {
+            self.unsampled += 1;
         }
     }
 
@@ -153,6 +164,7 @@ impl DistributedRhhh {
                 packets: self.packets,
                 forwarded: self.forwarded,
                 dropped: self.dropped,
+                unsampled: self.unsampled,
             },
         )
     }
@@ -199,6 +211,7 @@ pub struct SharedFrontend {
     packets: u64,
     forwarded: u64,
     dropped: u64,
+    unsampled: u64,
     backpressure: Backpressure,
 }
 
@@ -223,6 +236,8 @@ impl SharedFrontend {
                     Err(_) => self.dropped += 1,
                 },
             }
+        } else {
+            self.unsampled += 1;
         }
     }
 
@@ -234,6 +249,7 @@ impl SharedFrontend {
             packets: self.packets,
             forwarded: self.forwarded,
             dropped: self.dropped,
+            unsampled: self.unsampled,
         }
     }
 }
@@ -295,6 +311,7 @@ pub fn spawn_shared(
             packets: 0,
             forwarded: 0,
             dropped: 0,
+            unsampled: 0,
             backpressure,
         })
         .collect();
@@ -320,6 +337,178 @@ impl SharedCollector {
         let mut backend = self.handle.join().expect("measurement thread panicked");
         backend.note_packets(total_packets);
         backend
+    }
+}
+
+/// The multi-VM generalization of [`DistributedRhhh`]: one switch frontend
+/// fanning sampled `(node, masked key)` pairs out to `M` measurement VMs
+/// by **key hash**, queries answered by merging the backends at harvest.
+///
+/// Where [`spawn_shared`] scales the *ingress* side (many devices, one
+/// backend), this scales the *measurement* side: a single backend VM caps
+/// the sustainable sample rate, so the frontend routes each masked key to
+/// `hash(key) % M` — every key's samples land on one VM, each VM holds a
+/// key-partitioned slice of every node's summary, and
+/// [`Rhhh::merge`] combines the slices with the per-VM error bounds
+/// summed. The same `V`-fold overhead reduction of Section 5.2 applies per
+/// link; the fan-out adds backend capacity linearly.
+#[derive(Debug)]
+pub struct MultiVmDistributedRhhh {
+    senders: Vec<Sender<(u16, u64)>>,
+    handles: Vec<JoinHandle<Rhhh<u64>>>,
+    masks: Vec<u64>,
+    rng: FastRng,
+    v: u64,
+    h: u64,
+    packets: u64,
+    forwarded: u64,
+    dropped: u64,
+    unsampled: u64,
+    backpressure: Backpressure,
+}
+
+impl MultiVmDistributedRhhh {
+    /// Spawns `vms` measurement threads, each with its own bounded
+    /// switch→VM channel of `queue_capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vms` is zero.
+    #[must_use]
+    pub fn spawn(
+        lattice: Lattice<u64>,
+        config: RhhhConfig,
+        vms: usize,
+        queue_capacity: usize,
+        backpressure: Backpressure,
+    ) -> Self {
+        assert!(vms > 0, "need at least one measurement VM");
+        let masks: Vec<u64> = lattice.node_ids().map(|n| lattice.mask(n)).collect();
+        let h = lattice.num_nodes() as u64;
+        let v = config.v_scale * h;
+        let seed = config.seed;
+        let mut senders = Vec::with_capacity(vms);
+        let mut handles = Vec::with_capacity(vms);
+        for vm in 0..vms {
+            let backend = Rhhh::<u64>::new(
+                lattice.clone(),
+                RhhhConfig {
+                    seed: seed ^ (vm as u64 + 1).wrapping_mul(0x9E37_79B9),
+                    ..config
+                },
+            );
+            let (tx, rx) = bounded::<(u16, u64)>(queue_capacity);
+            handles.push(std::thread::spawn(move || {
+                let mut backend = backend;
+                for (node, key) in rx {
+                    backend.raw_update(NodeId(node), key);
+                }
+                backend
+            }));
+            senders.push(tx);
+        }
+        Self {
+            senders,
+            handles,
+            masks,
+            rng: FastRng::new(seed ^ 0xFA11_0007),
+            v,
+            h,
+            packets: 0,
+            forwarded: 0,
+            dropped: 0,
+            unsampled: 0,
+            backpressure,
+        }
+    }
+
+    /// Number of measurement VMs.
+    #[must_use]
+    pub fn vms(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Switch-side per-packet work: one `[0, V)` draw; a selected packet is
+    /// masked and routed to its key's VM.
+    #[inline]
+    pub fn update(&mut self, key2: u64) {
+        self.packets += 1;
+        let d = self.rng.bounded(self.v);
+        if d < self.h {
+            let masked = key2.and(self.masks[d as usize]);
+            let vm = crate::sharded::shard_of(masked, self.senders.len());
+            match self.backpressure {
+                Backpressure::Block => {
+                    self.senders[vm]
+                        .send((d as u16, masked))
+                        .expect("measurement thread alive");
+                    self.forwarded += 1;
+                }
+                Backpressure::DropNewest => match self.senders[vm].try_send((d as u16, masked)) {
+                    Ok(()) => self.forwarded += 1,
+                    Err(_) => self.dropped += 1,
+                },
+            }
+        } else {
+            self.unsampled += 1;
+        }
+    }
+
+    /// Closes every channel, joins the VM threads, merges their summaries
+    /// and returns the queryable whole with run statistics. The merged
+    /// `N` is set to the switch-side packet count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a measurement thread panicked.
+    #[must_use]
+    pub fn finish(mut self) -> (Rhhh<u64>, DistributedStats) {
+        self.senders.clear(); // closes the channels, threads drain & exit
+        let mut backends = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("measurement thread panicked"));
+        let mut merged = backends.next().expect("at least one VM");
+        for backend in backends {
+            merged.merge(backend);
+        }
+        merged.note_packets(self.packets);
+        (
+            merged,
+            DistributedStats {
+                packets: self.packets,
+                forwarded: self.forwarded,
+                dropped: self.dropped,
+                unsampled: self.unsampled,
+            },
+        )
+    }
+
+    /// Convenience: finish and immediately run `Output(θ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a measurement thread panicked.
+    #[must_use]
+    pub fn finish_and_query(self, theta: f64) -> (Vec<HeavyHitter<u64>>, DistributedStats) {
+        let (backend, stats) = self.finish();
+        (backend.output(theta), stats)
+    }
+}
+
+impl DataplaneMonitor for MultiVmDistributedRhhh {
+    #[inline]
+    fn on_packet(&mut self, key2: u64) {
+        self.update(key2);
+    }
+
+    fn label(&self) -> String {
+        let base = if self.v == self.h {
+            "RHHH".to_string()
+        } else {
+            format!("{}-RHHH", self.v / self.h)
+        };
+        format!("Distributed-{base}(x{} VMs)", self.senders.len())
     }
 }
 
@@ -355,6 +544,11 @@ mod tests {
         let rate = stats.forwarded as f64 / n as f64;
         assert!((rate - 0.1).abs() < 0.01, "forward rate {rate}");
         assert_eq!(stats.dropped, 0, "blocking mode never drops");
+        assert_eq!(
+            stats.packets,
+            stats.forwarded + stats.dropped + stats.unsampled,
+            "every packet accounted exactly once"
+        );
     }
 
     #[test]
@@ -403,9 +597,85 @@ mod tests {
             dist.update(rng.next());
         }
         let (_, stats) = dist.finish();
+        // V = H: every packet is sampled, so none is unsampled.
+        assert_eq!(stats.unsampled, 0);
         assert_eq!(stats.forwarded + stats.dropped, 50_000);
         // The run must terminate promptly (no deadlock) — reaching this
         // assertion is the test.
+    }
+
+    #[test]
+    fn multi_vm_fanout_finds_planted_hhh_and_accounts_packets() {
+        for vms in [1usize, 2, 4] {
+            let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+            let config = RhhhConfig {
+                epsilon_s: 0.02,
+                epsilon_a: 0.005,
+                delta_s: 0.05,
+                ..RhhhConfig::default()
+            };
+            let mut dist = MultiVmDistributedRhhh::spawn(
+                lat.clone(),
+                config,
+                vms,
+                1 << 14,
+                Backpressure::Block,
+            );
+            assert_eq!(dist.vms(), vms);
+            let mut rng = Lcg(40 + vms as u64);
+            let n = 400_000u64;
+            for i in 0..n {
+                let key = if i % 10 < 3 {
+                    pack2(
+                        0x0A14_0000 | (rng.next() as u32 & 0xFFFF),
+                        u32::from_be_bytes([8, 8, 8, 8]),
+                    )
+                } else {
+                    pack2(rng.next() as u32, rng.next() as u32)
+                };
+                dist.update(key);
+            }
+            let (backend, stats) = dist.finish();
+            assert_eq!(stats.packets, n);
+            assert_eq!(
+                stats.packets,
+                stats.forwarded + stats.dropped + stats.unsampled
+            );
+            assert_eq!(backend.packets(), n, "merged backend carries global N");
+            let rendered: Vec<String> = backend
+                .output(0.1)
+                .iter()
+                .map(|h| h.prefix.display(&lat))
+                .collect();
+            assert!(
+                rendered
+                    .iter()
+                    .any(|s| s.contains("10.20.0.0/16") && s.contains("8.8.8.8/32")),
+                "{vms} VMs: missing planted HHH in {rendered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_vm_ten_rhhh_forwards_h_over_v() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut dist = MultiVmDistributedRhhh::spawn(
+            lat,
+            RhhhConfig::ten_rhhh(),
+            3,
+            1 << 14,
+            Backpressure::Block,
+        );
+        let mut rng = Lcg(77);
+        let n = 200_000u64;
+        for _ in 0..n {
+            dist.update(rng.next());
+        }
+        let (backend, stats) = dist.finish();
+        let rate = stats.forwarded as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "forward rate {rate}");
+        assert_eq!(stats.packets, stats.forwarded + stats.unsampled);
+        assert_eq!(backend.total_updates(), stats.forwarded);
     }
 
     #[test]

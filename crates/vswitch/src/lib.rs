@@ -28,20 +28,27 @@
 //! * [`distributed`] — the paper's second integration: the switch only
 //!   *samples* (`d < H`) and forwards sampled headers over a bounded
 //!   channel to a measurement thread standing in for the monitoring VM
-//!   (Figure 8).
+//!   (Figure 8); [`distributed::MultiVmDistributedRhhh`] fans the samples
+//!   out to several VMs by key hash and merges at harvest.
+//! * [`sharded`] — RSS-style shard parallelism: packets hash-partition
+//!   across worker threads, each running the geometric-skip batch path on
+//!   its own RHHH instance; queries merge the per-shard summaries.
 
 pub mod datapath;
 pub mod distributed;
 pub mod flow_table;
 pub mod monitor;
 pub mod packet;
+pub mod sharded;
 
 pub use datapath::{Datapath, DatapathStats, DataplaneMonitor};
 pub use distributed::{
-    spawn_shared, Backpressure, DistributedRhhh, SharedCollector, SharedFrontend,
+    spawn_shared, Backpressure, DistributedRhhh, DistributedStats, MultiVmDistributedRhhh,
+    SharedCollector, SharedFrontend,
 };
 pub use flow_table::{Action, FlowKey, MegaflowTable, MicroflowCache};
 pub use monitor::{
     AlgoMonitor, BatchingMonitor, CompactBatchingMonitor, DynBatchingMonitor, NoOpMonitor,
 };
 pub use packet::{build_udp_frame, EthernetFrame, Ipv4View, ParseError, UdpView};
+pub use sharded::{shard_of, ShardedMonitor};

@@ -1,0 +1,365 @@
+//! Shard-parallel RHHH: RSS-style hash partitioning across worker threads,
+//! merge-on-harvest.
+//!
+//! Modern NICs spread flows across receive queues by hashing the packet
+//! header (RSS), and each queue is polled by its own core. The inline
+//! monitors in [`crate::monitor`] assume one measurement instance sees the
+//! whole stream; this module drops that assumption: every worker thread
+//! runs its *own* RHHH instance over its own sub-stream through the
+//! geometric-skip batch path, shares nothing while packets flow, and the
+//! harvest combines the per-shard summaries with [`Rhhh::merge`].
+//!
+//! Partitioning is by **key hash**, so a flow (and every prefix of it, per
+//! shard) lands wholly in one shard. Accuracy-wise the merge analysis
+//! applies: per-node counter errors add across shards (`Σᵢ nᵢ/m = n/m` —
+//! the same ε_a class as one instance), and the shards' independent
+//! sampling errors add in variance, which is exactly what the merged
+//! instance's `slack()` over the summed `N` charges. Convergence needs the
+//! *total* stream length to pass ψ, which the merged packet count reflects.
+//!
+//! The channel carries whole batches (one `Vec` per `batch` packets), not
+//! packets, so the per-packet cost on the ingress thread is a hash, a
+//! buffer push and an amortized send — and the workers spend their time in
+//! `update_batch`, not on synchronization. The channels are bounded
+//! ([`QUEUE_BATCHES`] in-flight batches per shard), so a worker that falls
+//! behind backpressures the ingress thread instead of accumulating an
+//! unbounded backlog — the same discipline the distributed link in
+//! [`crate::distributed`] applies.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use hhh_core::{HeavyHitter, Rhhh, RhhhConfig};
+use hhh_counters::{FrequencyEstimator, SpaceSaving};
+use hhh_hierarchy::{KeyBits, Lattice};
+
+use crate::datapath::DataplaneMonitor;
+
+/// In-flight batches each shard's channel may hold before the ingress
+/// thread blocks. Enough to ride out scheduling hiccups (at the default
+/// 4Ki-key batches this is ≤ 2 MiB per shard), small enough that a
+/// continuously slower worker bounds memory instead of growing a backlog.
+const QUEUE_BATCHES: usize = 16;
+
+/// The canonical key-hash routing, re-exported so pipeline users need not
+/// reach into `hhh-hierarchy` for it.
+pub use hhh_hierarchy::shard_of;
+
+/// [`shard_of`] over any lattice key (hashes the low 64 bits; for the
+/// packed IPv4 keys this is the whole key).
+#[inline]
+fn shard_of_key<K: KeyBits>(key: K, shards: usize) -> usize {
+    shard_of(key.low_u64(), shards)
+}
+
+/// Shard-parallel RHHH monitor: `N` worker threads, each owning one RHHH
+/// instance fed through the batch path, combined by merge at harvest.
+///
+/// Create with [`ShardedMonitor::spawn`], feed packets via
+/// [`ShardedMonitor::on_packet`] (or as a [`DataplaneMonitor`]), then
+/// [`ShardedMonitor::harvest`] to join the workers and obtain the merged,
+/// queryable instance.
+///
+/// Generic over the per-node counter like [`Rhhh`] itself; the flat-arena
+/// layout ([`crate::monitor::CompactBatchingMonitor`]'s counter) pairs well
+/// with the batch flush the workers run.
+#[derive(Debug)]
+pub struct ShardedMonitor<K: KeyBits = u64, E: FrequencyEstimator<K> = SpaceSaving<K>> {
+    senders: Vec<Sender<Vec<K>>>,
+    handles: Vec<JoinHandle<Rhhh<K, E>>>,
+    bufs: Vec<Vec<K>>,
+    batch: usize,
+    packets: u64,
+    per_shard: Vec<u64>,
+    label: String,
+}
+
+impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
+    /// Spawns `shards` worker threads over copies of `lattice`/`config`
+    /// (each worker gets a distinct deterministic seed derived from
+    /// `config.seed`), buffering `batch` packets per shard before handing
+    /// a batch over.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` or `batch` is zero.
+    #[must_use]
+    pub fn spawn(lattice: Lattice<K>, config: RhhhConfig, shards: usize, batch: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(batch > 0, "batch size must be positive");
+        let base = if config.v_scale == 1 {
+            "RHHH".to_string()
+        } else {
+            format!("{}-RHHH", config.v_scale)
+        };
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let worker = Rhhh::<K, E>::new(
+                lattice.clone(),
+                RhhhConfig {
+                    // Distinct deterministic seed per shard: the shards'
+                    // sampling draws must be independent.
+                    seed: config.seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ..config
+                },
+            );
+            let (tx, rx) = bounded::<Vec<K>>(QUEUE_BATCHES);
+            handles.push(std::thread::spawn(move || {
+                let mut worker = worker;
+                for batch in rx {
+                    worker.update_batch(&batch);
+                }
+                worker
+            }));
+            senders.push(tx);
+        }
+        Self {
+            senders,
+            handles,
+            bufs: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
+            batch,
+            packets: 0,
+            per_shard: vec![0; shards],
+            label: format!("Sharded{shards}-{base}"),
+        }
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Packets fed so far (across all shards).
+    #[must_use]
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Packets routed to each shard so far — the hash-balance diagnostic.
+    #[must_use]
+    pub fn shard_packets(&self) -> &[u64] {
+        &self.per_shard
+    }
+
+    /// Routes one packet to its shard, handing off a full batch when the
+    /// shard's buffer fills.
+    #[inline]
+    pub fn update(&mut self, key2: K) {
+        self.packets += 1;
+        let shard = shard_of_key(key2, self.senders.len());
+        self.per_shard[shard] += 1;
+        let buf = &mut self.bufs[shard];
+        buf.push(key2);
+        if buf.len() >= self.batch {
+            let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
+            self.senders[shard]
+                .send(full)
+                .expect("shard worker alive while monitor exists");
+        }
+    }
+
+    /// Sends every partially filled buffer to its worker. Called by
+    /// [`ShardedMonitor::harvest`]; useful on its own before a progress
+    /// report.
+    pub fn flush(&mut self) {
+        for (shard, buf) in self.bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let part = std::mem::take(buf);
+                self.senders[shard]
+                    .send(part)
+                    .expect("shard worker alive while monitor exists");
+            }
+        }
+    }
+
+    /// Flushes, joins every worker and merges the per-shard summaries into
+    /// one queryable instance whose packet and weight totals cover the
+    /// whole stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn harvest(mut self) -> Rhhh<K, E> {
+        self.flush();
+        self.senders.clear(); // closes every channel; workers drain & exit
+        let mut workers = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"));
+        let mut merged = workers.next().expect("at least one shard");
+        for worker in workers {
+            merged.merge(worker);
+        }
+        merged
+    }
+
+    /// Convenience: harvest and immediately run `Output(θ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn finish_and_query(self, theta: f64) -> Vec<HeavyHitter<K>> {
+        self.harvest().output(theta)
+    }
+}
+
+impl<E: FrequencyEstimator<u64>> DataplaneMonitor for ShardedMonitor<u64, E> {
+    #[inline]
+    fn on_packet(&mut self, key2: u64) {
+        self.update(key2);
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_core::HhhAlgorithm;
+    use hhh_counters::CompactSpaceSaving;
+    use hhh_hierarchy::pack2;
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+    }
+
+    fn attack_stream(n: u64, seed: u64) -> Vec<u64> {
+        let mut rng = Lcg(seed);
+        (0..n)
+            .map(|i| {
+                if i % 10 < 3 {
+                    pack2(
+                        0x0A14_0000 | (rng.next() as u32 & 0xFFFF),
+                        u32::from_be_bytes([8, 8, 8, 8]),
+                    )
+                } else {
+                    pack2(rng.next() as u32, rng.next() as u32)
+                }
+            })
+            .collect()
+    }
+
+    fn config() -> RhhhConfig {
+        RhhhConfig {
+            epsilon_s: 0.02,
+            epsilon_a: 0.005,
+            delta_s: 0.05,
+            ..RhhhConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_monitor_finds_planted_hhh() {
+        for shards in [1usize, 2, 4] {
+            let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+            let mut mon =
+                ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat.clone(), config(), shards, 256);
+            let n = 400_000u64;
+            for &k in &attack_stream(n, 4) {
+                mon.update(k);
+            }
+            assert_eq!(mon.packets(), n);
+            let total: u64 = mon.shard_packets().iter().sum();
+            assert_eq!(total, n, "per-shard routing must account every packet");
+            let merged = mon.harvest();
+            assert_eq!(merged.packets(), n, "merged N covers the whole stream");
+            assert_eq!(merged.total_weight(), n);
+            let rendered: Vec<String> = merged
+                .output(0.1)
+                .iter()
+                .map(|h| h.prefix.display(&lat))
+                .collect();
+            assert!(
+                rendered
+                    .iter()
+                    .any(|s| s.contains("10.20.0.0/16") && s.contains("8.8.8.8/32")),
+                "{shards} shards: missing planted HHH in {rendered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_monitor_works_with_compact_counter() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon =
+            ShardedMonitor::<u64, CompactSpaceSaving<u64>>::spawn(lat.clone(), config(), 3, 512);
+        let n = 300_000u64;
+        for &k in &attack_stream(n, 7) {
+            mon.on_packet(k);
+        }
+        assert_eq!(mon.label(), "Sharded3-RHHH");
+        let out = mon.finish_and_query(0.1);
+        assert!(out
+            .iter()
+            .map(|h| h.prefix.display(&lat))
+            .any(|s| s.contains("10.20.0.0/16")));
+    }
+
+    #[test]
+    fn shard_routing_is_key_stable_and_balanced() {
+        // The same key always lands on the same shard, and random traffic
+        // spreads evenly (within 10%).
+        let shards = 4;
+        let mut rng = Lcg(9);
+        let mut counts = vec![0u64; shards];
+        for _ in 0..100_000 {
+            let k = rng.next();
+            let s = shard_of(k, shards);
+            assert_eq!(s, shard_of(k, shards));
+            counts[s] += 1;
+        }
+        let expect = 100_000 / shards as u64;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < expect / 10,
+                "shard {s}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn harvest_flushes_partial_buffers() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config(), 2, 4_096);
+        // Fewer packets than one batch: everything rides the final flush.
+        for i in 0..100u64 {
+            mon.update(i);
+        }
+        let merged = mon.harvest();
+        assert_eq!(merged.packets(), 100);
+    }
+
+    #[test]
+    fn ten_rhhh_sharded_update_rate_is_h_over_v() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon =
+            ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, RhhhConfig::ten_rhhh(), 4, 1_024);
+        let n = 200_000u64;
+        for &k in &attack_stream(n, 11) {
+            mon.update(k);
+        }
+        let merged = mon.harvest();
+        let rate = merged.total_updates() as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "update rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let _ = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, RhhhConfig::default(), 0, 64);
+    }
+}

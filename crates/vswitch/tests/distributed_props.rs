@@ -1,0 +1,93 @@
+//! `DistributedStats` accounting properties: every switch-side packet is
+//! counted exactly once — forwarded, dropped or unsampled — under
+//! `DropNewest` backpressure, on every seed, queue size and operating
+//! point, for both the single-VM and the multi-VM fan-out frontends.
+
+use hhh_core::RhhhConfig;
+use hhh_hierarchy::Lattice;
+use hhh_vswitch::{Backpressure, DistributedRhhh, MultiVmDistributedRhhh};
+use proptest::prelude::*;
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// packets == forwarded + dropped + unsampled for the single-VM
+    /// frontend under DropNewest, with a deliberately tiny queue so drops
+    /// actually occur, across seeds, V multipliers and stream lengths.
+    #[test]
+    fn stats_account_every_packet(
+        seed in any::<u64>(),
+        v_scale in 1u64..12,
+        queue_pow in 0u32..8,
+        n in 1_000u64..12_000,
+    ) {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let config = RhhhConfig { v_scale, seed, ..RhhhConfig::default() };
+        let mut dist = DistributedRhhh::spawn(
+            lat,
+            config,
+            1usize << queue_pow,
+            Backpressure::DropNewest,
+        );
+        let mut rng = Lcg(seed ^ 0xABCD);
+        for _ in 0..n {
+            dist.update(rng.next());
+        }
+        let (backend, stats) = dist.finish();
+        prop_assert_eq!(stats.packets, n);
+        prop_assert_eq!(
+            stats.packets,
+            stats.forwarded + stats.dropped + stats.unsampled,
+            "leaked a packet: {:?}", stats
+        );
+        // Only forwarded samples can reach the backend's counters.
+        prop_assert_eq!(backend.total_updates(), stats.forwarded);
+        // V = H never skips, so unsampled must be zero there.
+        if v_scale == 1 {
+            prop_assert_eq!(stats.unsampled, 0);
+        }
+    }
+
+    /// The same invariant holds for the multi-VM fan-out frontend, whose
+    /// sampled keys additionally route across several queues.
+    #[test]
+    fn multi_vm_stats_account_every_packet(
+        seed in any::<u64>(),
+        v_scale in 1u64..12,
+        vms in 1usize..5,
+        n in 1_000u64..10_000,
+    ) {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let config = RhhhConfig { v_scale, seed, ..RhhhConfig::default() };
+        let mut dist = MultiVmDistributedRhhh::spawn(
+            lat,
+            config,
+            vms,
+            1, // capacity-1 queues: heavy contention guaranteed
+            Backpressure::DropNewest,
+        );
+        let mut rng = Lcg(seed ^ 0x1234);
+        for _ in 0..n {
+            dist.update(rng.next());
+        }
+        let (backend, stats) = dist.finish();
+        prop_assert_eq!(stats.packets, n);
+        prop_assert_eq!(
+            stats.packets,
+            stats.forwarded + stats.dropped + stats.unsampled,
+            "leaked a packet: {:?}", stats
+        );
+        prop_assert_eq!(backend.total_updates(), stats.forwarded);
+    }
+}

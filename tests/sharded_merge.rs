@@ -1,0 +1,196 @@
+//! Cross-crate merge integration: the K-shard merged pipeline measured
+//! against exact ground truth with the evaluation metrics, plus the merge
+//! behaviour of the baselines.
+
+use hhh_baselines::{Ancestry, AncestryMode, Mst};
+use hhh_core::{CounterKind, ExactHhh, HhhAlgorithm, MergeError, Rhhh, RhhhConfig};
+use hhh_counters::{CompactSpaceSaving, FrequencyEstimator, SpaceSaving};
+use hhh_eval::coverage_error_ratio;
+use hhh_hierarchy::{pack2, Lattice};
+use hhh_traces::{TraceConfig, TraceGenerator};
+use hhh_vswitch::shard_of;
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+fn random_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|i| {
+            if i % 10 < 3 {
+                pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                pack2(rng.next() as u32, rng.next() as u32)
+            }
+        })
+        .collect()
+}
+
+fn zipf_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|i| {
+            if i % 10 < 3 {
+                pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                gen.generate().key2()
+            }
+        })
+        .collect()
+}
+
+fn phase_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Lcg(seed);
+    let cut = n * 6 / 10;
+    (0..n)
+        .map(|i| {
+            if i >= cut && i % 4 != 0 {
+                pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                pack2(rng.next() as u32, rng.next() as u32)
+            }
+        })
+        .collect()
+}
+
+const CONFIG: RhhhConfig = RhhhConfig {
+    epsilon_a: 0.005,
+    epsilon_s: 0.02,
+    delta_s: 0.05,
+    v_scale: 1,
+    updates_per_packet: 1,
+    seed: 0x5EED,
+};
+
+fn shard_and_merge<E: FrequencyEstimator<u64>>(
+    lat: &Lattice<u64>,
+    keys: &[u64],
+    shards: usize,
+) -> Rhhh<u64, E> {
+    let mut parts: Vec<Rhhh<u64, E>> = (0..shards)
+        .map(|i| {
+            Rhhh::new(
+                lat.clone(),
+                RhhhConfig {
+                    seed: 0xF00D ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                    ..CONFIG
+                },
+            )
+        })
+        .collect();
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for &k in keys {
+        buckets[shard_of(k, shards)].push(k);
+    }
+    for (part, bucket) in parts.iter_mut().zip(&buckets) {
+        for chunk in bucket.chunks(8_192) {
+            part.update_batch(chunk);
+        }
+    }
+    let mut merged = parts.remove(0);
+    for part in parts {
+        merged.merge(part);
+    }
+    merged
+}
+
+/// The acceptance differential: against exact ground truth, the K-shard
+/// merged pipeline's coverage (recall) matches the single-instance run on
+/// random, Zipf and phase-change streams, for both Space Saving layouts.
+#[test]
+fn merged_recall_matches_single_instance_against_exact() {
+    let theta = 0.1;
+    let lat = Lattice::ipv4_src_dst_bytes();
+    for (name, keys) in [
+        ("random", random_stream(250_000, 61)),
+        ("zipf", zipf_stream(250_000, 62)),
+        ("phase", phase_stream(250_000, 63)),
+    ] {
+        let mut exact = ExactHhh::new(lat.clone());
+        for &k in &keys {
+            exact.insert(k);
+        }
+
+        let mut single = Rhhh::<u64, SpaceSaving<u64>>::new(lat.clone(), CONFIG);
+        for chunk in keys.chunks(8_192) {
+            single.update_batch(chunk);
+        }
+        let single_cov = coverage_error_ratio(&single.output(theta), &exact, theta);
+
+        for shards in [2usize, 4] {
+            let merged_list = shard_and_merge::<SpaceSaving<u64>>(&lat, &keys, shards);
+            let merged_compact = shard_and_merge::<CompactSpaceSaving<u64>>(&lat, &keys, shards);
+            for (layout, out) in [
+                ("stream-summary", merged_list.output(theta)),
+                ("compact", merged_compact.output(theta)),
+            ] {
+                let cov = coverage_error_ratio(&out, &exact, theta);
+                assert!(
+                    cov <= single_cov + 1e-9,
+                    "{name}/{layout}/{shards} shards: merged coverage error {cov:.3} \
+                     worse than single-instance {single_cov:.3}"
+                );
+            }
+        }
+    }
+}
+
+/// MST shares RHHH's per-node structure, so its merge combines two
+/// deterministic summaries — the multi-device aggregation story for the
+/// update-all baseline.
+#[test]
+fn mst_merges_deterministic_summaries() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let keys = random_stream(60_000, 55);
+    let mut whole = Mst::<u64>::new(lat.clone(), 0.01);
+    for &k in &keys {
+        whole.update(k);
+    }
+    let mut a = Mst::<u64>::new(lat.clone(), 0.01);
+    let mut b = Mst::<u64>::new(lat.clone(), 0.01);
+    for &k in &keys {
+        if shard_of(k, 2) == 0 {
+            a.update(k);
+        } else {
+            b.update(k);
+        }
+    }
+    a.try_merge(b).expect("same lattice and capacity");
+    assert_eq!(a.packets(), whole.packets());
+    let planted = |out: &[hhh_core::HeavyHitter<u64>]| {
+        out.iter()
+            .map(|h| h.prefix.display(&lat))
+            .any(|s| s.contains("10.20.0.0/16"))
+    };
+    assert!(planted(&whole.output(0.1)));
+    assert!(planted(&a.output(0.1)), "merged MST lost the attack");
+
+    // And through the dyn surface, MST merges with MST but not with RHHH.
+    let mut boxed: Box<dyn HhhAlgorithm<u64>> = Box::new(Mst::<u64>::new(lat.clone(), 0.01));
+    boxed
+        .merge(Box::new(Mst::<u64>::new(lat.clone(), 0.01)))
+        .expect("MST merges with MST");
+    assert!(matches!(
+        boxed.merge(CounterKind::StreamSummary.build_rhhh::<u64>(lat.clone(), CONFIG)),
+        Err(MergeError::AlgorithmMismatch { .. })
+    ));
+
+    // The ancestry baselines keep per-key compensation state and decline.
+    let mut ancestry = Ancestry::<u64>::new(lat.clone(), AncestryMode::Partial, 0.01);
+    assert!(matches!(
+        HhhAlgorithm::merge(
+            &mut ancestry,
+            CounterKind::StreamSummary.build_rhhh::<u64>(lat, CONFIG)
+        ),
+        Err(MergeError::Unsupported(_))
+    ));
+}
