@@ -19,6 +19,7 @@ use hhh_bench::Workload;
 use hhh_counters::{
     CompactSpaceSaving, FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
 };
+use hhh_traces::{Packet, TraceConfig, TraceGenerator};
 
 const PACKETS: usize = 200_000;
 
@@ -144,5 +145,107 @@ fn compact_vs_stream_summary(c: &mut Criterion) {
     }
 }
 
-criterion_group!(ablation, benches, compact_vs_stream_summary);
+/// The regime the fingerprint/tag array targets: instances pre-warmed to
+/// their full/evicting steady state, then fed streams of entirely new
+/// distinct keys — every key is a miss, and at capacity every miss evicts.
+/// The scalar rows drive `increment`; the `flush` rows drive
+/// `flush_group_evicting` on sorted 4Ki groups, the exact entry point the
+/// RHHH batch flush calls (bulk min-level eviction on the compact layout,
+/// the per-key default elsewhere).
+///
+/// Warm-up streams fresh chicago16 1D keys through the shared
+/// [`hhh_bench::warm_stream`] helper (the same pre-warm protocol as
+/// `update_speed`'s steady-state group), so the warmed tables carry real
+/// trace churn; the measured keys are sequential values disjoint from the
+/// address space, making the all-miss property exact.
+fn miss_heavy(c: &mut Criterion) {
+    const WARM_PACKETS: usize = 2_000_000;
+    const GROUP_KEYS: usize = 4_096;
+    const CAPACITY: usize = 1000; // ε = 0.001, the paper's operating point
+    let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+    let mut warm_list: SpaceSaving<u32> = SpaceSaving::with_capacity(CAPACITY);
+    let mut warm_compact: CompactSpaceSaving<u32> = CompactSpaceSaving::with_capacity(CAPACITY);
+    let mut warm_heap: HeapSpaceSaving<u32> = HeapSpaceSaving::with_capacity(CAPACITY);
+    hhh_bench::warm_stream(&mut gen, WARM_PACKETS, GROUP_KEYS, Packet::key1, |chunk| {
+        warm_list.increment_batch(chunk);
+        warm_compact.increment_batch(chunk);
+        warm_heap.increment_batch(chunk);
+    });
+
+    // All-distinct measured keys in a region real traces never visit
+    // (class E space), pre-grouped into sorted 4Ki chunks.
+    let keys: Vec<u32> = (0..PACKETS as u32).map(|i| 0xF000_0000 | i).collect();
+    let chunks: Vec<Vec<u32>> = keys.chunks(GROUP_KEYS).map(<[u32]>::to_vec).collect();
+    let total = keys.len() as u64;
+
+    let group_name = "counter-ablation/miss-heavy";
+    let mut g = c.benchmark_group(group_name);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(total));
+    g.bench_function(BenchmarkId::from_parameter("scalar/list"), |b| {
+        b.iter_batched(
+            || warm_list.clone(),
+            |mut est| {
+                for &k in &keys {
+                    est.increment(k);
+                }
+                est
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function(BenchmarkId::from_parameter("scalar/compact"), |b| {
+        b.iter_batched(
+            || warm_compact.clone(),
+            |mut est| {
+                for &k in &keys {
+                    est.increment(k);
+                }
+                est
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function(BenchmarkId::from_parameter("flush/list"), |b| {
+        b.iter_batched(
+            || (warm_list.clone(), chunks.clone()),
+            |(mut est, mut chunks)| {
+                for chunk in &mut chunks {
+                    est.flush_group_evicting(chunk);
+                }
+                est
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function(BenchmarkId::from_parameter("flush/compact"), |b| {
+        b.iter_batched(
+            || (warm_compact.clone(), chunks.clone()),
+            |(mut est, mut chunks)| {
+                for chunk in &mut chunks {
+                    est.flush_group_evicting(chunk);
+                }
+                est
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function(BenchmarkId::from_parameter("flush/heap"), |b| {
+        b.iter_batched(
+            || (warm_heap.clone(), chunks.clone()),
+            |(mut est, mut chunks)| {
+                for chunk in &mut chunks {
+                    est.flush_group_evicting(chunk);
+                }
+                est
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(ablation, benches, compact_vs_stream_summary, miss_heavy);
 criterion_main!(ablation);

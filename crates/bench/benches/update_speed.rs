@@ -169,24 +169,24 @@ fn compact_vs_stream_summary(c: &mut Criterion) {
         let group = format!("compact-vs-stream-summary/v{v_scale}");
 
         // One generator supplies the measured workload (its first 1M
-        // packets) and then keeps producing the fresh warm trace, so no
-        // key sequence is ever replayed during warm-up.
+        // packets) and then keeps producing the fresh warm trace through
+        // the shared `warm_stream` helper, so no key sequence is ever
+        // replayed during warm-up.
         let mut gen = hhh_traces::TraceGenerator::new(&hhh_traces::TraceConfig::chicago16());
         let keys2: Vec<u64> = (0..STEADY_PACKETS).map(|_| gen.generate().key2()).collect();
         let mut warm_list = Rhhh::<u64>::new(lat.clone(), rhhh_config(v_scale));
         let mut warm_compact =
             Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), rhhh_config(v_scale));
-        let mut chunk = Vec::with_capacity(WARM_CHUNK);
-        let mut warmed = 0usize;
-        while warmed < WARM_PACKETS {
-            chunk.clear();
-            for _ in 0..WARM_CHUNK {
-                chunk.push(gen.generate().key2());
-            }
-            warm_list.update_batch(&chunk);
-            warm_compact.update_batch(&chunk);
-            warmed += WARM_CHUNK;
-        }
+        hhh_bench::warm_stream(
+            &mut gen,
+            WARM_PACKETS,
+            WARM_CHUNK,
+            hhh_traces::Packet::key2,
+            |chunk| {
+                warm_list.update_batch(chunk);
+                warm_compact.update_batch(chunk);
+            },
+        );
 
         bench_algo(c, &group, "scalar/stream-summary", &keys2, || {
             warm_list.clone()

@@ -37,6 +37,38 @@ impl Workload {
     }
 }
 
+/// Shared steady-state pre-warm: streams `packets` *fresh* packets from
+/// `gen` to `sink` in `chunk`-sized key slices, reusing one buffer.
+///
+/// Benchmarks that measure the full/evicting steady state (the regime a
+/// long-running monitor lives in) warm their instances with the *next*
+/// packets of the same generator that produced the measured workload — a
+/// non-repeating trace, so the warmed state carries the trace's true
+/// key-churn statistics (replaying the workload K× would over-represent
+/// its tail keys as recurring flows). `key_of` selects the key dimension
+/// (`Packet::key1` for 1D, `Packet::key2` for 2D), so the `update_speed`
+/// and `counter_ablation` warm-ups share this one implementation.
+pub fn warm_stream<K>(
+    gen: &mut TraceGenerator,
+    packets: usize,
+    chunk: usize,
+    key_of: impl Fn(&Packet) -> K,
+    mut sink: impl FnMut(&[K]),
+) {
+    assert!(chunk > 0, "warm-up chunk must be positive");
+    let mut buf: Vec<K> = Vec::with_capacity(chunk);
+    let mut warmed = 0usize;
+    while warmed < packets {
+        buf.clear();
+        let take = chunk.min(packets - warmed);
+        for _ in 0..take {
+            buf.push(key_of(&gen.generate()));
+        }
+        sink(&buf);
+        warmed += take;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +81,28 @@ mod tests {
         assert_eq!(w.packets.len(), 1_000);
         assert_eq!(w.keys1[0], w.packets[0].src);
         assert_eq!(w.keys2[0] >> 32, u64::from(w.packets[0].src));
+    }
+
+    #[test]
+    fn warm_stream_delivers_exactly_n_fresh_keys() {
+        let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+        let mut total = 0usize;
+        let mut chunks = 0usize;
+        warm_stream(&mut gen, 1_000, 256, Packet::key2, |chunk| {
+            assert!(chunk.len() <= 256);
+            total += chunk.len();
+            chunks += 1;
+        });
+        assert_eq!(total, 1_000);
+        assert_eq!(chunks, 4, "3 full chunks + the 232-key tail");
+        // The generator advanced past the warm packets: the next draw
+        // continues the trace rather than restarting it.
+        let continued = gen.generate();
+        let mut fresh = TraceGenerator::new(&TraceConfig::chicago16());
+        let first = fresh.generate();
+        assert!(
+            continued.key2() != first.key2() || continued.wire_len != first.wire_len,
+            "warm-up must consume the generator"
+        );
     }
 }

@@ -292,6 +292,25 @@ fn run_sharded_timed<K: KeyBits, E: FrequencyEstimator<K>>(
     (merged.output(theta), total, elapsed)
 }
 
+/// The volume twin of [`run_sharded_timed`]: feeds `(key, weight)` pairs
+/// through [`ShardedMonitor::update_weighted`], so `--shards --volume`
+/// measures byte-weighted HHHs on the shard-parallel pipeline.
+fn run_sharded_weighted_timed<K: KeyBits, E: FrequencyEstimator<K>>(
+    lattice: &Lattice<K>,
+    config: RhhhConfig,
+    shards: usize,
+    weighted: &[(K, u64)],
+    theta: f64,
+) -> (Vec<HeavyHitter<K>>, u64, f64) {
+    let start = Instant::now();
+    let mut mon = ShardedMonitor::<K, E>::spawn(lattice.clone(), config, shards, SHARD_BATCH);
+    mon.update_batch_weighted(weighted);
+    let merged = mon.harvest();
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = merged.total_weight();
+    (merged.output(theta), total, elapsed)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_analysis<K: KeyBits>(
     lattice: &Lattice<K>,
@@ -332,9 +351,6 @@ fn run_analysis<K: KeyBits>(
             };
             return Err(format!("{flag} supports rhhh/10-rhhh only"));
         }
-        if shards.is_some() && volume {
-            return Err("--shards counts packets only; drop --volume".into());
-        }
         let v_scale = if algo_name == "10-rhhh" { 10 } else { 1 };
         let config = RhhhConfig {
             epsilon_a: epsilon,
@@ -361,9 +377,17 @@ fn run_analysis<K: KeyBits>(
             packets.iter().map(&key_of).collect()
         };
         (output, total, elapsed) = if let Some(shards) = shards {
-            with_counter_type!(counter, Est, {
-                run_sharded_timed::<K, Est<K>>(lattice, config, shards, &keys, theta)
-            })
+            if volume {
+                with_counter_type!(counter, Est, {
+                    run_sharded_weighted_timed::<K, Est<K>>(
+                        lattice, config, shards, &weighted, theta,
+                    )
+                })
+            } else {
+                with_counter_type!(counter, Est, {
+                    run_sharded_timed::<K, Est<K>>(lattice, config, shards, &keys, theta)
+                })
+            }
         } else {
             with_counter_type!(counter, Est, {
                 run_rhhh_timed::<K, Est<K>>(lattice, config, volume, batch, &weighted, &keys, theta)
@@ -640,6 +664,51 @@ mod tests {
                 .iter()
                 .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
             "sharded analysis must find the planted attack"
+        );
+    }
+
+    #[test]
+    fn sharded_weighted_analysis_runs_end_to_end() {
+        // The --shards --volume path: byte-weighted HHHs through the
+        // shard-parallel pipeline, weight conserved end to end.
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let config = RhhhConfig {
+            epsilon_a: 0.005,
+            epsilon_s: 0.02,
+            delta_s: 0.05,
+            v_scale: 1,
+            updates_per_packet: 1,
+            seed: 0xC11,
+        };
+        // Plant a volume-heavy flow: 10% of packets at 1400 B against a
+        // 64 B background — ~70% of bytes, no packet-count dominance.
+        let background =
+            TraceGenerator::new(&preset("chicago16").expect("preset")).take_packets(200_000);
+        let heavy = hhh_hierarchy::pack2(
+            u32::from_be_bytes([7, 7, 7, 7]),
+            u32::from_be_bytes([8, 8, 8, 8]),
+        );
+        let weighted: Vec<(u64, u64)> = background
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if i % 10 == 0 {
+                    (heavy, 1400)
+                } else {
+                    (p.key2(), 64)
+                }
+            })
+            .collect();
+        let volume: u64 = weighted.iter().map(|&(_, w)| w).sum();
+        let (output, total, elapsed) =
+            run_sharded_weighted_timed::<u64, SpaceSaving<u64>>(&lat, config, 3, &weighted, 0.3);
+        assert_eq!(total, volume, "sharded volume must be conserved");
+        assert!(elapsed > 0.0);
+        assert!(
+            output
+                .iter()
+                .any(|h| h.prefix.display(&lat).contains("7.7.7.7/32")),
+            "weighted sharded analysis must find the volume-heavy flow"
         );
     }
 

@@ -236,11 +236,14 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
         }
 
         // Flush node by node: mask once per group, then hand the unordered
-        // group to the estimator's `flush_group`, which owns the ordering
-        // decision (every current estimator uses the default: sort by key
-        // so duplicates become runs for `increment_batch`). Order within a
-        // group is a tie-break the analysis never observes; see the module
-        // docs.
+        // group to the estimator's `flush_group_evicting`, which owns both
+        // the ordering decision (the default sorts by key so duplicates
+        // become runs for `increment_batch`) and the license to batch the
+        // evictions themselves (the flat-arena layout serves each run of
+        // slot-stealing keys from one minimum-level sweep). Order within a
+        // group is a tie-break the analysis never observes, and bulk
+        // eviction preserves the per-key count multiset exactly; see the
+        // module docs and the `flush_group_evicting` contract.
         for node in 0..h {
             let group = &mut scratch.node_keys[node];
             if group.is_empty() {
@@ -250,7 +253,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
             for key in group.iter_mut() {
                 *key = key.and(mask);
             }
-            self.instances[node].flush_group(group);
+            self.instances[node].flush_group_evicting(group);
         }
     }
 

@@ -295,6 +295,69 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
         }
     }
 
+    /// Merges `K` shard instances at once — the harvest path of
+    /// `hhh_vswitch::ShardedMonitor`-style pipelines. Each node's
+    /// estimator absorbs all K counterparts through
+    /// one [`FrequencyEstimator::merge_many`] combine instead of a
+    /// pairwise fold, which shaves the fold's accumulated min-count
+    /// padding (the K-way combine pads one-sided keys with the per-shard
+    /// minima, the fold with the growing intermediate merged minima).
+    /// Totals, convergence and slack accumulate exactly as in
+    /// [`Rhhh::try_merge`].
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::ConfigMismatch`] when any input's lattice or
+    /// accuracy/performance configuration differs from `self`'s; `self` is
+    /// unchanged in that case.
+    pub fn try_merge_many(&mut self, others: Vec<Self>) -> Result<(), MergeError> {
+        // Validate every input before mutating anything.
+        for other in &others {
+            if self.masks != other.masks {
+                return Err(MergeError::ConfigMismatch(format!(
+                    "lattice `{}` vs `{}`",
+                    self.lattice.name(),
+                    other.lattice.name()
+                )));
+            }
+            let (a, b) = (&self.config, &other.config);
+            if (a.epsilon_a, a.epsilon_s, a.delta_s) != (b.epsilon_a, b.epsilon_s, b.delta_s)
+                || a.v_scale != b.v_scale
+                || a.updates_per_packet != b.updates_per_packet
+            {
+                return Err(MergeError::ConfigMismatch(format!(
+                    "config {a:?} vs {b:?} (seed may differ, everything else must match)"
+                )));
+            }
+        }
+        // Transpose: node i's estimators from every shard, handed to one
+        // K-way counter combine each.
+        let h = self.h as usize;
+        let mut per_node: Vec<Vec<E>> = (0..h).map(|_| Vec::with_capacity(others.len())).collect();
+        for other in others {
+            self.packets += other.packets;
+            self.weight += other.weight;
+            for (node, instance) in other.instances.into_iter().enumerate() {
+                per_node[node].push(instance);
+            }
+        }
+        for (mine, theirs) in self.instances.iter_mut().zip(per_node) {
+            mine.merge_many(theirs);
+        }
+        Ok(())
+    }
+
+    /// [`Rhhh::try_merge_many`] for callers that construct every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any lattice or configuration is incompatible.
+    pub fn merge_many(&mut self, others: Vec<Self>) {
+        if let Err(e) = self.try_merge_many(others) {
+            panic!("Rhhh::merge_many: {e}");
+        }
+    }
+
     /// Applies an already-drawn update directly to one node's instance —
     /// the backend half of the distributed integration (Section 5.2's
     /// "HHH measurement … performed in a separate virtual machine"): the

@@ -292,6 +292,52 @@ fn batch_and_scalar_agree_on_the_hhh_set() {
     }
 }
 
+/// `flush_group_evicting` (what the batch flush calls — adaptive ordering
+/// with bulk min-level eviction on the flat arena) vs per-key processing
+/// of the same groups in the same (deterministically chosen, exposed)
+/// order: the deferred-eviction path must leave the same count multiset,
+/// update total and min-count — only the tie-break among equal minima
+/// (hence which key owns a slot) may differ.
+#[test]
+fn flush_group_evicting_matches_default_flush() {
+    use hhh_counters::{CompactSpaceSaving, FrequencyEstimator};
+    let mut rng = Lcg(0x5CA1E);
+    for cap in [1usize, 5, 24, 120] {
+        for (universe, group_len) in [(8u64, 64usize), (200, 96), (10_000, 512)] {
+            let mut bulk: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+            let mut default: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+            for _ in 0..30 {
+                let mut group: Vec<u64> = (0..group_len).map(|_| rng.next() % universe).collect();
+                let mut group2 = group.clone();
+                bulk.flush_group_evicting(&mut group);
+                // Mirror the adaptive order decision: sorted runs go
+                // through the default flush, arrival order through plain
+                // per-key increment_batch.
+                if bulk.last_flush_sorted() {
+                    default.flush_group(&mut group2);
+                } else {
+                    default.increment_batch(&group2);
+                }
+            }
+            let label = format!("cap {cap}, universe {universe}, group {group_len}");
+            assert_eq!(bulk.updates(), default.updates(), "{label}: updates");
+            assert_eq!(bulk.min_count(), default.min_count(), "{label}: min");
+            let multiset = |c: &CompactSpaceSaving<u64>| -> Vec<u64> {
+                let mut v: Vec<u64> = c.candidates().iter().map(|e| e.upper).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                multiset(&bulk),
+                multiset(&default),
+                "{label}: count multisets diverged"
+            );
+            bulk.debug_validate();
+            default.debug_validate();
+        }
+    }
+}
+
 /// Swapping the per-node counter for the flat-arena layout changes neither
 /// the selection schedule (same RNG, same draws) nor the count multisets
 /// (both layouts evict true minima), so a compact-backed run must deliver

@@ -314,3 +314,96 @@ fn boxed_merge_rejects_cross_kind() {
     // `self` must be untouched by the failed merge.
     assert_eq!(a.packets(), 0);
 }
+
+/// `Rhhh::merge_many` (the K-way harvest combine) against the pairwise
+/// fold on the same shard set: totals agree exactly, and every node's
+/// per-key upper bound is no looser than the fold's — the K-way combine
+/// pads one-sided keys with per-shard minima instead of the fold's
+/// growing intermediate merged minima.
+#[test]
+fn rhhh_merge_many_no_looser_than_pairwise_fold() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let keys = zipf_stream(200_000, 55);
+    for shards in [2usize, 4, 8] {
+        let build = |seed_base: u64| -> Vec<Rhhh<u64, CompactSpaceSaving<u64>>> {
+            let mut parts: Vec<Rhhh<u64, CompactSpaceSaving<u64>>> = (0..shards)
+                .map(|i| {
+                    Rhhh::new(
+                        lat.clone(),
+                        RhhhConfig {
+                            seed: seed_base ^ (i as u64 * 0x9E37),
+                            ..test_config(1, 0)
+                        },
+                    )
+                })
+                .collect();
+            let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); shards];
+            for &k in &keys {
+                buckets[shard_of(k, shards)].push(k);
+            }
+            for (part, bucket) in parts.iter_mut().zip(&buckets) {
+                part.update_batch(bucket);
+            }
+            parts
+        };
+        let pairwise = {
+            let mut parts = build(0xF01D);
+            let mut merged = parts.remove(0);
+            for part in parts {
+                merged.merge(part);
+            }
+            merged
+        };
+        let kway = {
+            let mut parts = build(0xF01D);
+            let mut merged = parts.remove(0);
+            merged.merge_many(parts);
+            merged
+        };
+        assert_eq!(kway.packets(), pairwise.packets(), "{shards} shards");
+        assert_eq!(
+            kway.total_updates(),
+            pairwise.total_updates(),
+            "{shards} shards: same shard streams, same per-node updates"
+        );
+        for node in 0..25u16 {
+            let node = NodeId(node);
+            for c in kway.node_candidates(node) {
+                assert!(
+                    c.upper <= pairwise.node_upper(node, &c.key),
+                    "{shards} shards, {node:?}: K-way upper {} looser than \
+                     fold's {} for {:?}",
+                    c.upper,
+                    pairwise.node_upper(node, &c.key),
+                    c.key
+                );
+            }
+        }
+        // The K-way result still answers the query and finds the attack.
+        let out = kway.output(0.1);
+        let rendered: Vec<String> = out.iter().map(|h| h.prefix.display(&lat)).collect();
+        assert!(
+            rendered
+                .iter()
+                .any(|s| s.contains("10.20.0.0/16") && s.contains("8.8.8.8/32")),
+            "{shards} shards: K-way merge lost the attack in {rendered:?}"
+        );
+    }
+}
+
+/// `try_merge_many` validates every input before mutating: one bad shard
+/// in the middle leaves `self` untouched.
+#[test]
+fn rhhh_merge_many_rejects_any_incompatible_input() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut a = Rhhh::<u64>::new(lat.clone(), test_config(1, 1));
+    a.update_batch(&random_stream(10_000, 3));
+    let packets_before = a.packets();
+    let good = Rhhh::<u64>::new(lat.clone(), test_config(1, 2));
+    let bad = Rhhh::<u64>::new(lat, test_config(10, 3)); // wrong v_scale
+    assert!(matches!(
+        a.try_merge_many(vec![good, bad]),
+        Err(MergeError::ConfigMismatch(_))
+    ));
+    assert_eq!(a.packets(), packets_before, "failed merge must not mutate");
+}

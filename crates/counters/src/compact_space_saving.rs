@@ -1,98 +1,133 @@
-//! Space Saving on a cache-packed flat arena: the hash index is fused into
-//! the counter storage itself.
+//! Space Saving on a tagged, temperature-split SoA arena: SwissTable-style
+//! fingerprints in front, hot `(key, count)` pairs and cold error lanes
+//! behind, a windowed lazy minimum, and a bulk-evicting batch flush.
 //!
 //! The stream-summary implementation ([`crate::SpaceSaving`]) is O(1)
-//! worst-case but pays for it in memory traffic: every update probes a
-//! separate `HashMap` index, then walks counter and bucket pointers across
-//! a ~100 KB arena. At RHHH's steady state that caps the batch path's
-//! speedup (see ROADMAP "Performance").
+//! worst-case but pays in memory traffic: a separate `HashMap` index plus
+//! counter and bucket pointer walks per update. The PR 2 predecessor of
+//! this module removed the indirection by fusing the hash index into 32 B
+//! AoS slots — and measurement put the remaining ceiling on exactly the
+//! operations that layout still made touch those slots: misses (which had
+//! to load slots to find emptiness), minimum rescans (which strode the
+//! whole 128 KB arena), and eviction-heavy sorted flushes. This rewrite
+//! attacks all three (measured tables in ROADMAP "Performance"):
 //!
-//! This layout removes the indirection. The structure is a single open
-//! addressing table whose slots hold `(key, count, error, home)` *in-line*:
-//! the linear probe that finds the key is also the load that fetches its
-//! counter, so the common bump path touches exactly one cache line. There
-//! are no buckets, no linked lists, and no separate index to keep in sync.
+//! * **Fingerprint tags** ([`crate::tagged_table`]): every slot contributes
+//!   one byte — `EMPTY`, or a 7-bit hash tag — to a dense array probed
+//!   *ahead of* the slot data with 8-at-a-time `u64` SWAR word compares.
+//!   A miss resolves by scanning tag bytes only; it never loads a slot.
+//!   At ε = 0.001 the whole tag array is 4 KB and effectively L1-resident
+//!   across a batch flush.
+//! * **Temperature-split SoA**: the hot lane packs `(key, count)` pairs so
+//!   one cache line serves tag-hit confirmation, the count bump, victim
+//!   revalidation and an eviction's install — while minimum rescans walk
+//!   the same dense lane at a fixed 16 B stride, half the traffic of the
+//!   32 B AoS slots. Eviction `error`s live in a cold lane nothing on the
+//!   bump path touches, and the PR 2 `home` cache is gone entirely
+//!   (backward shifts rehash the few entries they actually move).
+//! * **Windowed lazy minimum**: instead of one victim stack for the
+//!   current minimum level, the structure tracks [`LEVELS`] consecutive
+//!   count levels with *exact* per-level occupancy counts and per-level
+//!   victim-hint stacks, all refilled by a single arena pass. The minimum
+//!   then advances level-to-level in O(1) and full rescans happen once per
+//!   `LEVELS` exhausted levels — on eviction-heavy nodes this removes most
+//!   of the rescan traffic that capped the PR 2 layout.
+//! * **Bulk min-level eviction with adaptive ordering**
+//!   ([`FrequencyEstimator::flush_group_evicting`]): the estimator owns
+//!   each RHHH node group's processing order and picks it from a learned
+//!   miss-ratio estimate. Hit-heavy groups skip sorting entirely (arrival
+//!   order; duplicates re-hit hot lines — and the sort itself is ~30% of
+//!   a steady-state batch). Miss-heavy groups sort, classify each distinct
+//!   key with one tag probe, defer the slot-stealing keys, and serve each
+//!   run of misses as one eviction sweep in which keys installed by the
+//!   sweep stay *virtual* (a count-bucketed scratch ladder): a later miss
+//!   whose victim is such an entry replaces it in O(1) scratch work
+//!   without touching the table, so only true table minima are physically
+//!   evicted and only the sweep's survivors are installed. The default
+//!   trait hook keeps the classic sort-and-flush for every other
+//!   estimator.
 //!
 //! # Replace-min without the bucket list
 //!
-//! The stream summary exists to answer "which counter is minimal?" in O(1).
-//! Here the minimum is maintained *lazily but exactly* with a count-grouped
-//! freelist:
+//! The stream summary exists to answer "which counter is minimal?" in
+//! O(1). Here the minimum is maintained *lazily but exactly* over the
+//! level window:
 //!
-//! * `min_val` — the exact minimum count over occupied slots, and
-//!   `min_support` — how many slots currently hold it.
-//! * `min_stack` — slot indices that held `min_val` when the level was
-//!   last scanned. Evictions pop it; a popped index is revalidated with a
-//!   single count compare (any slot holding `min_val` is a valid victim,
-//!   no matter which key moved into it), so stale hints cost one probe.
-//! * A bump that raises the last slot away from `min_val` exhausts the
-//!   support and triggers a full-arena rescan that re-establishes the next
-//!   minimum and refills the stack. Each rescan raises `min_val` by at
-//!   least 1 and the minimum never exceeds `N/capacity`, so total rescan
-//!   work is `O(table · N/capacity) = O(N)` — amortized O(1) per update.
+//! * `min_val` — the exact minimum count over occupied slots; always
+//!   within `[level_base, level_base + LEVELS)`.
+//! * `level_support` — exact occupancy per window level, maintained by
+//!   every count transition that touches the window. Exactness is what
+//!   lets the minimum advance to the next live level — or prove that a
+//!   rescan is due — without scanning.
+//! * `level_stacks` — per-level victim hints. Evictions pop the minimum
+//!   level's stack; a popped index is revalidated with a single count
+//!   compare (any slot holding `min_val` is a valid victim, no matter
+//!   which key moved into it), so stale or duplicate hints cost one
+//!   probe. Backward shifts re-point the hints of entries they move.
+//! * When the minimum leaves the window, one arena pass re-anchors it and
+//!   refills every level. Each pass covers `LEVELS` level exhaustions and
+//!   the minimum never exceeds `N/capacity`, so total rescan work is
+//!   `O(table · N/(capacity · LEVELS)) = O(N)` — amortized O(1) per
+//!   update, with a constant `LEVELS`× smaller than the PR 2 layout's.
 //!
 //! Because a victim is only ever taken at `count == min_val` while every
 //! slot holds `count ≥ min_val`, each eviction removes a *true* minimum —
 //! the structure is a faithful Space Saving (with its own tie-break among
 //! equal minima) and inherits every Metwally et al. guarantee verbatim:
 //! `count − error ≤ X ≤ count` for monitored keys and `X ≤ min_val ≤ N/m`
-//! for unmonitored ones. The `counter_props` differential suite pins the
-//! count multisets of the two layouts against each other exactly.
+//! for unmonitored ones. The same holds for the bulk sweep: virtual
+//! entries are conceptually in the table, and every eviction — real or
+//! virtual — takes a minimum of the union, in group order. Which key is
+//! evicted among equal minima is a tie-break the count multiset never
+//! observes, so the `counter_props` differential suite pins the multisets
+//! of this layout, the stream summary, and both flush orders against
+//! per-key processing exactly.
 //!
 //! # Eviction without tombstones
 //!
-//! Replacing the minimum removes one key and inserts another. Deletion is
-//! backward-shift (no tombstones, so probes never degrade); each slot
-//! caches its `home` index so the shift decides "can this entry fill the
-//! hole?" from one load instead of re-hashing. The insert then reuses what
-//! the failed lookup already learned: the new key lands in the probe's
-//! empty slot — or in the shift's final hole when that hole opened earlier
-//! on the same probe chain — so an eviction never probes the table twice.
+//! Replacing the minimum removes one key and inserts another. When a
+//! minimum lives on the new key's own probe chain it is overwritten in
+//! place (no slot empties, no chain changes). Otherwise deletion is
+//! backward-shift (no tombstones, so probes never degrade); chain-end
+//! detection during the shift is a tag read, and the insert lands in the
+//! probe's empty slot — or in the shift's final hole when that hole
+//! opened earlier on the same chain — so an eviction never scans the
+//! table twice.
 //!
 //! # Table geometry
 //!
-//! The table is sized to the first power of two ≥ 4·capacity (load factor
-//! ≤ ¼), which measured fastest for the batch flush this layout targets:
-//! probe clusters collapse to ~1.2 slots, so misses — the dominant case on
-//! an eviction-heavy tail — resolve in one line, and backward shifts move
-//! almost nothing. For the paper's 1001-counter configuration over `u64`
-//! keys that is 4096 slots × 32 B = 128 KB of flat memory per instance
-//! with no pointer chasing (the stream summary spreads ~100 KB across
-//! three linked structures). The trade-off is deliberate: with all `H`
-//! instances live, the larger aggregate footprint makes *scalar*
-//! (one-packet-at-a-time) updates more cache-hostile than the stream
-//! summary's — the flat layout is the batch-path counter; keep
-//! [`crate::SpaceSaving`] for scalar deployments (measured numbers in
-//! ROADMAP "Performance").
+//! The table is the first power of two ≥ 4·capacity (load factor ≤ ¼ —
+//! measured faster than ½ even with tag probing: backward shifts move
+//! almost nothing and eviction chains stay short). For the paper's
+//! 1001-counter configuration over `u64` keys that is 4096 slots split as
+//! 4 KB tags + 64 KB hot pairs + 32 KB cold errors. The trade-off of the
+//! PR 2 layout stands: with all `H` instances live the aggregate
+//! footprint makes *scalar* (one-packet-at-a-time) updates more
+//! cache-hostile than the stream summary's — this is the batch-path
+//! counter; keep [`crate::SpaceSaving`] for scalar deployments (measured
+//! numbers in ROADMAP "Performance").
 
 use std::hash::BuildHasher;
 
 use crate::fast_hash::IntHashBuilder;
-use crate::{for_each_run, Candidate, CounterKey, FrequencyEstimator};
 
-#[derive(Debug, Clone, Copy)]
-struct Slot<K> {
-    /// `0` marks an empty slot — a monitored key always has `count ≥ 1`.
-    count: u64,
-    /// Overestimation recorded when this slot was stolen from a victim.
-    error: u64,
-    /// Cached `hash(key) & mask`, so backward-shift deletion never
-    /// re-hashes surviving entries.
-    home: u32,
-    key: K,
-}
+/// Count levels tracked ahead of the minimum. One full rescan anchors the
+/// window and fills all of its per-level supports and victim stacks, so
+/// the next `LEVELS − 1` minimum-level exhaustions advance in O(1) —
+/// rescan traffic drops by the same factor.
+const LEVELS: usize = 8;
+use crate::tagged_table::{Probe, TaggedTable};
+use crate::{for_each_run, merge_entries_many, Candidate, CounterKey, FrequencyEstimator};
 
-/// Space Saving over a flat open-addressing arena with an in-line index.
+/// Space Saving over a tagged SoA arena.
 ///
 /// Same estimates and guarantees as [`crate::SpaceSaving`]; see the
 /// [module docs](self) for the layout and the lazy-minimum machinery.
 #[derive(Debug, Clone)]
 pub struct CompactSpaceSaving<K> {
-    /// The arena. Empty until the first update (lazy init supplies the
-    /// filler key without requiring `K: Default`).
-    slots: Vec<Slot<K>>,
-    /// `slots.len() − 1`; the table length is a power of two.
-    mask: usize,
+    /// Tag array + SoA slot lanes. Unallocated until the first update
+    /// (lazy init supplies the filler key without requiring `K: Default`).
+    table: TaggedTable<K>,
     /// Number of occupied slots (≤ `capacity` < table length).
     len: usize,
     capacity: usize,
@@ -102,14 +137,47 @@ pub struct CompactSpaceSaving<K> {
     /// ledger `Σ(count − error) + discarded ≤ updates` exact so
     /// [`CompactSpaceSaving::debug_validate`] can audit merged instances.
     discarded: u64,
-    /// Exact minimum count over occupied slots (meaningful when `len > 0`).
+    /// Exact minimum count over occupied slots (meaningful when `len > 0`;
+    /// always inside the level window).
     min_val: u64,
-    /// Number of occupied slots with `count == min_val`.
-    min_support: usize,
-    /// Victim hints: slot indices that held `min_val` when last scanned.
-    /// May contain stale entries (bumped or shifted since); consumers
-    /// revalidate with one count compare.
-    min_stack: Vec<u32>,
+    /// First count level of the tracked window: levels
+    /// `[level_base, level_base + LEVELS)` have exact per-level occupancy
+    /// counts and victim-hint stacks, so the minimum can advance `LEVELS`
+    /// times between full rescans instead of once.
+    level_base: u64,
+    /// Exact number of occupied slots per window level. Maintained
+    /// incrementally by every count transition that touches the window —
+    /// exactness is what lets `advance_min` move to the next level (or
+    /// decide a rescan is due) without scanning.
+    level_support: [u32; LEVELS],
+    /// Victim hints per window level: slot indices that held the level's
+    /// count when last observed. May contain stale or duplicate entries
+    /// (bumped or shifted since); consumers revalidate with one count
+    /// compare, so only `level_support` needs exactness.
+    level_stacks: [Vec<u32>; LEVELS],
+    /// Deferred slot-stealing keys of the current bulk flush (key, weight,
+    /// home, tag, and the chain's first empty slot as found by the
+    /// classification probe); drained at each miss-run boundary. Kept on
+    /// the instance so steady-state flushes allocate nothing.
+    pending: Vec<(K, u64, u32, u8, u32)>,
+    /// Drain scratch: entries of the current eviction sweep whose install
+    /// is deferred (key, count, error, home, tag). See `drain_pending`.
+    virt: Vec<(K, u64, u64, u32, u8)>,
+    /// Drain scratch: count-bucketed ladder over `virt` (level `l` holds
+    /// the indices whose count is `base + l`). Virtual counts cluster in a
+    /// handful of adjacent levels, so this is the stream summary's count
+    /// bucket idea in O(1)-amortized scratch form.
+    virt_ladder: Vec<Vec<u32>>,
+    /// EWMA of the flush-path miss fraction (0 = all hits, 255 = all
+    /// misses), learned from each flushed group; drives the adaptive
+    /// ordering decision of `flush_group_evicting`. Starts pessimistic
+    /// (miss-heavy ⇒ sorted) so fresh instances keep the classic
+    /// behaviour until they have observed real traffic.
+    miss_ratio: u8,
+    /// Whether the last `flush_group_evicting` took the sorted path —
+    /// exposed (doc-hidden) so differential tests can mirror the adaptive
+    /// order decision onto their reference instance.
+    last_flush_sorted: bool,
     hasher: IntHashBuilder,
 }
 
@@ -137,255 +205,524 @@ impl<K: CounterKey> CompactSpaceSaving<K> {
         self.len == 0
     }
 
+    /// The key's probe start and 7-bit fingerprint.
     #[inline(always)]
-    fn home_of(&self, key: &K) -> usize {
-        self.hasher.hash_one(key) as usize & self.mask
-    }
-
-    /// Allocates the arena on first use, filling empty slots with the first
-    /// key ever seen (inert: `count == 0` is the emptiness marker).
-    #[cold]
-    fn init_table(&mut self, filler: K) {
-        let table = (self.capacity * 4).next_power_of_two();
-        self.slots = vec![
-            Slot {
-                count: 0,
-                error: 0,
-                home: 0,
-                key: filler,
-            };
-            table
-        ];
-        self.mask = table - 1;
-        self.min_stack.reserve(table);
+    fn home_and_tag(&self, key: &K) -> (usize, u8) {
+        self.table.home_and_tag(self.hasher.hash_one(key))
     }
 
     /// Slot index of a monitored key, if any (safe on the pre-init table).
     fn lookup(&self, key: &K) -> Option<usize> {
-        if self.slots.is_empty() {
+        if !self.table.is_init() {
             return None;
         }
-        let mut i = self.home_of(key);
-        loop {
-            let slot = &self.slots[i];
-            if slot.count == 0 {
-                return None;
-            }
-            if slot.key == *key {
-                return Some(i);
-            }
-            i = (i + 1) & self.mask;
+        let (home, tag) = self.home_and_tag(key);
+        match self.table.probe(home, tag, key) {
+            Probe::Found(i) => Some(i),
+            Probe::Absent(_) => None,
         }
     }
 
-    /// Recomputes `min_val`/`min_support` and refills the victim stack in
-    /// one arena pass (finding a smaller count discards the hints gathered
-    /// so far). Called only when the support of the current minimum is
-    /// exhausted; see the module docs for why this amortizes to O(1) per
-    /// update.
+    /// Anchors the level window at the true minimum with one full pass:
+    /// find the minimum, then fill every window level's exact support and
+    /// victim stack. Called when the minimum would advance past the window
+    /// end — i.e. once per `LEVELS` exhausted levels; see the module docs
+    /// for why total rescan work amortizes to O(1) per update.
     #[cold]
-    fn rescan_min(&mut self) {
+    fn rescan_window(&mut self) {
         debug_assert!(self.len > 0);
         let mut min = u64::MAX;
-        self.min_stack.clear();
-        for (i, slot) in self.slots.iter().enumerate() {
-            if slot.count == 0 {
-                continue;
-            }
-            if slot.count < min {
+        for slot in &self.table.hot {
+            if slot.count != 0 && slot.count < min {
                 min = slot.count;
-                self.min_stack.clear();
-                self.min_stack.push(i as u32);
-            } else if slot.count == min {
-                self.min_stack.push(i as u32);
             }
         }
+        self.level_base = min;
         self.min_val = min;
-        self.min_support = self.min_stack.len();
-        debug_assert!(self.min_support > 0);
-    }
-
-    /// Refills `min_stack` with every slot currently at `min_val` and
-    /// resets `min_support` accordingly (used when backward shifts starved
-    /// the stack while the level still has support).
-    #[cold]
-    fn fill_stack(&mut self) {
-        self.min_stack.clear();
-        for (i, slot) in self.slots.iter().enumerate() {
-            if slot.count == self.min_val {
-                self.min_stack.push(i as u32);
+        self.level_support = [0; LEVELS];
+        for stack in &mut self.level_stacks {
+            stack.clear();
+        }
+        for (i, slot) in self.table.hot.iter().enumerate() {
+            let off = slot.count.wrapping_sub(min);
+            if slot.count != 0 && off < LEVELS as u64 {
+                self.level_support[off as usize] += 1;
+                self.level_stacks[off as usize].push(i as u32);
             }
         }
-        self.min_support = self.min_stack.len();
-        debug_assert!(self.min_support > 0);
     }
 
-    /// A slot's count left the minimum level; repair the support count.
-    #[inline(always)]
-    fn on_leave_min(&mut self) {
-        self.min_support -= 1;
-        if self.min_support == 0 {
-            self.rescan_min();
+    /// Refills the minimum level's stack from the table (used when stale
+    /// hints starved the stack while its exact support shows survivors).
+    #[cold]
+    fn fill_min_level(&mut self) {
+        let off = (self.min_val - self.level_base) as usize;
+        let stack = &mut self.level_stacks[off];
+        stack.clear();
+        for (i, slot) in self.table.hot.iter().enumerate() {
+            if slot.count == self.min_val {
+                stack.push(i as u32);
+            }
         }
+        debug_assert_eq!(stack.len(), self.level_support[off] as usize);
+    }
+
+    /// Moves the minimum to the next level with live occupants, rescanning
+    /// only when it would leave the window. Counts only ever increase, and
+    /// every transition into a window level is support-counted, so an
+    /// all-zero window tail proves the next minimum lies at or beyond
+    /// `level_base + LEVELS`.
+    fn advance_min(&mut self) {
+        debug_assert!(self.len > 0);
+        let mut off = (self.min_val - self.level_base) as usize;
+        loop {
+            off += 1;
+            if off >= LEVELS {
+                self.rescan_window();
+                return;
+            }
+            if self.level_support[off] > 0 {
+                self.min_val = self.level_base + off as u64;
+                return;
+            }
+        }
+    }
+
+    /// A slot's count left level `c` (bumped away, overwritten or
+    /// removed); repair the window bookkeeping. Tolerates the table
+    /// emptying mid-sweep (the drain's deferred installs).
+    #[inline(always)]
+    fn on_leave_level(&mut self, c: u64) {
+        let off = c.wrapping_sub(self.level_base);
+        if off < LEVELS as u64 {
+            let off = off as usize;
+            self.level_support[off] -= 1;
+            if self.level_support[off] == 0 && c == self.min_val {
+                if self.len > 0 {
+                    self.advance_min();
+                } else {
+                    self.min_val = 0;
+                }
+            }
+        }
+    }
+
+    /// A slot entered count level `c`; track it if the window covers `c`.
+    #[inline(always)]
+    fn note_enter(&mut self, i: usize, c: u64) {
+        let off = c.wrapping_sub(self.level_base);
+        if off < LEVELS as u64 {
+            self.level_support[off as usize] += 1;
+            self.level_stacks[off as usize].push(i as u32);
+        }
+    }
+
+    /// Re-anchors the window at a smaller base (fill-phase inserts below
+    /// the current window): surviving levels shift up, levels pushed past
+    /// the window end become untracked — which is always legal, the next
+    /// rescan re-covers them.
+    #[cold]
+    fn slide_down(&mut self, new_base: u64) {
+        let shift = self.level_base - new_base;
+        if shift >= LEVELS as u64 {
+            self.level_support = [0; LEVELS];
+            for stack in &mut self.level_stacks {
+                stack.clear();
+            }
+        } else {
+            let shift = shift as usize;
+            self.level_stacks.rotate_right(shift);
+            self.level_support.rotate_right(shift);
+            for k in 0..shift {
+                self.level_stacks[k].clear();
+                self.level_support[k] = 0;
+            }
+        }
+        self.level_base = new_base;
+    }
+
+    /// Window bookkeeping for a newly installed entry at count `c`
+    /// (`self.len` already incremented).
+    fn note_install(&mut self, i: usize, c: u64) {
+        if self.len == 1 {
+            self.level_base = c;
+            self.min_val = c;
+            self.level_support = [0; LEVELS];
+            for stack in &mut self.level_stacks {
+                stack.clear();
+            }
+            self.level_support[0] = 1;
+            self.level_stacks[0].push(i as u32);
+            return;
+        }
+        if c < self.level_base {
+            self.slide_down(c);
+        }
+        if c < self.min_val {
+            self.min_val = c;
+        }
+        self.note_enter(i, c);
     }
 
     /// Pops a victim slot with `count == min_val`. Stale hints (slots that
     /// were bumped, or whose entry a backward shift replaced) are skipped
-    /// after one count compare; if shifts starved the stack while support
-    /// remains, one arena pass refills it.
+    /// after one count compare; if they starved the stack while the exact
+    /// support shows survivors, one count-lane pass refills it. This stack
+    /// is what makes the bulk flush's eviction sweeps cheap: one window
+    /// fill serves every victim of `LEVELS` consecutive levels.
     fn pop_victim(&mut self) -> usize {
-        debug_assert!(self.min_support > 0 && self.min_val > 0);
+        debug_assert!(self.min_val > 0 && self.len > 0);
         loop {
-            while let Some(i) = self.min_stack.pop() {
-                if self.slots[i as usize].count == self.min_val {
+            let off = (self.min_val - self.level_base) as usize;
+            while let Some(i) = self.level_stacks[off].pop() {
+                if self.table.hot[i as usize].count == self.min_val {
                     return i as usize;
                 }
             }
-            self.fill_stack();
+            self.fill_min_level();
         }
     }
 
-    /// Backward-shift deletion: empties `v` and re-compacts the probe
-    /// chains that ran through it, so lookups never need tombstones.
-    /// Returns the final hole position.
-    fn remove_at(&mut self, v: usize) -> usize {
-        let mask = self.mask;
-        let mut hole = v;
-        let mut j = v;
-        loop {
-            j = (j + 1) & mask;
-            let slot = self.slots[j];
-            if slot.count == 0 {
-                break;
-            }
-            // `j` may fill the hole iff its probe distance reaches back at
-            // least to the hole; otherwise moving it would place it before
-            // its home and break its own chain.
-            let dist_home = j.wrapping_sub(slot.home as usize) & mask;
-            let dist_hole = j.wrapping_sub(hole) & mask;
-            if dist_home >= dist_hole {
-                self.slots[hole] = slot;
-                hole = j;
-            }
+    /// Raises slot `i` by `w`, repairing the window bookkeeping. Counts
+    /// above the window — every established heavy hitter — pay a single
+    /// compare.
+    #[inline(always)]
+    fn bump_at(&mut self, i: usize, w: u64) {
+        let old = self.table.hot[i].count;
+        let new = old + w;
+        self.table.hot[i].count = new;
+        if old.wrapping_sub(self.level_base) < LEVELS as u64 {
+            self.note_enter(i, new);
+            self.on_leave_level(old);
         }
-        self.slots[hole].count = 0;
-        self.len -= 1;
-        hole
     }
 
-    /// The shared hot path: monitored bump, free-slot insert, or
-    /// replace-min, all resolved by a single probe.
+    /// Claims the (empty) slot `i` for a fresh key during the filling
+    /// phase, folding the new count into the window bookkeeping.
+    fn insert_fresh(&mut self, i: usize, tag: u8, key: K, w: u64) {
+        debug_assert!(self.len < self.capacity);
+        self.table.install(i, tag, key, w, 0);
+        self.len += 1;
+        self.note_install(i, w);
+    }
+
+    /// Replace-min for a key already known absent. `probe_empty` is the
+    /// empty slot ending the key's probe chain (the membership probe or a
+    /// tag rescan already found it).
+    ///
+    /// Fast path: every slot from `home` to `probe_empty` is occupied and
+    /// on the new key's own chain, so if any of them holds the minimum it
+    /// is overwritten *in place* — no slot empties, every probe chain
+    /// stays intact, zero shifts and zero extra scans. On tail-heavy
+    /// nodes, where most counts sit at the minimum level, this is the
+    /// dominant eviction. Otherwise: pop a true-minimum victim from the
+    /// count-grouped stack, backward-shift it out, and install the new key
+    /// at `probe_empty` — or at the shift's final hole when that hole
+    /// opened earlier on the same chain — so the slow path never re-scans
+    /// either.
+    fn evict_install(&mut self, home: usize, tag: u8, key: K, w: u64, probe_empty: usize) {
+        let chain_mask = self.table.mask;
+        let mut i = home;
+        while i != probe_empty {
+            if self.table.hot[i].count == self.min_val {
+                let victim_count = self.min_val;
+                self.table
+                    .overwrite(i, tag, key, victim_count + w, victim_count);
+                self.note_enter(i, victim_count + w);
+                self.on_leave_level(victim_count);
+                return;
+            }
+            i = (i + 1) & chain_mask;
+        }
+        let v = self.pop_victim();
+        let victim_count = self.table.hot[v].count;
+        let hole = self.remove_slot(v);
+        let mask = self.table.mask;
+        // The shift cannot have emptied anything on the new key's chain
+        // except its final hole — use it when it opened earlier on the
+        // chain, else the probe's empty slot is still the right spot.
+        let target = if (hole.wrapping_sub(home) & mask) < (probe_empty.wrapping_sub(home) & mask) {
+            hole
+        } else {
+            probe_empty
+        };
+        self.table
+            .install(target, tag, key, victim_count + w, victim_count);
+        self.note_enter(target, victim_count + w);
+        self.on_leave_level(victim_count);
+    }
+
+    /// Backward-shift removal of slot `v`, re-pointing the victim-hint
+    /// stacks of any window-level entries the shift relocates — without
+    /// the repair, eviction churn starves the stacks and forces refill
+    /// passes while support remains. Home positions of shifted entries
+    /// are recomputed from their keys. Returns the final hole.
+    fn remove_slot(&mut self, v: usize) -> usize {
+        let (table, level_stacks) = (&mut self.table, &mut self.level_stacks);
+        let level_base = self.level_base;
+        let table_mask = table.mask;
+        let hasher = self.hasher;
+        table.remove_at(
+            v,
+            |key| hasher.hash_one(key) as usize & table_mask,
+            |moved, count| {
+                let off = count.wrapping_sub(level_base);
+                if off < LEVELS as u64 {
+                    level_stacks[off as usize].push(moved as u32);
+                }
+            },
+        )
+    }
+
+    /// The shared scalar path: monitored bump, free-slot insert, or
+    /// replace-min, all resolved by a single tag-array probe.
     #[inline]
     fn apply(&mut self, key: K, w: u64) {
         debug_assert!(w >= 1);
         self.updates += w;
-        if self.slots.is_empty() {
-            self.init_table(key);
+        if !self.table.is_init() {
+            self.table.init(self.capacity, key);
         }
-        let home = self.home_of(&key);
-        let mask = self.mask;
+        let (home, tag) = self.home_and_tag(&key);
+        match self.table.probe(home, tag, &key) {
+            Probe::Found(i) => self.bump_at(i, w),
+            Probe::Absent(i) => {
+                if self.len < self.capacity {
+                    self.insert_fresh(i, tag, key, w);
+                } else {
+                    self.evict_install(home, tag, key, w, i);
+                }
+            }
+        }
+    }
 
-        if self.len < self.capacity {
-            // Filling phase: plain probe, then claim the empty slot.
+    /// Serves every deferred miss of the current run as one **bulk
+    /// min-level eviction sweep**. The per-key semantics it must reproduce
+    /// (pinned by the differential and equivalence suites): each pending
+    /// evicts a *current true minimum* and installs at `minimum + w` — so
+    /// an entry installed earlier in the sweep can itself become a later
+    /// pending's victim once the minimum level rises to its count.
+    ///
+    /// The sweep exploits exactly that: keys the streak installs stay
+    /// **virtual** — `(key, count, error)` triples in a scratch min-heap —
+    /// until the sweep ends. A pending whose victim is a virtual entry
+    /// (heap minimum ≤ table minimum; ties prefer the heap, a free
+    /// tie-break) replaces it in O(log k) register/L1 work and never
+    /// touches the table. Only true table minima are physically evicted
+    /// (in place when one lies on the pending's own probe chain, else via
+    /// the count-grouped victim stack — one `rescan_min` refills victims
+    /// for the whole level), and only the sweep's *survivors* are
+    /// installed, each with one tag scan — its absence was established at
+    /// classification and all streak keys are distinct, so no membership
+    /// re-probe is ever needed. On an all-distinct group at capacity this
+    /// collapses most of the eviction churn into heap operations.
+    fn drain_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        if self.pending.len() == 1 {
+            // Single-miss streak — the common case on mixed hit/miss
+            // groups. Nothing touched the table since the classification
+            // probe, so its first-empty slot is still exact: take the
+            // direct eviction path and skip the sweep scaffolding.
+            let (key, w, home32, tag, e) = self.pending[0];
+            self.pending.clear();
+            self.evict_install(home32 as usize, tag, key, w, e as usize);
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        debug_assert!(self.virt.is_empty());
+        // Ladder state: virtual counts live in `virt_ladder[count - base]`.
+        // `base` is fixed at the first deferral (every later virtual count
+        // is ≥ the then-minimum + 1, so offsets never go negative), `vmin`
+        // is the least live virtual count (`u64::MAX` when none), and
+        // `max_off` bounds the levels to clear afterwards.
+        let mut base = 0u64;
+        let mut vmin = u64::MAX;
+        let mut max_off = 0usize;
+        for &(key, w, home32, tag, _) in &pending {
+            let table_min = if self.len > 0 { self.min_val } else { u64::MAX };
+            if vmin <= table_min {
+                // The minimum is (also) a streak-installed entry: replace
+                // it without touching the table.
+                let off = (vmin - base) as usize;
+                let idx = self.virt_ladder[off].pop().expect("vmin level live") as usize;
+                let c = vmin;
+                self.virt[idx] = (key, c + w, c, home32, tag);
+                let noff = (c + w - base) as usize;
+                if noff >= self.virt_ladder.len() {
+                    self.virt_ladder.resize_with(noff + 1, Vec::new);
+                }
+                self.virt_ladder[noff].push(idx as u32);
+                max_off = max_off.max(noff + 1);
+                if self.virt_ladder[off].is_empty() {
+                    // Advance to the next live level (the one just pushed
+                    // guarantees termination).
+                    let mut o = off;
+                    while self.virt_ladder[o].is_empty() {
+                        o += 1;
+                    }
+                    vmin = base + o as u64;
+                }
+                continue;
+            }
+            let home = home32 as usize;
+            let e = self.table.first_empty_from(home);
+            // In-place fast path: a minimum on the key's own chain (all
+            // slots home..e are occupied) is overwritten directly — the
+            // new entry is immediately real, and later sweep steps treat
+            // it like any other table entry.
             let mut i = home;
-            loop {
-                let slot = &mut self.slots[i];
-                if slot.count == 0 {
+            let mut inplace = usize::MAX;
+            while i != e {
+                if self.table.hot[i].count == self.min_val {
+                    inplace = i;
                     break;
                 }
-                if slot.key == key {
-                    let old = slot.count;
-                    slot.count = old + w;
-                    if old == self.min_val {
-                        self.on_leave_min();
-                    }
-                    return;
-                }
-                i = (i + 1) & mask;
+                i = (i + 1) & self.table.mask;
             }
-            self.slots[i] = Slot {
-                count: w,
-                error: 0,
-                home: home as u32,
-                key,
-            };
+            if inplace != usize::MAX {
+                let c = self.min_val;
+                self.table.overwrite(inplace, tag, key, c + w, c);
+                self.note_enter(inplace, c + w);
+                self.on_leave_level(c);
+                continue;
+            }
+            // Physical eviction with deferred install: the victim leaves
+            // the table now; the new key joins the virtual set.
+            let v = self.pop_victim();
+            let c = self.table.hot[v].count;
+            self.remove_slot(v);
+            self.len -= 1;
+            self.on_leave_level(c);
+            if vmin == u64::MAX && self.virt.is_empty() {
+                base = c + 1;
+            }
+            let idx = self.virt.len() as u32;
+            self.virt.push((key, c + w, c, home32, tag));
+            let noff = (c + w - base) as usize;
+            if noff >= self.virt_ladder.len() {
+                self.virt_ladder.resize_with(noff + 1, Vec::new);
+            }
+            self.virt_ladder[noff].push(idx);
+            max_off = max_off.max(noff + 1);
+            vmin = vmin.min(c + w);
+        }
+        // Install the survivors and fold them into the window bookkeeping.
+        while let Some((key, count, error, home32, tag)) = self.virt.pop() {
+            let i = self.table.first_empty_from(home32 as usize);
+            self.table.install(i, tag, key, count, error);
             self.len += 1;
-            if self.len == 1 || w < self.min_val {
-                self.min_val = w;
-                self.min_support = 1;
-                self.min_stack.clear();
-                self.min_stack.push(i as u32);
-            } else if w == self.min_val {
-                self.min_support += 1;
-                self.min_stack.push(i as u32);
-            }
+            self.note_install(i, count);
+        }
+        for level in &mut self.virt_ladder[..max_off] {
+            level.clear();
+        }
+        self.pending = pending;
+        self.pending.clear();
+    }
+
+    /// Folds one flushed group's observed miss fraction into the adaptive
+    /// ordering estimate (recent groups weighted 3:1).
+    fn note_miss_ratio(&mut self, misses: usize, group_len: usize) {
+        if group_len == 0 {
             return;
         }
+        let observed = (misses * 256 / group_len).min(255) as u32;
+        self.miss_ratio = ((u32::from(self.miss_ratio) + 3 * observed) / 4) as u8;
+    }
 
-        // Full structure: the probe additionally remembers the first
-        // minimum-count slot it passes — the counts are being loaded for
-        // the emptiness check anyway, and a miss can then often evict
-        // *in place* on its own chain.
-        let min_val = self.min_val;
-        let mut chain_victim = usize::MAX;
-        let mut i = home;
-        loop {
-            let slot = &mut self.slots[i];
-            if slot.count == 0 {
-                break;
+    /// The hit-heavy flush order: arrival order, no sort. Duplicate keys
+    /// simply re-probe lines that are already hot (a monitored key's
+    /// second occurrence is an L1 bump), and any slot-stealing key is
+    /// evicted immediately through the scalar replace-min path — arrival
+    /// order is exactly the per-key scalar semantics, so no deferral
+    /// bookkeeping is needed.
+    fn flush_arrival(&mut self, keys: &[K]) {
+        let mut misses = 0usize;
+        for_each_run(keys, |key, w| {
+            self.updates += w;
+            if !self.table.is_init() {
+                self.table.init(self.capacity, key);
             }
-            if slot.key == key {
-                let old = slot.count;
-                slot.count = old + w;
-                if old == min_val {
-                    self.on_leave_min();
+            let (home, tag) = self.home_and_tag(&key);
+            match self.table.probe(home, tag, &key) {
+                Probe::Found(i) => self.bump_at(i, w),
+                Probe::Absent(e) => {
+                    misses += 1;
+                    if self.len < self.capacity {
+                        self.insert_fresh(e, tag, key, w);
+                    } else {
+                        self.evict_install(home, tag, key, w, e);
+                    }
                 }
-                return;
             }
-            if slot.count == min_val && chain_victim == usize::MAX {
-                chain_victim = i;
-            }
-            i = (i + 1) & mask;
-        }
+        });
+        self.note_miss_ratio(misses, keys.len());
+    }
 
-        // Replace the minimum: either victim is a true minimum (all counts
-        // ≥ min_val), so Space Saving semantics hold exactly; the layouts
-        // differ only in their tie-break among equal minima.
-        if chain_victim != usize::MAX {
-            // A minimum lives on the new key's own probe chain: overwrite
-            // it in place. No slot empties, so every other probe chain —
-            // and the new key's own — stays intact, with zero extra loads.
-            let victim_count = self.slots[chain_victim].count;
-            self.slots[chain_victim] = Slot {
-                count: victim_count + w,
-                error: victim_count,
-                home: home as u32,
-                key,
-            };
-            self.on_leave_min();
-            return;
+    /// The miss-heavy flush order behind
+    /// [`FrequencyEstimator::flush_group_evicting`]: one classification
+    /// probe per distinct key of the (sorted) group, with slot-stealing
+    /// keys deferred and evicted in per-run sweeps.
+    fn flush_sorted_bulk(&mut self, keys: &[K]) {
+        debug_assert!(self.pending.is_empty());
+        let mut misses = 0usize;
+        let mut i = 0;
+        while i < keys.len() {
+            let key = keys[i];
+            let mut j = i + 1;
+            while j < keys.len() && keys[j] == key {
+                j += 1;
+            }
+            let w = (j - i) as u64;
+            i = j;
+
+            self.updates += w;
+            if !self.table.is_init() {
+                self.table.init(self.capacity, key);
+            }
+            let (home, tag) = self.home_and_tag(&key);
+            match self.table.probe(home, tag, &key) {
+                Probe::Found(s) => {
+                    if self.pending.is_empty() {
+                        self.bump_at(s, w);
+                    } else {
+                        // The deferred misses precede this key in the
+                        // group's order; apply them first — one of them
+                        // may evict this very key, so re-probe after.
+                        self.drain_pending();
+                        match self.table.probe(home, tag, &key) {
+                            Probe::Found(s) => self.bump_at(s, w),
+                            Probe::Absent(e) => self.evict_install(home, tag, key, w, e),
+                        }
+                    }
+                }
+                Probe::Absent(e) => {
+                    misses += 1;
+                    if self.len < self.capacity {
+                        // Pendings only accumulate once the table is full,
+                        // and `len` never drops below capacity again.
+                        debug_assert!(self.pending.is_empty());
+                        self.insert_fresh(e, tag, key, w);
+                    } else {
+                        self.pending.push((key, w, home as u32, tag, e as u32));
+                    }
+                }
+            }
         }
-        let v = self.pop_victim();
-        let victim_count = self.slots[v].count;
-        let hole = self.remove_at(v);
-        // The probe already found the first empty slot `i` on the new
-        // key's chain. The shift cannot have emptied anything on that
-        // chain except its final hole — reuse it when it opened earlier
-        // on the chain, else `i` is still the right spot. Either way the
-        // eviction never re-probes.
-        let target = if (hole.wrapping_sub(home) & mask) < (i.wrapping_sub(home) & mask) {
-            hole
-        } else {
-            i
-        };
-        self.slots[target] = Slot {
-            count: victim_count + w,
-            error: victim_count,
-            home: home as u32,
-            key,
-        };
-        self.len += 1;
-        self.on_leave_min();
+        self.drain_pending();
+        self.note_miss_ratio(misses, keys.len());
+    }
+
+    /// Whether the last [`FrequencyEstimator::flush_group_evicting`] call
+    /// took the sorted bulk path (`true`) or the arrival-order path
+    /// (`false`). Diagnostic for the differential suites, which mirror
+    /// the adaptive order decision onto their reference instance.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn last_flush_sorted(&self) -> bool {
+        self.last_flush_sorted
     }
 
     /// Validates every structural invariant; used by tests and proptests.
@@ -395,54 +732,81 @@ impl<K: CounterKey> CompactSpaceSaving<K> {
     /// Panics on any inconsistency.
     #[doc(hidden)]
     pub fn debug_validate(&self) {
-        let occupied: Vec<usize> = (0..self.slots.len())
-            .filter(|&i| self.slots[i].count > 0)
+        assert!(self.pending.is_empty(), "pending evictions outside a flush");
+        if !self.table.is_init() {
+            assert_eq!(self.len, 0, "len without an arena");
+            assert_eq!(self.updates, self.discarded, "mass without an arena");
+            return;
+        }
+        self.table.debug_validate_tags(|key| self.home_and_tag(key));
+        let occupied: Vec<usize> = (0..self.table.len())
+            .filter(|&i| self.table.occupied(i))
             .collect();
         assert_eq!(occupied.len(), self.len, "len out of sync");
         assert!(self.len <= self.capacity, "over capacity");
         let mut min = u64::MAX;
         let mut support = 0usize;
         for &i in &occupied {
-            let slot = &self.slots[i];
-            assert!(slot.error <= slot.count, "error exceeds count");
-            assert_eq!(
-                slot.home as usize,
-                self.home_of(&slot.key),
-                "cached home is stale"
-            );
+            let count = self.table.hot[i].count;
+            assert!(self.table.errors[i] <= count, "error exceeds count");
             // The probe chain for this key must terminate at this slot —
             // backward-shift deletion left no unreachable entries.
             assert_eq!(
-                self.lookup(&slot.key),
+                self.lookup(&self.table.hot[i].key),
                 Some(i),
                 "monitored key unreachable by probing"
             );
-            if slot.count < min {
-                min = slot.count;
+            if count < min {
+                min = count;
                 support = 1;
-            } else if slot.count == min {
+            } else if count == min {
                 support += 1;
             }
         }
         if self.len > 0 {
             assert_eq!(self.min_val, min, "cached minimum is stale");
-            assert_eq!(self.min_support, support, "minimum support is stale");
-            // Every stack hint is in bounds; staleness is allowed, loss is
-            // not: the live min slots must be recoverable (fill_stack
-            // rebuilds from the arena, so this is implied by support).
-            for &i in &self.min_stack {
-                assert!((i as usize) < self.slots.len(), "stack hint out of bounds");
+            assert!(
+                self.level_base <= self.min_val && self.min_val < self.level_base + LEVELS as u64,
+                "minimum outside the level window"
+            );
+            // Per-level supports must be exact: they are what authorizes
+            // `advance_min` to move the minimum without scanning. The
+            // minimum-level support in particular equals `support`.
+            let mut window_support = [0u32; LEVELS];
+            for &i in &occupied {
+                let off = self.table.hot[i].count.wrapping_sub(self.level_base);
+                if off < LEVELS as u64 {
+                    window_support[off as usize] += 1;
+                }
+            }
+            assert_eq!(
+                self.level_support, window_support,
+                "window level supports are stale"
+            );
+            assert_eq!(
+                self.level_support[(self.min_val - self.level_base) as usize] as usize,
+                support,
+                "minimum support is stale"
+            );
+            // Every stack hint is in bounds; staleness and duplicates are
+            // allowed, loss is not: the live level slots must be
+            // recoverable (fill_min_level rebuilds from the hot lane, so
+            // this is implied by the exact supports).
+            for stack in &self.level_stacks {
+                for &i in stack {
+                    assert!((i as usize) < self.table.len(), "stack hint out of bounds");
+                }
             }
         }
         let guaranteed: u64 = occupied
             .iter()
-            .map(|&i| self.slots[i].count - self.slots[i].error)
+            .map(|&i| self.table.hot[i].count - self.table.errors[i])
             .sum();
         assert!(
             guaranteed + self.discarded <= self.updates,
             "counted mass exceeds updates"
         );
-        if occupied.iter().all(|&i| self.slots[i].error == 0) {
+        if occupied.iter().all(|&i| self.table.errors[i] == 0) {
             assert_eq!(
                 guaranteed + self.discarded,
                 self.updates,
@@ -452,24 +816,16 @@ impl<K: CounterKey> CompactSpaceSaving<K> {
     }
 
     /// Inserts a merged entry into a rebuilt (not yet full) table: plain
-    /// probe to the first empty slot. The caller re-establishes the lazy
-    /// minimum with one `rescan_min` after the last insert.
+    /// tag scan to the first empty slot. The caller re-establishes the
+    /// lazy minimum with one `rescan_min` after the last insert.
     fn insert_entry(&mut self, key: K, count: u64, error: u64) {
         debug_assert!(count >= 1 && error <= count && self.len < self.capacity);
-        if self.slots.is_empty() {
-            self.init_table(key);
+        if !self.table.is_init() {
+            self.table.init(self.capacity, key);
         }
-        let home = self.home_of(&key);
-        let mut i = home;
-        while self.slots[i].count != 0 {
-            i = (i + 1) & self.mask;
-        }
-        self.slots[i] = Slot {
-            count,
-            error,
-            home: home as u32,
-            key,
-        };
+        let (home, tag) = self.home_and_tag(&key);
+        let i = self.table.first_empty_from(home);
+        self.table.install(i, tag, key, count, error);
         self.len += 1;
     }
 }
@@ -478,44 +834,61 @@ impl<K: CounterKey> FrequencyEstimator<K> for CompactSpaceSaving<K> {
     fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         Self {
-            slots: Vec::new(),
-            mask: 0,
+            table: TaggedTable::new(),
             len: 0,
             capacity,
             updates: 0,
             discarded: 0,
             min_val: 0,
-            min_support: 0,
-            min_stack: Vec::new(),
+            level_base: 0,
+            level_support: [0; LEVELS],
+            level_stacks: std::array::from_fn(|_| Vec::new()),
+            pending: Vec::new(),
+            virt: Vec::new(),
+            virt_ladder: Vec::new(),
+            miss_ratio: u8::MAX,
+            last_flush_sorted: true,
             hasher: IntHashBuilder,
         }
     }
 
     fn merge(&mut self, other: Self) {
-        assert_eq!(
-            self.capacity, other.capacity,
-            "merge requires equal capacities"
-        );
-        // Same exact merge as the stream summary (the two layouts stay
+        self.merge_many(vec![other]);
+    }
+
+    fn merge_many(&mut self, others: Vec<Self>) {
+        if others.is_empty() {
+            // Nothing to absorb: skip the no-op rebuild (a single-shard
+            // harvest lands here for every node instance).
+            return;
+        }
+        // Same exact combine as the stream summary (the two layouts stay
         // differentially pinned): additive count+error pairing with
-        // min-count padding, then re-eviction to capacity. The arena is
-        // rebuilt from scratch — merge runs at harvest time, off the
-        // per-packet path, so one O(table) pass is irrelevant.
-        let (entries, dropped) = crate::merge_entries(
-            &self.candidates(),
-            self.min_count(),
-            &other.candidates(),
-            other.min_count(),
-            self.capacity,
-        );
+        // per-side min-count padding over all K inputs at once, then
+        // re-eviction to capacity. The arena is rebuilt from scratch —
+        // merge runs at harvest time, off the per-packet path.
+        let mut updates = self.updates;
+        let mut discarded = self.discarded;
+        let mut sides = Vec::with_capacity(others.len() + 1);
+        sides.push((self.candidates(), self.min_count()));
+        for other in &others {
+            assert_eq!(
+                self.capacity, other.capacity,
+                "merge requires equal capacities"
+            );
+            updates += other.updates;
+            discarded += other.discarded;
+            sides.push((other.candidates(), other.min_count()));
+        }
+        let (entries, dropped) = merge_entries_many(&sides, self.capacity);
         let mut merged = Self::with_capacity(self.capacity);
-        merged.updates = self.updates + other.updates;
-        merged.discarded = self.discarded + other.discarded + dropped;
+        merged.updates = updates;
+        merged.discarded = discarded + dropped;
         for &(key, count, error) in &entries {
             merged.insert_entry(key, count, error);
         }
         if merged.len > 0 {
-            merged.rescan_min();
+            merged.rescan_window();
         }
         *self = merged;
     }
@@ -535,12 +908,36 @@ impl<K: CounterKey> FrequencyEstimator<K> for CompactSpaceSaving<K> {
 
     fn increment_batch(&mut self, keys: &[K]) {
         // One probe per run of equal consecutive keys: the slot found by
-        // the probe absorbs the whole run while its cache line is hot.
-        // (A table-position-ordered flush was tried here and measured
-        // slower: materializing and sorting (home, key) pairs costs more
-        // than the sequential sweep saves on an L2-resident arena, so
-        // `flush_group` keeps its key-ordered default.)
+        // the probe absorbs the whole run while its lanes are hot.
         for_each_run(keys, |key, run| self.apply(key, run));
+    }
+
+    fn flush_group_evicting(&mut self, keys: &mut [K]) {
+        // Adaptive ordering: the estimator owns the group's processing
+        // order, and the best order depends on the node's regime, which
+        // the previous flushes of the *same instance* predict well.
+        //
+        // * **Miss-heavy** (tail nodes): sort so distinct keys become
+        //   runs, defer the slot-stealing keys, and serve each run of
+        //   misses as one bulk min-level eviction sweep (most of the
+        //   churn collapses into the virtual ladder).
+        // * **Hit-heavy** (aggregated nodes): skip the sort entirely —
+        //   duplicate keys re-hit cache-hot lines, and the sort itself
+        //   (~30% of a steady-state batch across all nodes) is pure
+        //   overhead when there is nothing to evict in bulk.
+        //
+        // Either order processes the same multiset per-key through true
+        // minimum evictions, so every Space Saving guarantee holds
+        // identically; which one ran is exposed for the differential
+        // suites via `last_flush_sorted`.
+        if self.miss_ratio >= 230 {
+            self.last_flush_sorted = true;
+            keys.sort_unstable();
+            self.flush_sorted_bulk(keys);
+        } else {
+            self.last_flush_sorted = false;
+            self.flush_arrival(keys);
+        }
     }
 
     fn updates(&self) -> u64 {
@@ -549,26 +946,25 @@ impl<K: CounterKey> FrequencyEstimator<K> for CompactSpaceSaving<K> {
 
     fn upper(&self, key: &K) -> u64 {
         match self.lookup(key) {
-            Some(i) => self.slots[i].count,
+            Some(i) => self.table.hot[i].count,
             None => self.min_count(),
         }
     }
 
     fn lower(&self, key: &K) -> u64 {
         match self.lookup(key) {
-            Some(i) => self.slots[i].count - self.slots[i].error,
+            Some(i) => self.table.hot[i].count - self.table.errors[i],
             None => 0,
         }
     }
 
     fn candidates(&self) -> Vec<Candidate<K>> {
-        self.slots
-            .iter()
-            .filter(|s| s.count > 0)
-            .map(|s| Candidate {
-                key: s.key,
-                upper: s.count,
-                lower: s.count - s.error,
+        (0..self.table.len())
+            .filter(|&i| self.table.occupied(i))
+            .map(|i| Candidate {
+                key: self.table.hot[i].key,
+                upper: self.table.hot[i].count,
+                lower: self.table.hot[i].count - self.table.errors[i],
             })
             .collect()
     }
@@ -782,6 +1178,82 @@ mod tests {
             }
             batched.debug_validate();
         }
+    }
+
+    #[test]
+    fn bulk_flush_matches_default_flush_multiset() {
+        // flush_group_evicting (bulk min-level eviction) and flush_group
+        // (per-run apply) must produce identical count multisets, updates
+        // and min-counts on the same groups — tie-breaks may differ.
+        let mut x = 0xBEEF_u64;
+        for cap in [1usize, 3, 8, 32] {
+            let mut bulk: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+            let mut default: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+            for _ in 0..40 {
+                let mut group: Vec<u64> = (0..150)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                        x % 96
+                    })
+                    .collect();
+                let mut group2 = group.clone();
+                bulk.flush_group_evicting(&mut group);
+                // Mirror the adaptive order decision onto the per-key
+                // reference (sorted runs = flush_group; arrival order =
+                // plain increment_batch).
+                if bulk.last_flush_sorted() {
+                    default.flush_group(&mut group2);
+                } else {
+                    default.increment_batch(&group2);
+                }
+            }
+            assert_eq!(bulk.updates(), default.updates(), "cap {cap}");
+            assert_eq!(bulk.min_count(), default.min_count(), "cap {cap}");
+            let multiset = |c: Vec<Candidate<u64>>| -> Vec<u64> {
+                let mut v: Vec<u64> = c.iter().map(|e| e.upper).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                multiset(bulk.candidates()),
+                multiset(default.candidates()),
+                "cap {cap}: count multisets diverged"
+            );
+            bulk.debug_validate();
+            default.debug_validate();
+        }
+    }
+
+    #[test]
+    fn bulk_flush_all_distinct_group() {
+        // The miss-heavy regime the tag array targets: a full table and a
+        // group of entirely new keys — every distinct key is one deferred
+        // eviction served from the shared victim stack.
+        let cap = 16;
+        let mut bulk: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+        let mut scalar: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+        let mut next = 0u64;
+        for _ in 0..20 {
+            let mut group: Vec<u64> = (0..256)
+                .map(|_| {
+                    next += 1;
+                    next
+                })
+                .collect();
+            let mut sorted = group.clone();
+            sorted.sort_unstable();
+            scalar.increment_batch(&sorted);
+            bulk.flush_group_evicting(&mut group);
+            assert!(
+                bulk.last_flush_sorted(),
+                "all-miss groups must stay on the sorted bulk path"
+            );
+        }
+        assert_eq!(bulk.updates(), scalar.updates());
+        assert_eq!(bulk.min_count(), scalar.min_count());
+        let mass = |c: Vec<Candidate<u64>>| -> u64 { c.iter().map(|e| e.upper).sum() };
+        assert_eq!(mass(bulk.candidates()), mass(scalar.candidates()));
+        bulk.debug_validate();
     }
 
     #[test]

@@ -117,11 +117,11 @@ impl<K: CounterKey> FrequencyEstimator<K> for HeapSpaceSaving<K> {
             true => 0,
             false => other.heap.first().map_or(0, |e| e.count),
         };
-        let (entries, _) = crate::merge_entries(
-            &self.candidates(),
-            min_self,
-            &other.candidates(),
-            min_other,
+        let (entries, _) = crate::merge_entries_many(
+            &[
+                (self.candidates(), min_self),
+                (other.candidates(), min_other),
+            ],
             self.capacity,
         );
         self.updates += other.updates;

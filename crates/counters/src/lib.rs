@@ -16,10 +16,12 @@
 //! * [`SpaceSaving`] — the classic stream-summary implementation with true
 //!   O(1) worst-case updates (doubly linked count buckets, Metwally et al.
 //!   2005).
-//! * [`CompactSpaceSaving`] — the same semantics on a flat open-addressing
-//!   arena whose slots hold `(key, count, error)` in-line: one cache-line
-//!   probe resolves lookup *and* update, with a lazily-maintained exact
-//!   minimum replacing the bucket lists (amortized O(1), see the
+//! * [`CompactSpaceSaving`] — the same semantics on a tagged SoA arena:
+//!   a SwissTable-style 1-byte fingerprint array probed ahead of
+//!   temperature-split slot lanes, so misses resolve from the
+//!   (L1-resident) tag bytes alone, with a lazily-maintained exact
+//!   minimum over a multi-level window of the dense hot lane replacing
+//!   the bucket lists (amortized O(1), see the
 //!   [module docs](compact_space_saving)).
 //! * [`HeapSpaceSaving`] — the same semantics on a binary heap
 //!   (O(log 1/ε) updates); kept as an ablation target.
@@ -44,17 +46,19 @@
 //!   bucket pointer walks (~100 KB working set at ε = 0.001, several
 //!   dependent loads per update). Choose it for scalar (one-packet-at-a-
 //!   time) deployments and when tail latency of a single update matters.
-//! * **Flat arena** ([`CompactSpaceSaving`]): O(1) *amortized* (the rare
-//!   minimum rescan costs one arena pass but total rescan work is bounded
-//!   by the stream length). The hash index is fused into the counter
-//!   storage, so a monitored bump is one probe into flat memory with no
-//!   pointer chasing — measured ~2× faster than the stream summary on the
-//!   monitored-key path. Choose it for the batch flush (`increment_batch`
-//!   / RHHH's `update_batch`), where it sets the workspace's best
-//!   throughput (ROADMAP "Performance"); RHHH's accuracy is insensitive
-//!   to the swap (the counter's internals never leak into the analysis,
-//!   only Definition 4 does — and the differential suite pins the two
-//!   layouts to identical count multisets).
+//! * **Tagged SoA arena** ([`CompactSpaceSaving`]): O(1) *amortized* (the
+//!   rare minimum rescan costs one pass over a dense count array but total
+//!   rescan work is bounded by the stream length). A 1-byte fingerprint
+//!   array is probed ahead of the slot lanes, so misses — the dominant
+//!   case on eviction-heavy tail nodes — resolve without loading any slot
+//!   data, and the sorted batch flush amortizes replace-min work across
+//!   each group via [`FrequencyEstimator::flush_group_evicting`]. Choose
+//!   it for the batch flush (`increment_batch` / RHHH's `update_batch`),
+//!   where it sets the workspace's best throughput (ROADMAP
+//!   "Performance"); RHHH's accuracy is insensitive to the swap (the
+//!   counter's internals never leak into the analysis, only Definition 4
+//!   does — and the differential suite pins the two layouts to identical
+//!   count multisets).
 //!
 //! # Example
 //!
@@ -77,8 +81,10 @@ mod heap_space_saving;
 mod lossy_counting;
 mod misra_gries;
 mod space_saving;
+mod tagged_table;
 
 pub use compact_space_saving::CompactSpaceSaving;
+
 pub use count_min::CountMin;
 pub use fast_hash::{FastHasher, IntHashBuilder};
 pub use heap_space_saving::HeapSpaceSaving;
@@ -171,6 +177,23 @@ pub trait FrequencyEstimator<K: CounterKey>: Send + 'static {
         self.increment_batch(keys);
     }
 
+    /// [`Self::flush_group`] with an explicit license to batch the
+    /// *evictions* too, and to pick the group's processing order — the
+    /// entry point RHHH's batch flush calls. The default simply delegates
+    /// to [`Self::flush_group`]; an estimator whose replace-min machinery
+    /// can amortize across a whole group overrides it
+    /// ([`CompactSpaceSaving`] chooses sorted or arrival order from a
+    /// learned miss-ratio estimate, collects every key of a sorted group
+    /// that must steal a slot and serves each run of misses as one
+    /// minimum-level sweep instead of re-establishing the minimum per
+    /// key). Overrides must evict true minima in the order they process —
+    /// any order is a tie-break Definition 4 never observes — so the
+    /// count multiset matches per-key processing of that same order
+    /// exactly; only the tie-break among equal minima may differ.
+    fn flush_group_evicting(&mut self, keys: &mut [K]) {
+        self.flush_group(keys);
+    }
+
     /// Merges `other` — a summary of a *different portion* of the same
     /// logical stream, built with the same capacity — into `self`, so the
     /// result summarizes the concatenated stream. This is what lets
@@ -200,6 +223,27 @@ pub trait FrequencyEstimator<K: CounterKey>: Send + 'static {
     fn merge(&mut self, other: Self)
     where
         Self: Sized;
+
+    /// Merges `K` summaries at once. The default folds [`Self::merge`]
+    /// pairwise; the Space Saving implementations override it with a
+    /// single K-way combine, which is *tighter* than the fold: a key
+    /// absent from some shards is padded with those shards' own
+    /// min-counts, whereas the pairwise fold pads with the intermediate
+    /// *merged* min-counts, which only grow as the fold proceeds. The
+    /// merged `updates()` and the summed-error contract of [`Self::merge`]
+    /// are identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when any capacity differs from `self`'s.
+    fn merge_many(&mut self, others: Vec<Self>)
+    where
+        Self: Sized,
+    {
+        for other in others {
+            self.merge(other);
+        }
+    }
 
     /// Total number of updates processed (the per-instance `X_i`).
     fn updates(&self) -> u64;
@@ -247,52 +291,53 @@ pub fn counters_for(epsilon_a: f64, epsilon_s: f64) -> usize {
     ((1.0 + epsilon_s) / epsilon_a).ceil() as usize
 }
 
-/// Combines two Space-Saving-style summaries for [`FrequencyEstimator::merge`]:
-/// counts and errors pair up additively — a key absent from one side
-/// contributes that side's min-count to *both* its count and its error
-/// (the absent side may have seen it up to `min` times, all of which must
-/// stay deniable) — then the union is re-evicted back to `capacity` by
-/// dropping minimal counters. Every dropped entry's merged count is bounded
-/// by every survivor's, so the merged structure's min-count still bounds
-/// any unmonitored key.
+/// Combines any number of Space-Saving-style summaries in one pass — the
+/// shared engine of [`FrequencyEstimator::merge`] (two sides) and
+/// [`FrequencyEstimator::merge_many`] (K sides): counts and errors pair up
+/// additively — a key absent from a side contributes that side's min-count
+/// to *both* its count and its error (the absent side may have seen it up
+/// to `min` times, all of which must stay deniable) — then the union is
+/// re-evicted back to `capacity` by dropping minimal counters. Every
+/// dropped entry's merged count is bounded by every survivor's, so the
+/// merged structure's min-count still bounds any unmonitored key. Because
+/// the padding uses each *input's* min-count, a K-way combine is pointwise
+/// tighter than folding pairwise merges, whose padding grows with the
+/// intermediate merged minima.
 ///
-/// Returns the kept `(key, count, error)` entries sorted ascending by count
-/// (the order both rebuild paths want: the stream summary appends buckets
+/// `sides` pairs each input's candidate list with its min-count. Returns
+/// the kept `(key, count, error)` entries sorted ascending by count (the
+/// order both rebuild paths want: the stream summary appends buckets
 /// tail-ward, and a count-sorted array is already a valid min-heap), plus
 /// the guaranteed mass (`count − error`) that re-eviction discarded — the
 /// mass ledger the debug validators audit needs it, because discarded
 /// guaranteed units leave the summary without becoming error.
-pub(crate) fn merge_entries<K: CounterKey>(
-    a: &[Candidate<K>],
-    min_a: u64,
-    b: &[Candidate<K>],
-    min_b: u64,
+pub(crate) fn merge_entries_many<K: CounterKey>(
+    sides: &[(Vec<Candidate<K>>, u64)],
     capacity: usize,
 ) -> (Vec<(K, u64, u64)>, u64) {
-    let mut combined: std::collections::HashMap<K, (u64, u64), fast_hash::IntHashBuilder> =
+    let total_min: u64 = sides.iter().map(|(_, min)| min).sum();
+    // Per key: summed counts and errors over the sides that monitor it,
+    // plus the summed min-counts of those sides — the complement against
+    // `total_min` is the padding the absent sides owe.
+    let mut combined: std::collections::HashMap<K, (u64, u64, u64), fast_hash::IntHashBuilder> =
         std::collections::HashMap::with_capacity_and_hasher(
-            a.len() + b.len(),
+            sides.iter().map(|(c, _)| c.len()).sum(),
             fast_hash::IntHashBuilder,
         );
-    for c in a {
-        combined.insert(c.key, (c.upper + min_b, c.upper - c.lower + min_b));
-    }
-    for c in b {
-        match combined.entry(c.key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                let (count, error) = *e.get();
-                // Both sides monitored the key: undo the min-padding the
-                // first pass assumed and pair the real counts and errors.
-                *e.get_mut() = (count - min_b + c.upper, error - min_b + (c.upper - c.lower));
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert((c.upper + min_a, c.upper - c.lower + min_a));
-            }
+    for (cands, min) in sides {
+        for c in cands {
+            let e = combined.entry(c.key).or_insert((0, 0, 0));
+            e.0 += c.upper;
+            e.1 += c.upper - c.lower;
+            e.2 += min;
         }
     }
     let mut entries: Vec<(K, u64, u64)> = combined
         .into_iter()
-        .map(|(key, (count, error))| (key, count, error))
+        .map(|(key, (count, error, present_min))| {
+            let pad = total_min - present_min;
+            (key, count + pad, error + pad)
+        })
         .collect();
     // Deterministic re-eviction: order by (count, key) so ties among equal
     // minimal counters break the same way on every run.

@@ -353,26 +353,36 @@ impl<K: CounterKey> FrequencyEstimator<K> for SpaceSaving<K> {
     }
 
     fn merge(&mut self, other: Self) {
-        assert_eq!(
-            self.capacity, other.capacity,
-            "merge requires equal capacities"
-        );
-        // Exact Space Saving merge: pair counts and errors additively (with
-        // min-count padding for one-sided keys), then re-evict the union to
-        // capacity by dropping minimal counters; see `merge_entries`.
-        let (entries, dropped) = crate::merge_entries(
-            &self.candidates(),
-            self.min_count(),
-            &other.candidates(),
-            other.min_count(),
-            self.capacity,
-        );
-        *self = Self::rebuild(
-            self.capacity,
-            self.updates + other.updates,
-            self.discarded + other.discarded + dropped,
-            &entries,
-        );
+        self.merge_many(vec![other]);
+    }
+
+    fn merge_many(&mut self, others: Vec<Self>) {
+        if others.is_empty() {
+            // Nothing to absorb: skip the no-op rebuild (a single-shard
+            // harvest lands here for every node instance).
+            return;
+        }
+        // Exact Space Saving merge over all K inputs at once: pair counts
+        // and errors additively (with per-input min-count padding for
+        // one-sided keys), then re-evict the union to capacity by dropping
+        // minimal counters; see `merge_entries_many`. The single combine
+        // pads tighter than a pairwise fold, whose padding grows with the
+        // intermediate merged minima.
+        let mut updates = self.updates;
+        let mut discarded = self.discarded;
+        let mut sides = Vec::with_capacity(others.len() + 1);
+        sides.push((self.candidates(), self.min_count()));
+        for other in &others {
+            assert_eq!(
+                self.capacity, other.capacity,
+                "merge requires equal capacities"
+            );
+            updates += other.updates;
+            discarded += other.discarded;
+            sides.push((other.candidates(), other.min_count()));
+        }
+        let (entries, dropped) = crate::merge_entries_many(&sides, self.capacity);
+        *self = Self::rebuild(self.capacity, updates, discarded + dropped, &entries);
     }
 
     #[inline]

@@ -1,0 +1,449 @@
+//! The flat storage layer of [`crate::CompactSpaceSaving`]: a SwissTable
+//! style open-addressing arena with a 1-byte fingerprint ("tag") array
+//! probed ahead of the slot data, and the slot data itself split by
+//! access temperature.
+//!
+//! # Why tags
+//!
+//! The PR 2 layout fused the hash index into 32 B AoS slots, so even a
+//! *miss* — the dominant case on the eviction-heavy tail of an RHHH bottom
+//! node — had to load full slots just to discover emptiness. Here every
+//! slot contributes one byte to a dense tag array:
+//!
+//! * `EMPTY` (`0x80`) marks a free slot, terminating probe chains;
+//! * an occupied slot stores a 7-bit fingerprint of its key's hash
+//!   (bits 57..64 — disjoint from the index bits the home position uses).
+//!
+//! A probe scans the tag array 8 slots at a time with plain `u64` SWAR
+//! word compares (no stdlib SIMD, no `unsafe`): one unaligned 8-byte load
+//! answers "which of these 8 slots could hold the key, and is the chain
+//! over?". Absence therefore resolves *without ever touching the slot
+//! arrays* — for the 4096-slot table of the paper's 1001-counter
+//! configuration the whole tag array is 4 KB, effectively L1-resident
+//! across every probe of a batch flush. A tag hit is confirmed against
+//! the hot lane (false-positive rate ≤ 2⁻⁷ per scanned slot).
+//!
+//! # Why temperature-split SoA
+//!
+//! Behind the tags, slot data is split into exactly two lanes by how the
+//! update path touches it:
+//!
+//! * **Hot lane** — dense `(key, count)` pairs (16 B for `u64` keys). One
+//!   cache line serves the whole bump path (tag-hit confirm + count
+//!   write), the minimum rescans (`count` at a fixed 16 B stride over
+//!   contiguous memory — half the traffic of the 32 B AoS slots), victim
+//!   revalidation, and an eviction's chain scan and install.
+//! * **Cold lane** — per-slot eviction `error`, touched only when a slot
+//!   is stolen or queried, never by bumps or rescans.
+//!
+//! The PR 2 slot also cached `home = hash(key) & mask`; that lane is gone
+//! — backward-shift deletion recomputes the hash of the (rare) entries it
+//! actually moves, whose keys its shift scan has already loaded anyway.
+//!
+//! # Probe mechanics
+//!
+//! The table length is a power of two ≥ 8; windows start at the key's home
+//! index and advance 8 slots per step (index arithmetic is masked, and the
+//! first `GROUP − 1` tags are mirrored past the end of the array so an
+//! unaligned window never wraps mid-load). Deletion is backward-shift (as
+//! in the PR 2 layout — no tombstones, probes never degrade).
+
+use crate::CounterKey;
+
+/// Tag value of a free slot. Occupied tags are 7-bit (`0x00..=0x7F`), so
+/// the byte's high bit alone distinguishes empty from occupied — which is
+/// what lets one SWAR AND find empties in a window.
+pub(crate) const EMPTY: u8 = 0x80;
+
+/// Slots examined per SWAR window.
+const GROUP: usize = 8;
+
+/// `0x01` in every byte lane.
+const LANES_LO: u64 = 0x0101_0101_0101_0101;
+
+/// `0x80` in every byte lane.
+const LANES_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Per-byte zero test: the high bit of each byte of the result is set if
+/// that byte of `x` is zero. The classic SWAR formula admits false
+/// positives in bytes *above* a borrow (e.g. `0x01` following a zero
+/// byte), never false negatives — callers confirm candidates against the
+/// key lane, so a rare false positive costs one extra compare.
+#[inline(always)]
+fn zero_bytes(x: u64) -> u64 {
+    x.wrapping_sub(LANES_LO) & !x & LANES_HI
+}
+
+/// Outcome of a membership probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Probe {
+    /// The key occupies this slot.
+    Found(usize),
+    /// The key is absent; the payload is the first empty slot on its probe
+    /// chain (where an insert of this key would land).
+    Absent(usize),
+}
+
+/// The hot lane of one slot: everything the bump path and the minimum
+/// machinery read, packed so they share a cache line per slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HotSlot<K> {
+    /// The monitored key (valid where the tag is occupied).
+    pub(crate) key: K,
+    /// Update count; `0` marks an empty slot (kept in lockstep with the
+    /// tag) so minimum rescans need only this lane.
+    pub(crate) count: u64,
+}
+
+/// The tag + temperature-split arena. Pure storage and probing; the Space
+/// Saving semantics (minimum tracking, eviction policy, update ledger)
+/// live in [`crate::CompactSpaceSaving`].
+#[derive(Debug, Clone)]
+pub(crate) struct TaggedTable<K> {
+    /// One byte per slot plus `GROUP − 1` mirror bytes of the array's
+    /// start, so unaligned 8-byte windows never wrap mid-load.
+    tags: Vec<u8>,
+    /// The hot `(key, count)` lane.
+    pub(crate) hot: Vec<HotSlot<K>>,
+    /// Cold lane: overestimation recorded when the slot was stolen from a
+    /// victim. Touched only by evictions, shifts and queries.
+    pub(crate) errors: Vec<u64>,
+    /// Table length − 1 (the length is a power of two).
+    pub(crate) mask: usize,
+}
+
+impl<K: CounterKey> TaggedTable<K> {
+    /// An unallocated table; [`TaggedTable::init`] sizes it on first use.
+    pub(crate) fn new() -> Self {
+        Self {
+            tags: Vec::new(),
+            hot: Vec::new(),
+            errors: Vec::new(),
+            mask: 0,
+        }
+    }
+
+    /// Whether the arena has been allocated.
+    #[inline(always)]
+    pub(crate) fn is_init(&self) -> bool {
+        !self.hot.is_empty()
+    }
+
+    /// Allocates the arena: first power of two ≥ 4·capacity (load factor
+    /// ≤ ¼ — measured faster than ½ even with tag-probing, because
+    /// backward shifts move almost nothing and eviction chains stay
+    /// short), with a floor of one SWAR group. `filler` populates the key
+    /// lanes of empty slots (inert — emptiness is the tag/count, not the
+    /// key — but it spares a `K: Default` bound).
+    pub(crate) fn init(&mut self, capacity: usize, filler: K) {
+        let table = (capacity * 4).next_power_of_two().max(GROUP);
+        self.tags = vec![EMPTY; table + (GROUP - 1)];
+        self.hot = vec![
+            HotSlot {
+                key: filler,
+                count: 0,
+            };
+            table
+        ];
+        self.errors = vec![0; table];
+        self.mask = table - 1;
+    }
+
+    /// Number of slots.
+    #[inline(always)]
+    pub(crate) fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Splits one hash into the probe start (index bits) and the 7-bit
+    /// fingerprint (top bits — disjoint, so tag collisions within a chain
+    /// are independent of placement).
+    #[inline(always)]
+    pub(crate) fn home_and_tag(&self, hash: u64) -> (usize, u8) {
+        (hash as usize & self.mask, (hash >> 57) as u8)
+    }
+
+    /// Whether slot `i` is occupied.
+    #[inline(always)]
+    pub(crate) fn occupied(&self, i: usize) -> bool {
+        self.tags[i] != EMPTY
+    }
+
+    /// Writes slot `i`'s tag, maintaining the wrap-around mirror bytes.
+    #[inline(always)]
+    fn set_tag(&mut self, i: usize, tag: u8) {
+        self.tags[i] = tag;
+        if i < GROUP - 1 {
+            self.tags[self.mask + 1 + i] = tag;
+        }
+    }
+
+    /// One unaligned 8-tag window starting at slot `pos` (< table length;
+    /// the mirror bytes cover the wrap).
+    #[inline(always)]
+    fn window(&self, pos: usize) -> u64 {
+        u64::from_le_bytes(
+            self.tags[pos..pos + GROUP]
+                .try_into()
+                .expect("8-byte window"),
+        )
+    }
+
+    /// Membership probe: scans tag windows from the key's home; slot data
+    /// is only loaded to confirm a matching fingerprint, so a miss touches
+    /// nothing but the tag array. Requires at least one empty slot (the
+    /// load factor invariant guarantees it).
+    #[inline]
+    pub(crate) fn probe(&self, home: usize, tag: u8, key: &K) -> Probe {
+        let needle = u64::from(tag) * LANES_LO;
+        let mut pos = home;
+        loop {
+            let w = self.window(pos);
+            let empties = w & LANES_HI;
+            let mut cand = zero_bytes(w ^ needle);
+            if empties != 0 {
+                // Slots past the chain's first empty are other chains'
+                // territory; drop their candidate bits.
+                cand &= (1u64 << empties.trailing_zeros()) - 1;
+            }
+            while cand != 0 {
+                let i = (pos + (cand.trailing_zeros() >> 3) as usize) & self.mask;
+                if self.hot[i].key == *key {
+                    return Probe::Found(i);
+                }
+                cand &= cand - 1;
+            }
+            if empties != 0 {
+                let i = (pos + (empties.trailing_zeros() >> 3) as usize) & self.mask;
+                return Probe::Absent(i);
+            }
+            pos = (pos + GROUP) & self.mask;
+        }
+    }
+
+    /// First empty slot on the probe chain starting at `home` — where an
+    /// insert of a key homed there lands. Tag-array scan only.
+    #[inline]
+    pub(crate) fn first_empty_from(&self, home: usize) -> usize {
+        let mut pos = home;
+        loop {
+            let empties = self.window(pos) & LANES_HI;
+            if empties != 0 {
+                return (pos + (empties.trailing_zeros() >> 3) as usize) & self.mask;
+            }
+            pos = (pos + GROUP) & self.mask;
+        }
+    }
+
+    /// Fills the (empty) slot `i` with a new entry.
+    #[inline]
+    pub(crate) fn install(&mut self, i: usize, tag: u8, key: K, count: u64, error: u64) {
+        debug_assert!(!self.occupied(i) && count > 0);
+        self.hot[i] = HotSlot { key, count };
+        self.errors[i] = error;
+        self.set_tag(i, tag);
+    }
+
+    /// Overwrites the (occupied) slot `i` with a new entry in place — the
+    /// eviction fast path when a minimum lives on the new key's own probe
+    /// chain: no slot empties, so every chain stays intact with zero
+    /// shifts or extra scans.
+    #[inline]
+    pub(crate) fn overwrite(&mut self, i: usize, tag: u8, key: K, count: u64, error: u64) {
+        debug_assert!(self.occupied(i) && count > 0);
+        self.hot[i] = HotSlot { key, count };
+        self.errors[i] = error;
+        self.set_tag(i, tag);
+    }
+
+    /// Backward-shift deletion: empties `v` and re-compacts the probe
+    /// chains that ran through it, so probes never need tombstones.
+    /// Chain-end detection is a tag read; the home distance of a scanned
+    /// entry is recomputed from its key via `home_of` (the key's hot line
+    /// is already loaded — cheaper than keeping a per-slot home lane the
+    /// install path would have to write). `on_move(new_index, count)`
+    /// reports each relocation so the caller can repair any index hints
+    /// it keeps (the counter above re-points its minimum-level victim
+    /// hints, which would otherwise starve and force full rescans under
+    /// shift churn). Returns the final hole position.
+    pub(crate) fn remove_at(
+        &mut self,
+        v: usize,
+        home_of: impl Fn(&K) -> usize,
+        mut on_move: impl FnMut(usize, u64),
+    ) -> usize {
+        let mask = self.mask;
+        let mut hole = v;
+        let mut j = v;
+        loop {
+            j = (j + 1) & mask;
+            if self.tags[j] == EMPTY {
+                break;
+            }
+            // `j` may fill the hole iff its probe distance reaches back at
+            // least to the hole; otherwise moving it would place it before
+            // its home and break its own chain.
+            let dist_home = j.wrapping_sub(home_of(&self.hot[j].key)) & mask;
+            let dist_hole = j.wrapping_sub(hole) & mask;
+            if dist_home >= dist_hole {
+                self.hot[hole] = self.hot[j];
+                self.errors[hole] = self.errors[j];
+                let tag = self.tags[j];
+                self.set_tag(hole, tag);
+                on_move(hole, self.hot[hole].count);
+                hole = j;
+            }
+        }
+        self.set_tag(hole, EMPTY);
+        self.hot[hole].count = 0;
+        hole
+    }
+
+    /// Tag-layer invariants, called by the counter's `debug_validate`:
+    /// tag/count emptiness in lockstep, fingerprints consistent with a
+    /// recomputed hash, mirror bytes fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency.
+    pub(crate) fn debug_validate_tags(&self, tag_of: impl Fn(&K) -> (usize, u8)) {
+        assert_eq!(self.tags.len(), self.hot.len() + GROUP - 1);
+        for i in 0..self.hot.len() {
+            let occupied = self.tags[i] != EMPTY;
+            assert_eq!(
+                occupied,
+                self.hot[i].count > 0,
+                "tag/count emptiness skew at {i}"
+            );
+            if occupied {
+                let (_, tag) = tag_of(&self.hot[i].key);
+                assert_eq!(self.tags[i], tag, "stale fingerprint at {i}");
+                assert!(tag < EMPTY, "occupied tag collides with EMPTY at {i}");
+            }
+        }
+        for m in 0..GROUP - 1 {
+            assert_eq!(
+                self.tags[self.mask + 1 + m],
+                self.tags[m],
+                "mirror byte {m} out of date"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(key: u64) -> u64 {
+        use std::hash::BuildHasher;
+        crate::fast_hash::IntHashBuilder.hash_one(key)
+    }
+
+    fn table_with(capacity: usize, keys: &[u64]) -> TaggedTable<u64> {
+        let mut t: TaggedTable<u64> = TaggedTable::new();
+        t.init(capacity, 0);
+        for &k in keys {
+            let (home, tag) = t.home_and_tag(hash_of(k));
+            match t.probe(home, tag, &k) {
+                Probe::Absent(i) => t.install(i, tag, k, 1, 0),
+                Probe::Found(_) => panic!("duplicate insert"),
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn zero_bytes_finds_each_lane() {
+        for lane in 0..8 {
+            let x = !(0xFFu64 << (8 * lane));
+            let m = zero_bytes(x);
+            assert_eq!(m.trailing_zeros() as usize / 8, lane);
+        }
+        assert_eq!(zero_bytes(u64::MAX), 0);
+    }
+
+    #[test]
+    fn probe_finds_inserted_keys_and_rejects_others() {
+        let keys: Vec<u64> = (0..200).map(|i| i * 977 + 13).collect();
+        let t = table_with(512, &keys);
+        for &k in &keys {
+            let (home, tag) = t.home_and_tag(hash_of(k));
+            assert!(matches!(t.probe(home, tag, &k), Probe::Found(_)), "{k}");
+        }
+        for k in 10_000..10_200u64 {
+            let (home, tag) = t.home_and_tag(hash_of(k));
+            assert!(matches!(t.probe(home, tag, &k), Probe::Absent(_)), "{k}");
+        }
+        t.debug_validate_tags(|k| t.home_and_tag(hash_of(*k)));
+    }
+
+    #[test]
+    fn tiny_table_gets_group_floor() {
+        let t = table_with(1, &[7]);
+        assert_eq!(t.len(), GROUP, "capacity 1 still gets one SWAR group");
+        let (home, tag) = t.home_and_tag(hash_of(7));
+        assert!(matches!(t.probe(home, tag, &7), Probe::Found(_)));
+    }
+
+    #[test]
+    fn removal_keeps_chains_probeable() {
+        // Insert, remove every third key, re-probe everything.
+        let keys: Vec<u64> = (0..96).collect();
+        let mut t = table_with(128, &keys);
+        let mask = t.mask;
+        for &k in keys.iter().step_by(3) {
+            let (home, tag) = t.home_and_tag(hash_of(k));
+            let Probe::Found(i) = t.probe(home, tag, &k) else {
+                panic!("{k} vanished before removal");
+            };
+            t.remove_at(i, |key| hash_of(*key) as usize & mask, |_, _| {});
+        }
+        for &k in &keys {
+            let (home, tag) = t.home_and_tag(hash_of(k));
+            let hit = matches!(t.probe(home, tag, &k), Probe::Found(_));
+            assert_eq!(hit, k % 3 != 0, "key {k}");
+        }
+        t.debug_validate_tags(|k| t.home_and_tag(hash_of(*k)));
+    }
+
+    #[test]
+    fn wraparound_windows_read_mirror_bytes() {
+        // Force a chain that wraps the table end: home the keys manually
+        // near the top of a small table by picking keys whose hash lands
+        // there (search for them).
+        let mut t: TaggedTable<u64> = TaggedTable::new();
+        t.init(2, 0); // 8 slots
+        let near_end: Vec<u64> = (0..50_000u64)
+            .filter(|&k| {
+                let (home, _) = t.home_and_tag(hash_of(k));
+                home >= 6
+            })
+            .take(2)
+            .collect();
+        for &k in &near_end {
+            let (home, tag) = t.home_and_tag(hash_of(k));
+            if let Probe::Absent(i) = t.probe(home, tag, &k) {
+                t.install(i, tag, k, 1, 0);
+            }
+        }
+        for &k in &near_end {
+            let (home, tag) = t.home_and_tag(hash_of(k));
+            assert!(matches!(t.probe(home, tag, &k), Probe::Found(_)), "{k}");
+        }
+        t.debug_validate_tags(|k| t.home_and_tag(hash_of(*k)));
+    }
+
+    #[test]
+    fn first_empty_matches_probe_absent() {
+        let keys: Vec<u64> = (0..40).map(|i| i * 31 + 5).collect();
+        let t = table_with(64, &keys);
+        for k in 5_000..5_100u64 {
+            let (home, tag) = t.home_and_tag(hash_of(k));
+            let Probe::Absent(i) = t.probe(home, tag, &k) else {
+                panic!("unexpected hit");
+            };
+            assert_eq!(i, t.first_empty_from(home), "key {k}");
+        }
+    }
+}

@@ -104,6 +104,86 @@ fn check_compact_vs_stream_summary(stream: &[u64], cap: usize) {
     list.debug_validate();
 }
 
+/// Differential check of the bulk-evicting flush against the stream
+/// summary fed the same groups *in the same order*: the adaptive flush
+/// sorts miss-heavy groups (bulk min-level eviction sweeps) and takes
+/// hit-heavy groups in arrival order, and either way it must leave the
+/// count multiset — and with it min-count, updates and total mass —
+/// exactly where per-key processing of that order leaves it. The
+/// reference mirrors the (deterministic, exposed) order decision.
+fn check_bulk_flush_vs_stream_summary(stream: &[u64], cap: usize, group: usize) {
+    let mut flat: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+    let mut list: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+    for chunk in stream.chunks(group.max(1)) {
+        let mut g = chunk.to_vec();
+        flat.flush_group_evicting(&mut g);
+        let mut reference = chunk.to_vec();
+        if flat.last_flush_sorted() {
+            reference.sort_unstable();
+        }
+        list.increment_batch(&reference);
+    }
+    assert_eq!(flat.updates(), list.updates(), "update counts diverged");
+    assert_eq!(flat.min_count(), list.min_count(), "min-counts diverged");
+    let multiset = |c: Vec<hhh_counters::Candidate<u64>>| -> Vec<u64> {
+        let mut v: Vec<u64> = c.iter().map(|e| e.upper).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        multiset(flat.candidates()),
+        multiset(list.candidates()),
+        "count multisets diverged"
+    );
+    let exact = exact_counts(stream);
+    for (key, &f) in &exact {
+        assert!(flat.lower(key) <= f, "bulk flush: lower({key}) > truth");
+        assert!(flat.upper(key) >= f, "bulk flush: upper({key}) < truth");
+    }
+    flat.debug_validate();
+    list.debug_validate();
+}
+
+/// The bulk-evicting flush on adversarial group shapes: all-distinct
+/// groups (every post-fill key is a deferred eviction — the miss-heavy
+/// regime the tag array targets), single-key groups (pure bumps), and
+/// phase changes that interleave hit runs with miss runs.
+#[test]
+fn bulk_flush_differential_adversarial_streams() {
+    for cap in [1usize, 7, 32, 100] {
+        for group in [16usize, 256, 4_096] {
+            let distinct: Vec<u64> = (0..4_000u64).collect();
+            check_bulk_flush_vs_stream_summary(&distinct, cap, group);
+
+            let single = vec![42u64; 3_000];
+            check_bulk_flush_vs_stream_summary(&single, cap, group);
+
+            let mut phases: Vec<u64> = (0..1_000u64).collect();
+            phases.extend(std::iter::repeat_n(7u64, 1_000));
+            phases.extend(1_000..2_000u64);
+            check_bulk_flush_vs_stream_summary(&phases, cap, group);
+        }
+    }
+}
+
+/// Zipf groups: heavy keys hit, the long tail defers — both paths in one
+/// group, across group sizes that straddle the capacity.
+#[test]
+fn bulk_flush_differential_zipf_stream() {
+    let zipf = hhh_traces::Zipf::new(10_000, 1.2);
+    let mut x = 0xF00Du64;
+    let mut uniform = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let stream: Vec<u64> = (0..30_000).map(|_| zipf.sample(&mut uniform)).collect();
+    for cap in [10usize, 100, 1_000] {
+        check_bulk_flush_vs_stream_summary(&stream, cap, 512);
+    }
+}
+
 /// Adversarial streams the random generator is unlikely to produce.
 #[test]
 fn compact_differential_adversarial_streams() {
@@ -160,6 +240,17 @@ proptest! {
     #[test]
     fn compact_differential_random(stream in arb_stream(), cap in 1usize..32) {
         check_compact_vs_stream_summary(&stream, cap);
+    }
+
+    /// Random-stream differential for the bulk-evicting flush, across
+    /// group sizes.
+    #[test]
+    fn bulk_flush_differential_random(
+        stream in arb_stream(),
+        cap in 1usize..32,
+        group in 1usize..200,
+    ) {
+        check_bulk_flush_vs_stream_summary(&stream, cap, group);
     }
 
     /// The flat-arena internals (probe chains, lazy minimum, support

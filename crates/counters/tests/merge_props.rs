@@ -162,6 +162,116 @@ fn merged_shards_keep_sandwich_on_zipf_stream() {
     }
 }
 
+/// Builds K shard summaries and combines them two ways: the pairwise
+/// `merge` fold and the single `merge_many` pass. The K-way combine must
+/// keep the sandwich and be pointwise *no looser* than the fold (its
+/// padding uses the per-shard minima; the fold pads with the growing
+/// intermediate merged minima).
+fn check_kway_vs_pairwise<E: FrequencyEstimator<u64>>(stream: &[u64], shards: usize, cap: usize) {
+    let build = || {
+        let mut parts: Vec<E> = (0..shards).map(|_| E::with_capacity(cap)).collect();
+        for &k in stream {
+            parts[shard_of(k, shards)].increment(k);
+        }
+        parts
+    };
+    let pairwise = {
+        let mut parts = build();
+        let mut merged = parts.remove(0);
+        for part in parts {
+            merged.merge(part);
+        }
+        merged
+    };
+    let kway = {
+        let mut parts = build();
+        let mut merged = parts.remove(0);
+        merged.merge_many(parts);
+        merged
+    };
+    assert_eq!(kway.updates(), pairwise.updates(), "update counts diverged");
+    let exact = exact_counts(stream);
+    for (key, &f) in &exact {
+        assert!(kway.upper(key) >= f, "kway upper({key}) < truth {f}");
+        assert!(kway.lower(key) <= f, "kway lower({key}) > truth {f}");
+        assert!(
+            kway.upper(key) <= pairwise.upper(key),
+            "K-way estimate looser than the pairwise fold for {key}: \
+             {} > {}",
+            kway.upper(key),
+            pairwise.upper(key)
+        );
+    }
+    // `upper` of a never-seen key is the min-count: the unmonitored-key
+    // bound must also be no looser than the fold's.
+    assert!(
+        kway.upper(&u64::MAX) <= pairwise.upper(&u64::MAX),
+        "K-way min-count exceeds the fold's"
+    );
+}
+
+#[test]
+fn kway_merge_tighter_than_pairwise_fold() {
+    let mut x = 0xACE5u64;
+    let stream: Vec<u64> = (0..20_000)
+        .map(|i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(9);
+            if i % 5 == 0 {
+                i % 7 // recurring heavy keys
+            } else {
+                x % 4_096 // churning tail
+            }
+        })
+        .collect();
+    for shards in [2usize, 3, 4, 8] {
+        for cap in [8usize, 64, 256] {
+            check_kway_vs_pairwise::<SpaceSaving<u64>>(&stream, shards, cap);
+            check_kway_vs_pairwise::<CompactSpaceSaving<u64>>(&stream, shards, cap);
+        }
+    }
+}
+
+#[test]
+fn merge_many_handles_empty_and_single() {
+    let mut a: SpaceSaving<u64> = SpaceSaving::with_capacity(8);
+    for i in 0..30u64 {
+        a.increment(i % 6);
+    }
+    let snapshot: Vec<_> = {
+        let mut c = a.candidates();
+        c.sort_unstable_by_key(|e| e.key);
+        c
+    };
+    // Zero others: a no-op rebuild.
+    a.merge_many(Vec::new());
+    let mut after = a.candidates();
+    after.sort_unstable_by_key(|e| e.key);
+    assert_eq!(after, snapshot);
+    a.debug_validate();
+    // One other: identical to merge().
+    let mut b1: SpaceSaving<u64> = SpaceSaving::with_capacity(8);
+    let mut b2: SpaceSaving<u64> = SpaceSaving::with_capacity(8);
+    for i in 0..40u64 {
+        b1.increment(i % 9);
+        b2.increment(i % 9);
+    }
+    let mut via_merge = a.clone();
+    via_merge.merge(b1);
+    a.merge_many(vec![b2]);
+    assert_eq!(a.updates(), via_merge.updates());
+    assert_eq!(a.min_count(), via_merge.min_count());
+    a.debug_validate();
+}
+
+#[test]
+#[should_panic(expected = "merge requires equal capacities")]
+fn merge_many_rejects_capacity_mismatch() {
+    let mut a: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(8);
+    let b: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(8);
+    let c: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(16);
+    a.merge_many(vec![b, c]);
+}
+
 #[test]
 fn merge_below_capacity_is_exact_union() {
     // Disjoint key sets that fit: the merged summary is the exact union,

@@ -7,18 +7,64 @@
 //! variance, so accuracy should be *flat in K*. This experiment measures
 //! that claim with the paper's three quality metrics against exact ground
 //! truth, for K ∈ {1, 2, 4, 8} and both Space Saving layouts, plus the
-//! wall-clock cost of the merge fold itself.
+//! wall-clock cost of the merge itself.
 //!
-//! The shards are held as `Box<dyn HhhAlgorithm>` and merged through the
-//! driver trait — the exact code path a runtime-configured pipeline runs.
+//! Two combine strategies are compared at every K > 1:
+//!
+//! * `pairwise` — the shards are held as `Box<dyn HhhAlgorithm>` and folded
+//!   through the driver trait's `merge`, the exact code path a
+//!   runtime-configured pipeline ran before PR 4; each fold step pads
+//!   one-sided keys with the growing intermediate merged min-counts.
+//! * `kway` — one `Rhhh::merge_many` combine over all K candidate lists at
+//!   once (the `ShardedMonitor::harvest` path), padding with the per-shard
+//!   minima only. The K-way estimates are pointwise no looser than the
+//!   fold's, so its accuracy column must be ≤ the pairwise row's.
 
 use std::time::Instant;
 
-use hhh_core::{CounterKind, ExactHhh, HhhAlgorithm, RhhhConfig};
+use hhh_core::{CounterKind, ExactHhh, HeavyHitter, HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_counters::{CompactSpaceSaving, FrequencyEstimator, SpaceSaving};
 use hhh_eval::{accuracy_error_ratio, coverage_error_ratio, false_positive_ratio, Args, Report};
 use hhh_hierarchy::Lattice;
 use hhh_traces::{Packet, TraceConfig, TraceGenerator};
 use hhh_vswitch::shard_of;
+
+fn shard_config(epsilon: f64, i: usize) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: epsilon,
+        epsilon_s: epsilon,
+        delta_s: 0.001,
+        v_scale: 1,
+        updates_per_packet: 1,
+        seed: 0x3E6 + i as u64 * 0x9E37,
+    }
+}
+
+/// K-way combine on concrete instances: partition, feed, one
+/// `merge_many` over all shards. Returns the output and the merge cost.
+fn run_kway<E: FrequencyEstimator<u64>>(
+    lattice: &Lattice<u64>,
+    keys: &[u64],
+    epsilon: f64,
+    shards: usize,
+    theta: f64,
+) -> (Vec<HeavyHitter<u64>>, f64) {
+    let mut parts: Vec<Rhhh<u64, E>> = (0..shards)
+        .map(|i| Rhhh::new(lattice.clone(), shard_config(epsilon, i)))
+        .collect();
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for &k in keys {
+        buckets[shard_of(k, shards)].push(k);
+    }
+    for (part, bucket) in parts.iter_mut().zip(&buckets) {
+        part.update_batch(bucket);
+    }
+    let mut merged = parts.remove(0);
+    let t0 = Instant::now();
+    merged.merge_many(parts);
+    let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (merged.output(theta), merge_ms)
+}
 
 fn main() {
     let args = Args::parse(1_000_000, 1);
@@ -28,6 +74,7 @@ fn main() {
             "trace",
             "counter",
             "shards",
+            "combine",
             "accuracy_error",
             "coverage_error",
             "false_positive",
@@ -51,23 +98,19 @@ fn main() {
             exact.insert(k);
         }
         let epsilon_total = 2.0 * args.epsilon; // ε = ε_a + ε_s
+        let metrics = |out: &[HeavyHitter<u64>]| {
+            (
+                accuracy_error_ratio(out, &exact, epsilon_total),
+                coverage_error_ratio(out, &exact, args.theta),
+                false_positive_ratio(out, &exact, args.theta),
+            )
+        };
 
         for counter in [CounterKind::StreamSummary, CounterKind::Compact] {
             for shards in [1usize, 2, 4, 8] {
+                // Pairwise fold through the dyn driver trait.
                 let mut parts: Vec<Box<dyn HhhAlgorithm<u64>>> = (0..shards)
-                    .map(|i| {
-                        counter.build_rhhh(
-                            lattice.clone(),
-                            RhhhConfig {
-                                epsilon_a: args.epsilon,
-                                epsilon_s: args.epsilon,
-                                delta_s: 0.001,
-                                v_scale: 1,
-                                updates_per_packet: 1,
-                                seed: 0x3E6 + i as u64 * 0x9E37,
-                            },
-                        )
-                    })
+                    .map(|i| counter.build_rhhh(lattice.clone(), shard_config(args.epsilon, i)))
                     .collect();
                 if shards == 1 {
                     parts[0].insert_batch(&keys);
@@ -86,17 +129,49 @@ fn main() {
                     merged.merge(part).expect("same kind and config");
                 }
                 let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
-
                 let out = merged.query(args.theta);
+                let (acc, cov, fpr) = metrics(&out);
                 report.row(&[
                     trace.name.clone(),
                     counter.label().to_string(),
                     shards.to_string(),
-                    format!("{:.4}", accuracy_error_ratio(&out, &exact, epsilon_total)),
-                    format!("{:.4}", coverage_error_ratio(&out, &exact, args.theta)),
-                    format!("{:.4}", false_positive_ratio(&out, &exact, args.theta)),
+                    "pairwise".to_string(),
+                    format!("{acc:.4}"),
+                    format!("{cov:.4}"),
+                    format!("{fpr:.4}"),
                     format!("{merge_ms:.2}"),
                 ]);
+
+                // Single K-way combine (the harvest path).
+                if shards > 1 {
+                    let (out, merge_ms) = match counter {
+                        CounterKind::Compact => run_kway::<CompactSpaceSaving<u64>>(
+                            &lattice,
+                            &keys,
+                            args.epsilon,
+                            shards,
+                            args.theta,
+                        ),
+                        _ => run_kway::<SpaceSaving<u64>>(
+                            &lattice,
+                            &keys,
+                            args.epsilon,
+                            shards,
+                            args.theta,
+                        ),
+                    };
+                    let (acc, cov, fpr) = metrics(&out);
+                    report.row(&[
+                        trace.name.clone(),
+                        counter.label().to_string(),
+                        shards.to_string(),
+                        "kway".to_string(),
+                        format!("{acc:.4}"),
+                        format!("{cov:.4}"),
+                        format!("{fpr:.4}"),
+                        format!("{merge_ms:.2}"),
+                    ]);
+                }
             }
         }
     }

@@ -52,6 +52,16 @@ fn shard_of_key<K: KeyBits>(key: K, shards: usize) -> usize {
     shard_of(key.low_u64(), shards)
 }
 
+/// One hand-off unit on a shard's channel: a batch of unit-weight keys
+/// (the packet-count feed) or of `(key, weight)` pairs (the volume feed).
+/// Both kinds may interleave on one channel — the worker drains them in
+/// arrival order through the matching RHHH batch path.
+#[derive(Debug)]
+enum ShardBatch<K> {
+    Unit(Vec<K>),
+    Weighted(Vec<(K, u64)>),
+}
+
 /// Shard-parallel RHHH monitor: `N` worker threads, each owning one RHHH
 /// instance fed through the batch path, combined by merge at harvest.
 ///
@@ -65,11 +75,18 @@ fn shard_of_key<K: KeyBits>(key: K, shards: usize) -> usize {
 /// with the batch flush the workers run.
 #[derive(Debug)]
 pub struct ShardedMonitor<K: KeyBits = u64, E: FrequencyEstimator<K> = SpaceSaving<K>> {
-    senders: Vec<Sender<Vec<K>>>,
+    senders: Vec<Sender<ShardBatch<K>>>,
     handles: Vec<JoinHandle<Rhhh<K, E>>>,
     bufs: Vec<Vec<K>>,
+    /// Per-shard `(key, weight)` buffers of the volume feed; allocated
+    /// lazily on the first weighted packet so packet-count pipelines pay
+    /// nothing for the second path.
+    wbufs: Vec<Vec<(K, u64)>>,
     batch: usize,
     packets: u64,
+    /// Total recorded weight (equals `packets` when only the unit feed is
+    /// used).
+    weight: u64,
     per_shard: Vec<u64>,
     label: String,
 }
@@ -104,11 +121,14 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
                     ..config
                 },
             );
-            let (tx, rx) = bounded::<Vec<K>>(QUEUE_BATCHES);
+            let (tx, rx) = bounded::<ShardBatch<K>>(QUEUE_BATCHES);
             handles.push(std::thread::spawn(move || {
                 let mut worker = worker;
                 for batch in rx {
-                    worker.update_batch(&batch);
+                    match batch {
+                        ShardBatch::Unit(keys) => worker.update_batch(&keys),
+                        ShardBatch::Weighted(packets) => worker.update_batch_weighted(&packets),
+                    }
                 }
                 worker
             }));
@@ -118,8 +138,10 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
             senders,
             handles,
             bufs: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
+            wbufs: (0..shards).map(|_| Vec::new()).collect(),
             batch,
             packets: 0,
+            weight: 0,
             per_shard: vec![0; shards],
             label: format!("Sharded{shards}-{base}"),
         }
@@ -143,11 +165,19 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         &self.per_shard
     }
 
+    /// Total recorded weight so far (equals [`ShardedMonitor::packets`]
+    /// when only the unit feed is used).
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
     /// Routes one packet to its shard, handing off a full batch when the
     /// shard's buffer fills.
     #[inline]
     pub fn update(&mut self, key2: K) {
         self.packets += 1;
+        self.weight += 1;
         let shard = shard_of_key(key2, self.senders.len());
         self.per_shard[shard] += 1;
         let buf = &mut self.bufs[shard];
@@ -155,20 +185,62 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         if buf.len() >= self.batch {
             let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
             self.senders[shard]
-                .send(full)
+                .send(ShardBatch::Unit(full))
                 .expect("shard worker alive while monitor exists");
         }
     }
 
-    /// Sends every partially filled buffer to its worker. Called by
-    /// [`ShardedMonitor::harvest`]; useful on its own before a progress
-    /// report.
+    /// Routes one packet carrying `weight` units (e.g. bytes) to its
+    /// shard — the volume-measurement twin of [`ShardedMonitor::update`].
+    /// The shard is still chosen by key hash, so a flow's whole volume
+    /// lands in one shard and the per-shard weighted batch path
+    /// ([`Rhhh::update_batch_weighted`]) records it; the harvest-time
+    /// merge then conserves total weight exactly (pinned by the
+    /// `sharded_weighted` property suite).
+    #[inline]
+    pub fn update_weighted(&mut self, key2: K, weight: u64) {
+        self.packets += 1;
+        self.weight += weight;
+        let shard = shard_of_key(key2, self.senders.len());
+        self.per_shard[shard] += 1;
+        let buf = &mut self.wbufs[shard];
+        if buf.capacity() == 0 {
+            buf.reserve(self.batch);
+        }
+        buf.push((key2, weight));
+        if buf.len() >= self.batch {
+            let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
+            self.senders[shard]
+                .send(ShardBatch::Weighted(full))
+                .expect("shard worker alive while monitor exists");
+        }
+    }
+
+    /// Feeds a slice of weighted packets — the bulk entry point of the
+    /// volume feed (ROADMAP sharding follow-up (b)).
+    pub fn update_batch_weighted(&mut self, packets: &[(K, u64)]) {
+        for &(key, weight) in packets {
+            self.update_weighted(key, weight);
+        }
+    }
+
+    /// Sends every partially filled buffer (both feeds) to its worker.
+    /// Called by [`ShardedMonitor::harvest`]; useful on its own before a
+    /// progress report.
     pub fn flush(&mut self) {
         for (shard, buf) in self.bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 let part = std::mem::take(buf);
                 self.senders[shard]
-                    .send(part)
+                    .send(ShardBatch::Unit(part))
+                    .expect("shard worker alive while monitor exists");
+            }
+        }
+        for (shard, buf) in self.wbufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let part = std::mem::take(buf);
+                self.senders[shard]
+                    .send(ShardBatch::Weighted(part))
                     .expect("shard worker alive while monitor exists");
             }
         }
@@ -176,7 +248,10 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
 
     /// Flushes, joins every worker and merges the per-shard summaries into
     /// one queryable instance whose packet and weight totals cover the
-    /// whole stream.
+    /// whole stream. All K summaries combine in a single
+    /// [`Rhhh::merge_many`] pass — tighter than the pairwise fold this
+    /// pipeline used before, which accumulated min-count padding per fold
+    /// step (ROADMAP sharding follow-up (c)).
     ///
     /// # Panics
     ///
@@ -185,14 +260,13 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
     pub fn harvest(mut self) -> Rhhh<K, E> {
         self.flush();
         self.senders.clear(); // closes every channel; workers drain & exit
-        let mut workers = self
+        let mut workers: Vec<Rhhh<K, E>> = self
             .handles
             .drain(..)
-            .map(|h| h.join().expect("shard worker panicked"));
-        let mut merged = workers.next().expect("at least one shard");
-        for worker in workers {
-            merged.merge(worker);
-        }
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        let mut merged = workers.remove(0);
+        merged.merge_many(workers);
         merged
     }
 
@@ -328,6 +402,68 @@ mod tests {
                 "shard {s}: {c} vs {expect}"
             );
         }
+    }
+
+    #[test]
+    fn weighted_feed_conserves_weight_and_finds_volume_hitter() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat.clone(), config(), 3, 512);
+        let heavy = pack2(
+            u32::from_be_bytes([7, 7, 7, 7]),
+            u32::from_be_bytes([8, 8, 8, 8]),
+        );
+        let mut rng = Lcg(13);
+        let n = 200_000u64;
+        let mut volume = 0u64;
+        let packets: Vec<(u64, u64)> = (0..n)
+            .map(|i| {
+                let p = if i % 10 == 0 {
+                    (heavy, 1400)
+                } else {
+                    (pack2(rng.next() as u32, rng.next() as u32), 64)
+                };
+                volume += p.1;
+                p
+            })
+            .collect();
+        for chunk in packets.chunks(4_096) {
+            mon.update_batch_weighted(chunk);
+        }
+        assert_eq!(mon.packets(), n);
+        assert_eq!(mon.weight(), volume);
+        let merged = mon.harvest();
+        assert_eq!(merged.packets(), n);
+        assert_eq!(
+            merged.total_weight(),
+            volume,
+            "sharding + merge must conserve total weight"
+        );
+        let out = merged.output(0.3);
+        assert!(
+            out.iter()
+                .any(|h| h.prefix.display(&lat).contains("7.7.7.7/32")),
+            "volume-heavy flow lost by the weighted sharded path"
+        );
+    }
+
+    #[test]
+    fn unit_and_weighted_feeds_interleave() {
+        // Mixing both feeds on one monitor keeps the ledgers coherent:
+        // packets count both kinds, weight counts units + weights.
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config(), 2, 64);
+        for i in 0..1_000u64 {
+            if i % 2 == 0 {
+                mon.update(i);
+            } else {
+                mon.update_weighted(i, 10);
+            }
+        }
+        assert_eq!(mon.packets(), 1_000);
+        assert_eq!(mon.weight(), 500 + 500 * 10);
+        let merged = mon.harvest();
+        assert_eq!(merged.packets(), 1_000);
+        assert_eq!(merged.total_weight(), 500 + 500 * 10);
     }
 
     #[test]
