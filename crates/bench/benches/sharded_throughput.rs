@@ -59,7 +59,7 @@ fn pipeline(c: &mut Criterion) {
                 for &k in &w.keys2 {
                     mon.update(k);
                 }
-                mon.harvest()
+                mon.harvest().expect("healthy pipeline")
             });
         });
         g.bench_function(
@@ -75,7 +75,7 @@ fn pipeline(c: &mut Criterion) {
                     for &k in &w.keys2 {
                         mon.update(k);
                     }
-                    mon.harvest()
+                    mon.harvest().expect("healthy pipeline")
                 });
             },
         );

@@ -8,7 +8,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hhh_baselines::{Ancestry, AncestryMode, Mst};
 use hhh_bench::Workload;
-use hhh_core::{HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_core::{HhhAlgorithm, Rhhh, RhhhConfig, WindowedRhhh};
 use hhh_counters::CompactSpaceSaving;
 use hhh_hierarchy::{KeyBits, Lattice};
 
@@ -222,6 +222,124 @@ fn compact_vs_stream_summary(c: &mut Criterion) {
     }
 }
 
+/// The pane-ring sliding window: what the windowed layer costs on the
+/// update path, and what the cached in-flight merge saves on the query
+/// path.
+///
+/// * `feed/*` — throughput of the windowed update paths (scalar, batch in
+///   64Ki chunks) on a G = 4 ring at `V = 10H`, against the plain
+///   unwindowed `update_batch` as the no-ring reference. The ring's only
+///   per-packet overhead is the boundary check plus one fresh-pane
+///   allocation per W/G packets, so `feed/batch` should track
+///   `feed/batch-unwindowed` closely.
+/// * `query/cached` vs `query/per-merge` — the acceptance measurement for
+///   the cached in-flight merge: a steady query cadence against a
+///   pre-filled ring. `per-merge` pays the full G-pane K-way combine on
+///   every call (`query_fresh`); `cached` serves every call from the
+///   snapshot the ring refreshed after its last rotation, so it pays only
+///   `Output(θ)`. The ratio is the per-query saving at any cadence of at
+///   least one query per pane (the combine amortizes to once per pane).
+fn windowed_throughput(c: &mut Criterion) {
+    const PACKETS: usize = 1_000_000;
+    const WINDOW: u64 = 400_000;
+    const PANES: usize = 4;
+    const CHUNK: usize = 65_536;
+    const THETA: f64 = 0.1;
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let config = rhhh_config(10);
+
+    let feed = "windowed_throughput/feed";
+    {
+        let mut g = c.benchmark_group(feed);
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1))
+            .throughput(Throughput::Elements(w.keys2.len() as u64));
+        g.bench_function(BenchmarkId::from_parameter("batch-unwindowed"), |b| {
+            b.iter_batched(
+                || Rhhh::<u64>::new(lat.clone(), config),
+                |mut algo| {
+                    for part in w.keys2.chunks(CHUNK) {
+                        algo.update_batch(part);
+                    }
+                    algo
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        g.bench_function(BenchmarkId::from_parameter("scalar"), |b| {
+            b.iter_batched(
+                || WindowedRhhh::<u64>::new(lat.clone(), config, WINDOW, PANES),
+                |mut mon| {
+                    for &k in &w.keys2 {
+                        mon.update(k);
+                    }
+                    mon
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        g.bench_function(BenchmarkId::from_parameter("batch"), |b| {
+            b.iter_batched(
+                || WindowedRhhh::<u64>::new(lat.clone(), config, WINDOW, PANES),
+                |mut mon| {
+                    for part in w.keys2.chunks(CHUNK) {
+                        mon.update_batch(part);
+                    }
+                    mon
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        g.bench_function(BenchmarkId::from_parameter("batch-compact"), |b| {
+            b.iter_batched(
+                || {
+                    WindowedRhhh::<u64, CompactSpaceSaving<u64>>::new(
+                        lat.clone(),
+                        config,
+                        WINDOW,
+                        PANES,
+                    )
+                },
+                |mut mon| {
+                    for part in w.keys2.chunks(CHUNK) {
+                        mon.update_batch(part);
+                    }
+                    mon
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        g.finish();
+    }
+
+    // Query-path comparison on a ring pre-filled past G panes (the state a
+    // steady monitor queries from). `V = H` and θ = 0.1 keep the covered
+    // window past the slack/θN crossover, so `Output(θ)` prunes normally
+    // and the rows isolate what the merge costs per query — at `V = 10H`
+    // on this window every candidate survives the threshold pre-filter
+    // and the output walk drowns both rows identically.
+    let mut filled = WindowedRhhh::<u64>::new(lat.clone(), rhhh_config(1), WINDOW, PANES);
+    for part in w.keys2.chunks(CHUNK) {
+        filled.update_batch(part);
+    }
+    assert!(filled.covered_packets() >= WINDOW);
+    let mut g = c.benchmark_group("windowed_throughput/query");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(1));
+    g.bench_function(BenchmarkId::from_parameter("per-merge"), |b| {
+        b.iter(|| filled.query_fresh(THETA));
+    });
+    let mut cached = filled.clone();
+    g.bench_function(BenchmarkId::from_parameter("cached"), |b| {
+        b.iter(|| cached.query(THETA));
+    });
+    g.finish();
+}
+
 /// Corollary 6.8 ablation: `r` independent update draws per packet converge
 /// `r×` faster at `r×` the update cost — measure the cost side.
 fn multi_update_sweep(c: &mut Criterion) {
@@ -269,6 +387,7 @@ criterion_group!(
     benches,
     batch_vs_scalar,
     compact_vs_stream_summary,
+    windowed_throughput,
     multi_update_sweep,
     ipv6_h_scaling
 );

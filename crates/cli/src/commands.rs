@@ -4,7 +4,7 @@ use std::net::Ipv4Addr;
 use std::path::Path;
 use std::time::Instant;
 
-use hhh_core::{CounterKind, HeavyHitter, HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_core::{CounterKind, HeavyHitter, HhhAlgorithm, Rhhh, RhhhConfig, WindowedRhhh};
 use hhh_counters::{
     CompactSpaceSaving, FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
 };
@@ -12,7 +12,7 @@ use hhh_eval::AlgoKind;
 use hhh_hierarchy::{KeyBits, Lattice};
 use hhh_traces::io::{write_trace, TraceReader};
 use hhh_traces::{AttackConfig, Packet, TraceConfig, TraceGenerator};
-use hhh_vswitch::ShardedMonitor;
+use hhh_vswitch::{ShardedMonitor, WindowedShardedMonitor};
 
 use crate::args::Flags;
 
@@ -60,6 +60,45 @@ const SHARD_BATCH: usize = 4_096;
 /// of counter instances, so a typo like `1e9` must fail cleanly instead of
 /// reaching thread spawn.
 const MAX_SHARDS: usize = 256;
+
+/// Default pane count G for `--window` when `--panes` is absent: a good
+/// coverage/cost point per the `window_accuracy` eval (slop W/4, merge
+/// ~4 × per-pane cost, accuracy flat in G).
+const DEFAULT_PANES: usize = 4;
+
+/// Upper bound for `--panes`: each pane is a full set of counter
+/// instances, and coverage slop shrinks only as 1/G.
+const MAX_PANES: usize = 64;
+
+/// Parses the optional `--window W [--panes G]` pair. `None` when
+/// `--window` is absent; `--panes` without `--window` is rejected.
+fn window_flags(flags: &Flags) -> Result<Option<(u64, usize)>, String> {
+    let window = flags.num("window", 0.0)?;
+    if window < 0.0 || window.fract() != 0.0 {
+        return Err(format!(
+            "--window expects a non-negative packet count, got {window}"
+        ));
+    }
+    let panes = flags.num("panes", DEFAULT_PANES as f64)?;
+    if !(1.0..=MAX_PANES as f64).contains(&panes) || panes.fract() != 0.0 {
+        return Err(format!(
+            "--panes expects an integer in 1..={MAX_PANES}, got {panes}"
+        ));
+    }
+    if window == 0.0 {
+        if flags.get("panes").is_some() {
+            return Err("--panes only applies together with --window".into());
+        }
+        return Ok(None);
+    }
+    let (window, panes) = (window as u64, panes as usize);
+    if window < panes as u64 {
+        return Err(format!(
+            "--window {window} is smaller than --panes {panes} (each pane needs a packet)"
+        ));
+    }
+    Ok(Some((window, panes)))
+}
 
 /// Parses the optional `--shards N` flag (`None` when absent or `0`).
 fn shards_flag(flags: &Flags) -> Result<Option<usize>, String> {
@@ -180,6 +219,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
     let batch = flags.switch("batch");
     let counter = counter_kind(&flags)?;
     let shards = shards_flag(&flags)?;
+    let window = window_flags(&flags)?;
     let filter = flags.get("filter").map(ToString::to_string);
     let packets = load_packets(&flags)?;
 
@@ -195,6 +235,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             batch,
             counter,
             shards,
+            window,
             top,
             filter.as_deref(),
         ),
@@ -209,6 +250,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             batch,
             counter,
             shards,
+            window,
             top,
             filter.as_deref(),
         ),
@@ -223,6 +265,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             batch,
             counter,
             shards,
+            window,
             top,
             filter.as_deref(),
         ),
@@ -280,16 +323,16 @@ fn run_sharded_timed<K: KeyBits, E: FrequencyEstimator<K>>(
     shards: usize,
     keys: &[K],
     theta: f64,
-) -> (Vec<HeavyHitter<K>>, u64, f64) {
+) -> Result<(Vec<HeavyHitter<K>>, u64, f64), String> {
     let start = Instant::now();
     let mut mon = ShardedMonitor::<K, E>::spawn(lattice.clone(), config, shards, SHARD_BATCH);
     for &k in keys {
         mon.update(k);
     }
-    let merged = mon.harvest();
+    let merged = mon.harvest().map_err(|e| e.to_string())?;
     let elapsed = start.elapsed().as_secs_f64();
     let total = merged.packets();
-    (merged.output(theta), total, elapsed)
+    Ok((merged.output(theta), total, elapsed))
 }
 
 /// The volume twin of [`run_sharded_timed`]: feeds `(key, weight)` pairs
@@ -301,14 +344,76 @@ fn run_sharded_weighted_timed<K: KeyBits, E: FrequencyEstimator<K>>(
     shards: usize,
     weighted: &[(K, u64)],
     theta: f64,
-) -> (Vec<HeavyHitter<K>>, u64, f64) {
+) -> Result<(Vec<HeavyHitter<K>>, u64, f64), String> {
     let start = Instant::now();
     let mut mon = ShardedMonitor::<K, E>::spawn(lattice.clone(), config, shards, SHARD_BATCH);
     mon.update_batch_weighted(weighted);
-    let merged = mon.harvest();
+    let merged = mon.harvest().map_err(|e| e.to_string())?;
     let elapsed = start.elapsed().as_secs_f64();
     let total = merged.total_weight();
-    (merged.output(theta), total, elapsed)
+    Ok((merged.output(theta), total, elapsed))
+}
+
+/// Drives a pane-ring sliding window with the clock running: feed every
+/// key (scalar or geometric-skip batch per `batch`), then answer the
+/// windowed query over the last G completed panes. Streams shorter than
+/// one pane fall back to the partial active-pane answer. Returns
+/// `(output, covered packets, elapsed seconds)` — `covered` is the window
+/// the answer speaks for, the denominator of the printed shares.
+fn run_windowed_timed<K: KeyBits, E: FrequencyEstimator<K> + Clone>(
+    lattice: &Lattice<K>,
+    config: RhhhConfig,
+    window: u64,
+    panes: usize,
+    batch: bool,
+    keys: &[K],
+    theta: f64,
+) -> (Vec<HeavyHitter<K>>, u64, f64) {
+    let mut mon = WindowedRhhh::<K, E>::new(lattice.clone(), config, window, panes);
+    let start = Instant::now();
+    if batch {
+        for chunk in keys.chunks(BATCH_CHUNK) {
+            mon.update_batch(chunk);
+        }
+    } else {
+        for &k in keys {
+            mon.update(k);
+        }
+    }
+    let (output, covered) = match mon.query(theta) {
+        Some(out) => (out, mon.covered_packets()),
+        None => (mon.query_current(theta), mon.current_fill()),
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    (output, covered, elapsed)
+}
+
+/// The shard-parallel windowed pipeline: hash-route across `shards`
+/// pane-ring workers with globally aligned rotations, harvest with one
+/// K·G-way merge.
+fn run_windowed_sharded_timed<K: KeyBits, E: FrequencyEstimator<K>>(
+    lattice: &Lattice<K>,
+    config: RhhhConfig,
+    window: u64,
+    panes: usize,
+    shards: usize,
+    keys: &[K],
+    theta: f64,
+) -> Result<(Vec<HeavyHitter<K>>, u64, f64), String> {
+    let start = Instant::now();
+    let mut mon = WindowedShardedMonitor::<K, E>::spawn(
+        lattice.clone(),
+        config,
+        shards,
+        SHARD_BATCH,
+        window,
+        panes,
+    );
+    mon.update_batch(keys);
+    let merged = mon.harvest_window().map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let covered = merged.packets();
+    Ok((merged.output(theta), covered, elapsed))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -323,6 +428,7 @@ fn run_analysis<K: KeyBits>(
     batch: bool,
     counter: CounterKind,
     shards: Option<usize>,
+    window: Option<(u64, usize)>,
     top: usize,
     filter: Option<&str>,
 ) -> Result<(), String> {
@@ -337,19 +443,25 @@ fn run_analysis<K: KeyBits>(
     let total: u64;
     let elapsed: f64;
 
-    if volume || batch || shards.is_some() {
-        // Volume weighting, the batch update path and shard parallelism are
-        // RHHH-side extensions; run the concrete algorithm directly,
-        // monomorphized over the selected per-node counter.
+    if volume || batch || shards.is_some() || window.is_some() {
+        // Volume weighting, the batch update path, shard parallelism and
+        // the pane-ring sliding window are RHHH-side extensions; run the
+        // concrete algorithm directly, monomorphized over the selected
+        // per-node counter.
         if !algo_name.starts_with("rhhh") && algo_name != "10-rhhh" {
             let flag = if volume {
                 "--volume"
             } else if batch {
                 "--batch"
-            } else {
+            } else if shards.is_some() {
                 "--shards"
+            } else {
+                "--window"
             };
             return Err(format!("{flag} supports rhhh/10-rhhh only"));
+        }
+        if volume && window.is_some() {
+            return Err("--window measures packet-count windows; drop --volume".into());
         }
         let v_scale = if algo_name == "10-rhhh" { 10 } else { 1 };
         let config = RhhhConfig {
@@ -376,16 +488,30 @@ fn run_analysis<K: KeyBits>(
         } else {
             packets.iter().map(&key_of).collect()
         };
-        (output, total, elapsed) = if let Some(shards) = shards {
+        (output, total, elapsed) = if let Some((win, panes)) = window {
+            if let Some(shards) = shards {
+                with_counter_type!(counter, Est, {
+                    run_windowed_sharded_timed::<K, Est<K>>(
+                        lattice, config, win, panes, shards, &keys, theta,
+                    )?
+                })
+            } else {
+                with_counter_type!(counter, Est, {
+                    run_windowed_timed::<K, Est<K>>(
+                        lattice, config, win, panes, batch, &keys, theta,
+                    )
+                })
+            }
+        } else if let Some(shards) = shards {
             if volume {
                 with_counter_type!(counter, Est, {
                     run_sharded_weighted_timed::<K, Est<K>>(
                         lattice, config, shards, &weighted, theta,
-                    )
+                    )?
                 })
             } else {
                 with_counter_type!(counter, Est, {
-                    run_sharded_timed::<K, Est<K>>(lattice, config, shards, &keys, theta)
+                    run_sharded_timed::<K, Est<K>>(lattice, config, shards, &keys, theta)?
                 })
             }
         } else {
@@ -414,6 +540,13 @@ fn run_analysis<K: KeyBits>(
     }
     output.sort_by(|a, b| b.freq_upper.total_cmp(&a.freq_upper));
     let unit = if volume { "bytes" } else { "packets" };
+    if let Some((win, panes)) = window {
+        println!(
+            "# sliding window: last {total} packets covered ({panes}-pane ring over W={win}, \
+             pane={} packets)",
+            win.div_ceil(panes as u64)
+        );
+    }
     println!(
         "# {} on {} packets ({total} {unit}), theta={theta}, epsilon={epsilon}, {:.2}s ({:.2} Mpps)",
         algo_name,
@@ -523,7 +656,8 @@ fn measure_sharded_mpps<K: KeyBits>(
     };
     let (_, total, elapsed) = with_counter_type!(counter, Est, {
         run_sharded_timed::<K, Est<K>>(lattice, config, shards, keys, 1.0)
-    });
+    })
+    .expect("healthy pipeline");
     total as f64 / elapsed / 1e6
 }
 
@@ -656,7 +790,8 @@ mod tests {
             .map(Packet::key2)
             .collect();
         let (output, total, elapsed) =
-            run_sharded_timed::<u64, SpaceSaving<u64>>(&lat, config, 3, &keys, 0.1);
+            run_sharded_timed::<u64, SpaceSaving<u64>>(&lat, config, 3, &keys, 0.1)
+                .expect("healthy pipeline");
         assert_eq!(total, 200_000);
         assert!(elapsed > 0.0);
         assert!(
@@ -701,7 +836,8 @@ mod tests {
             .collect();
         let volume: u64 = weighted.iter().map(|&(_, w)| w).sum();
         let (output, total, elapsed) =
-            run_sharded_weighted_timed::<u64, SpaceSaving<u64>>(&lat, config, 3, &weighted, 0.3);
+            run_sharded_weighted_timed::<u64, SpaceSaving<u64>>(&lat, config, 3, &weighted, 0.3)
+                .expect("healthy pipeline");
         assert_eq!(total, volume, "sharded volume must be conserved");
         assert!(elapsed > 0.0);
         assert!(
@@ -709,6 +845,128 @@ mod tests {
                 .iter()
                 .any(|h| h.prefix.display(&lat).contains("7.7.7.7/32")),
             "weighted sharded analysis must find the volume-heavy flow"
+        );
+    }
+
+    #[test]
+    fn window_flags_parse() {
+        let args = |argv: &[&str]| {
+            Flags::parse(
+                &argv.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                &[],
+            )
+            .expect("parse")
+        };
+        assert_eq!(window_flags(&args(&[])), Ok(None));
+        assert_eq!(
+            window_flags(&args(&["--window", "100000"])),
+            Ok(Some((100_000, DEFAULT_PANES)))
+        );
+        assert_eq!(
+            window_flags(&args(&["--window", "100000", "--panes", "8"])),
+            Ok(Some((100_000, 8)))
+        );
+        assert!(window_flags(&args(&["--panes", "8"])).is_err());
+        assert!(window_flags(&args(&["--window", "2.5"])).is_err());
+        assert!(window_flags(&args(&["--window", "100", "--panes", "0"])).is_err());
+        assert!(window_flags(&args(&["--window", "100", "--panes", "1000"])).is_err());
+        assert!(window_flags(&args(&["--window", "4", "--panes", "8"])).is_err());
+    }
+
+    #[test]
+    fn windowed_analysis_covers_the_recent_window_only() {
+        // Old attack traffic followed by a clean window: the windowed
+        // analysis (batch path, both counter layouts) must answer from the
+        // recent window and drop the aged-out attack.
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let config = RhhhConfig {
+            epsilon_a: 0.005,
+            epsilon_s: 0.05,
+            delta_s: 0.05,
+            v_scale: 1,
+            updates_per_packet: 1,
+            seed: 0xC11,
+        };
+        let attacked = preset("chicago16")
+            .expect("preset")
+            .with_attack(parse_attack("10.20.0.0/16->8.8.8.8@0.3").expect("attack"));
+        let mut keys: Vec<u64> = TraceGenerator::new(&attacked)
+            .take_packets(120_000)
+            .iter()
+            .map(Packet::key2)
+            .collect();
+        keys.extend(
+            TraceGenerator::new(&preset("chicago16").expect("preset"))
+                .take_packets(120_000)
+                .iter()
+                .map(Packet::key2),
+        );
+        for batch in [false, true] {
+            let (output, covered, _) = run_windowed_timed::<u64, SpaceSaving<u64>>(
+                &lat, config, 100_000, 4, batch, &keys, 0.1,
+            );
+            assert_eq!(covered, 100_000, "4 panes of 25k cover the window");
+            assert!(
+                !output
+                    .iter()
+                    .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
+                "batch={batch}: attack older than the window must age out"
+            );
+        }
+        // Compact layout, attack inside the window: must be found.
+        let attacked_keys: Vec<u64> = TraceGenerator::new(&attacked)
+            .take_packets(240_000)
+            .iter()
+            .map(Packet::key2)
+            .collect();
+        let (output, covered, _) = run_windowed_timed::<u64, CompactSpaceSaving<u64>>(
+            &lat,
+            config,
+            100_000,
+            4,
+            true,
+            &attacked_keys,
+            0.1,
+        );
+        assert_eq!(covered, 100_000);
+        assert!(
+            output
+                .iter()
+                .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
+            "attack inside the window must be reported"
+        );
+    }
+
+    #[test]
+    fn windowed_sharded_analysis_runs_end_to_end() {
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let config = RhhhConfig {
+            epsilon_a: 0.005,
+            epsilon_s: 0.05,
+            delta_s: 0.05,
+            v_scale: 1,
+            updates_per_packet: 1,
+            seed: 0xC11,
+        };
+        let attacked = preset("chicago16")
+            .expect("preset")
+            .with_attack(parse_attack("10.20.0.0/16->8.8.8.8@0.3").expect("attack"));
+        let keys: Vec<u64> = TraceGenerator::new(&attacked)
+            .take_packets(200_000)
+            .iter()
+            .map(Packet::key2)
+            .collect();
+        let (output, covered, elapsed) = run_windowed_sharded_timed::<u64, SpaceSaving<u64>>(
+            &lat, config, 100_000, 4, 3, &keys, 0.1,
+        )
+        .expect("healthy pipeline");
+        assert_eq!(covered, 100_000);
+        assert!(elapsed > 0.0);
+        assert!(
+            output
+                .iter()
+                .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
+            "windowed sharded analysis must find the in-window attack"
         );
     }
 

@@ -66,7 +66,7 @@ pub use counter::CounterKind;
 pub use exact::ExactHhh;
 pub use output::{HeavyHitter, NodeEstimates};
 pub use rhhh::{Rhhh, RhhhConfig};
-pub use windowed::WindowedRhhh;
+pub use windowed::{PaneRing, WindowedRhhh};
 
 use hhh_hierarchy::KeyBits;
 
@@ -87,6 +87,12 @@ pub enum MergeError {
     /// The algorithm has no merge support (the deterministic baselines
     /// keep per-key state whose union is not a summary of the union).
     Unsupported(String),
+    /// A parallel pipeline could not produce one of the summaries the
+    /// merge needed: a shard worker died (panicked) mid-feed, so its
+    /// sub-stream's summary is lost and any merged answer would silently
+    /// under-count. The message names the shard and, when available, the
+    /// panic payload.
+    ShardFailed(String),
 }
 
 impl std::fmt::Display for MergeError {
@@ -97,6 +103,7 @@ impl std::fmt::Display for MergeError {
             }
             Self::ConfigMismatch(what) => write!(f, "incompatible configurations: {what}"),
             Self::Unsupported(name) => write!(f, "`{name}` does not support merging"),
+            Self::ShardFailed(what) => write!(f, "shard worker failed before harvest: {what}"),
         }
     }
 }

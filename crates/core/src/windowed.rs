@@ -1,17 +1,64 @@
-//! Epoch-rotating RHHH for continuous monitoring.
+//! Pane-ring sliding-window RHHH for continuous monitoring.
 //!
-//! The paper measures fixed intervals ("When the minimal measurement
-//! interval is known in advance, the parameter V can be set to satisfy
-//! correctness at the end of the measurement", Section 6.3). Operational
-//! deployments need *rolling* answers: "what are the HHHs over the last W
-//! packets, right now?". [`WindowedRhhh`] provides the standard two-epoch
-//! rotation: a `current` instance absorbs updates while a `previous`
-//! completed epoch serves queries; every `W` packets the epochs rotate.
+//! The paper sets the performance parameter V for a fixed measurement
+//! interval ("When the minimal measurement interval is known in advance,
+//! the parameter V can be set to satisfy correctness at the end of the
+//! measurement", Section 6.3). Operational deployments need *rolling*
+//! answers: "what are the HHHs over the last W packets, right now?".
 //!
-//! Query semantics: estimates cover between `W` (right after a rotation)
-//! and `2·W` packets (right before one) — the usual jumping-window
-//! approximation of a sliding window, with all of RHHH's per-epoch
-//! guarantees intact because each epoch is an independent instance.
+//! # The pane ring
+//!
+//! [`WindowedRhhh`] approximates a W-packet sliding window with a ring of
+//! `G` sub-epoch **panes**, each an independent [`Rhhh`] instance over
+//! `⌈W/G⌉` packets:
+//!
+//! * the **active** pane absorbs updates — through the scalar path or the
+//!   geometric-skip [`Rhhh::update_batch`] path (batches that straddle a
+//!   pane boundary are split at the boundary, so pane attribution is
+//!   exact);
+//! * every `⌈W/G⌉` packets the ring **rotates**: the active pane joins the
+//!   completed set, the oldest completed pane beyond `G` is dropped, and a
+//!   fresh pane (fresh deterministic seed) starts absorbing;
+//! * a **query** combines the last `G` completed panes in a single K-way
+//!   [`Rhhh::merge_many`] pass and runs `Output(θ)` on the result.
+//!
+//! # Coverage and staleness
+//!
+//! Once `G` panes have completed, every query covers exactly
+//! `G·⌈W/G⌉ ≥ W` packets, ending between `0` and `⌈W/G⌉` packets ago (the
+//! active pane's fill is the staleness). The covered interval therefore
+//! always spans `[W, W + W/G)` packets counted back from "now" — against
+//! the classic two-epoch jumping window's `[W, 2W)`, the slop shrinks from
+//! a full window to one pane. `G = 1` recovers the jumping window.
+//!
+//! # Accuracy
+//!
+//! Each pane is an independent RHHH instance, so the merge analysis of
+//! [`Rhhh::try_merge_many`] applies verbatim: per-pane counter errors add
+//! (`Σᵢ ε·Nᵢ = ε·W` — the same class as one instance over the window) and
+//! the panes' independent sampling errors add in variance, which the
+//! merged instance's `slack()` over the covered `N` charges. The per-query
+//! error is bounded by the *summed per-pane bounds*, pinned by the
+//! `windowed_props` suite against an exact oracle over the covered range.
+//! Convergence of the merged answer needs the covered window to pass ψ,
+//! which [`WindowedRhhh::new`] checks in debug builds.
+//!
+//! # Query cost and the cached in-flight merge
+//!
+//! The K-way combine costs ≈ 40–115 µs per node instance — ~1.1 ms per
+//! 100k-packet pane for the 25-node 2D byte lattice at ε = 0.001, ~4.4 ms
+//! for a G = 4 ring over W = 400k, scaling ≈ linearly in G (measured:
+//! `windowed_throughput` bench group and the `window_accuracy` eval; see
+//! ROADMAP "Performance"). [`WindowedRhhh::query`] therefore keeps a
+//! **cached merged snapshot**: the merge runs at most once per pane
+//! (rebuilt lazily after each rotation invalidates it), so a steady query
+//! cadence pays the combine once per `⌈W/G⌉` packets instead of per query;
+//! between rotations a query is just `Output(θ)` on the snapshot — 0.11 ms
+//! vs 4.4 ms per query in the measured G = 4 configuration, a ~40× saving.
+//! [`WindowedRhhh::query_fresh`] bypasses the cache for callers that want
+//! the merge-per-query cost model (and for differential tests).
+
+use std::collections::VecDeque;
 
 use hhh_counters::{FrequencyEstimator, SpaceSaving};
 use hhh_hierarchy::{KeyBits, Lattice};
@@ -20,88 +67,296 @@ use crate::output::HeavyHitter;
 use crate::rhhh::{Rhhh, RhhhConfig};
 use crate::HhhAlgorithm;
 
-/// Jumping-window RHHH: rotates a fresh epoch every `window` packets.
-#[derive(Debug, Clone)]
-pub struct WindowedRhhh<K: KeyBits, E: FrequencyEstimator<K> = SpaceSaving<K>> {
-    current: Rhhh<K, E>,
-    previous: Option<Rhhh<K, E>>,
-    window: u64,
-    epochs_completed: u64,
+/// Derives the seed of pane `i + 1` from the base seed: panes stay
+/// statistically independent while the whole ring remains a pure function
+/// of the configuration.
+fn pane_seed(base: u64, rotation: u64) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(rotation.wrapping_add(1))
 }
 
-impl<K: KeyBits, E: FrequencyEstimator<K> + Clone> WindowedRhhh<K, E> {
-    /// Creates a windowed instance rotating every `window` packets.
-    ///
-    /// For the per-epoch guarantee to be meaningful, `window` should exceed
-    /// the configuration's ψ (checked at construction in debug builds).
+/// A ring of RHHH panes: one active instance absorbing updates plus the
+/// last `keep` completed instances, rotated externally.
+///
+/// This is the storage half of [`WindowedRhhh`], split out so external
+/// drivers — the shard workers of `hhh_vswitch`'s windowed pipeline, whose
+/// rotation points are dictated by the *global* packet count rather than
+/// the local one — can run the same ring with their own rotation trigger.
+#[derive(Debug, Clone)]
+pub struct PaneRing<K: KeyBits, E: FrequencyEstimator<K> = SpaceSaving<K>> {
+    active: Rhhh<K, E>,
+    /// Oldest → newest; `len() ≤ keep`.
+    completed: VecDeque<Rhhh<K, E>>,
+    keep: usize,
+    rotations: u64,
+    base_seed: u64,
+}
+
+impl<K: KeyBits, E: FrequencyEstimator<K>> PaneRing<K, E> {
+    /// Creates a ring retaining the last `keep` completed panes.
     ///
     /// # Panics
     ///
-    /// Panics if `window == 0`.
+    /// Panics if `keep == 0`.
     #[must_use]
-    pub fn new(lattice: Lattice<K>, config: RhhhConfig, window: u64) -> Self {
-        assert!(window > 0, "window must be positive");
-        debug_assert!(
-            {
-                let probe = Rhhh::<K, E>::new(lattice.clone(), config);
-                window as f64 >= probe.psi() || cfg!(test)
-            },
-            "window shorter than psi: per-epoch guarantees will not bind"
-        );
+    pub fn new(lattice: Lattice<K>, config: RhhhConfig, keep: usize) -> Self {
+        assert!(keep > 0, "must keep at least one completed pane");
         Self {
-            current: Rhhh::new(lattice, config),
-            previous: None,
-            window,
-            epochs_completed: 0,
+            active: Rhhh::new(lattice, config),
+            completed: VecDeque::with_capacity(keep),
+            keep,
+            rotations: 0,
+            base_seed: config.seed,
         }
     }
 
-    /// Processes one packet; rotates epochs at window boundaries.
+    /// The in-progress pane.
+    #[must_use]
+    pub fn active(&self) -> &Rhhh<K, E> {
+        &self.active
+    }
+
+    /// Mutable access to the in-progress pane (the update feed).
+    pub fn active_mut(&mut self) -> &mut Rhhh<K, E> {
+        &mut self.active
+    }
+
+    /// Completed panes, oldest first (at most `keep`).
+    pub fn completed(&self) -> impl Iterator<Item = &Rhhh<K, E>> {
+        self.completed.iter()
+    }
+
+    /// Number of completed panes currently retained.
+    #[must_use]
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Total rotations so far (= panes completed over the ring's lifetime,
+    /// including panes already aged out).
+    #[must_use]
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Decomposes the ring into the active pane and the retained completed
+    /// panes (oldest first) — the consuming counterpart of
+    /// [`PaneRing::merged_window`], for harvest paths that own the ring
+    /// and want to merge many rings' panes in one combine without cloning.
+    #[must_use]
+    pub fn into_parts(self) -> (Rhhh<K, E>, Vec<Rhhh<K, E>>) {
+        (self.active, self.completed.into())
+    }
+
+    /// Completes the active pane: it joins the retained set (evicting the
+    /// oldest pane beyond `keep`) and a fresh pane with a fresh
+    /// deterministic seed starts absorbing.
+    pub fn rotate(&mut self) {
+        let lattice = self.active.lattice().clone();
+        let mut config = *self.active.config();
+        config.seed = pane_seed(self.base_seed, self.rotations);
+        let fresh = Rhhh::new(lattice, config);
+        self.completed
+            .push_back(std::mem::replace(&mut self.active, fresh));
+        if self.completed.len() > self.keep {
+            self.completed.pop_front();
+        }
+        self.rotations += 1;
+    }
+}
+
+impl<K: KeyBits, E: FrequencyEstimator<K> + Clone> PaneRing<K, E> {
+    /// Combines the retained completed panes into one queryable instance
+    /// via a single K-way [`Rhhh::merge_many`] pass. `None` while no pane
+    /// has completed. The merged instance's packet/weight totals cover
+    /// exactly the retained panes — the window the answer speaks for.
+    #[must_use]
+    pub fn merged_window(&self) -> Option<Rhhh<K, E>> {
+        let mut panes = self.completed.iter().cloned();
+        let mut merged = panes.next()?;
+        merged.merge_many(panes.collect());
+        Some(merged)
+    }
+}
+
+/// Sliding-window RHHH over a [`PaneRing`]: rotates every `⌈W/G⌉` packets,
+/// answers queries over the last `G` completed panes with a cached K-way
+/// merge. See the [module docs](self) for coverage, accuracy and cost.
+#[derive(Debug, Clone)]
+pub struct WindowedRhhh<K: KeyBits, E: FrequencyEstimator<K> = SpaceSaving<K>> {
+    ring: PaneRing<K, E>,
+    /// Requested window W (packets).
+    window: u64,
+    /// Rotation period `⌈W/G⌉`.
+    pane_len: u64,
+    /// Cached merged snapshot of the retained completed panes; refreshed
+    /// lazily after a rotation invalidates it, so steady query cadences
+    /// pay the K-way combine once per pane.
+    cached: Option<Rhhh<K, E>>,
+}
+
+impl<K: KeyBits, E: FrequencyEstimator<K> + Clone> WindowedRhhh<K, E> {
+    /// Creates a sliding-window instance over the last `window` packets,
+    /// approximated by `panes` ring panes of `⌈window/panes⌉` packets each.
+    ///
+    /// For the merged per-window guarantee to be meaningful, `window`
+    /// should exceed the configuration's ψ — checked at construction in
+    /// debug builds (there is deliberately no test-mode escape hatch: a
+    /// window shorter than ψ is a real configuration error, and tests must
+    /// construct convergent windows like any other caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`, `panes == 0`, or `window < panes` (panes
+    /// must hold at least one packet).
+    #[must_use]
+    pub fn new(lattice: Lattice<K>, config: RhhhConfig, window: u64, panes: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(panes > 0, "need at least one pane");
+        assert!(
+            window >= panes as u64,
+            "window must hold at least one packet per pane"
+        );
+        debug_assert!(
+            {
+                let probe = Rhhh::<K, E>::new(lattice.clone(), config);
+                window as f64 >= probe.psi()
+            },
+            "window shorter than psi: the merged per-window guarantee will not bind"
+        );
+        let pane_len = window.div_ceil(panes as u64);
+        Self {
+            ring: PaneRing::new(lattice, config, panes),
+            window,
+            pane_len,
+            cached: None,
+        }
+    }
+
+    /// The requested window W.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The number of panes G in the ring.
+    #[must_use]
+    pub fn pane_count(&self) -> usize {
+        self.ring.keep
+    }
+
+    /// The rotation period `⌈W/G⌉` in packets.
+    #[must_use]
+    pub fn pane_len(&self) -> u64 {
+        self.pane_len
+    }
+
+    /// Processes one packet; rotates panes at pane boundaries.
     #[inline]
     pub fn update(&mut self, key: K) {
-        self.current.update(key);
-        if HhhAlgorithm::packets(&self.current) >= self.window {
+        self.ring.active_mut().update(key);
+        if HhhAlgorithm::packets(self.ring.active()) >= self.pane_len {
             self.rotate();
         }
     }
 
+    /// Processes a slice of packets through the geometric-skip batch path.
+    /// Batches that straddle one or more pane boundaries are split at each
+    /// boundary, so every packet lands in the pane its index dictates —
+    /// feeding one straddling batch is bit-identical to feeding the
+    /// boundary-aligned sub-batches separately.
+    pub fn update_batch(&mut self, keys: &[K]) {
+        let mut rest = keys;
+        while !rest.is_empty() {
+            let room = self.pane_len - HhhAlgorithm::packets(self.ring.active());
+            let take = (rest.len() as u64).min(room) as usize;
+            self.ring.active_mut().update_batch(&rest[..take]);
+            if HhhAlgorithm::packets(self.ring.active()) >= self.pane_len {
+                self.rotate();
+            }
+            rest = &rest[take..];
+        }
+    }
+
     fn rotate(&mut self) {
-        let lattice = self.current.lattice().clone();
-        let mut config = *self.current.config();
-        // Fresh seed per epoch keeps epochs statistically independent while
-        // remaining fully deterministic.
-        config.seed = config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(self.epochs_completed + 1);
-        let fresh = Rhhh::new(lattice, config);
-        self.previous = Some(std::mem::replace(&mut self.current, fresh));
-        self.epochs_completed += 1;
+        self.ring.rotate();
+        // The completed set changed: the merged snapshot no longer covers
+        // the window. Updates into the active pane never invalidate —
+        // completed panes are immutable — which is what makes the cache
+        // refresh once per pane rather than once per packet.
+        self.cached = None;
     }
 
-    /// Number of completed epochs so far.
+    /// Panes completed over the monitor's lifetime.
     #[must_use]
-    pub fn epochs_completed(&self) -> u64 {
-        self.epochs_completed
+    pub fn panes_completed(&self) -> u64 {
+        self.ring.rotations()
     }
 
-    /// Packets absorbed by the in-progress epoch.
+    /// Packets absorbed by the in-progress pane — the staleness of the
+    /// windowed answer, always `< ⌈W/G⌉`.
     #[must_use]
     pub fn current_fill(&self) -> u64 {
-        HhhAlgorithm::packets(&self.current)
+        HhhAlgorithm::packets(self.ring.active())
     }
 
-    /// HHHs of the last *completed* epoch — the stable answer operators
-    /// alert on. `None` until the first rotation.
+    /// Lifetime packets fed (completed panes plus the active fill).
     #[must_use]
-    pub fn query_completed(&self, theta: f64) -> Option<Vec<HeavyHitter<K>>> {
-        self.previous.as_ref().map(|epoch| epoch.output(theta))
+    pub fn total_packets(&self) -> u64 {
+        self.ring.rotations() * self.pane_len + self.current_fill()
     }
 
-    /// HHHs of the in-progress epoch (partial; noisier early in the epoch).
+    /// Packets covered by the windowed answer right now:
+    /// `min(G, completed) · ⌈W/G⌉`, i.e. at least `W` once `G` panes have
+    /// completed.
+    #[must_use]
+    pub fn covered_packets(&self) -> u64 {
+        self.ring.completed_len() as u64 * self.pane_len
+    }
+
+    /// The absolute packet-index interval `[start, end)` the windowed
+    /// answer covers (indices count from 0 over the monitor's lifetime).
+    /// `end` trails "now" by [`WindowedRhhh::current_fill`] packets.
+    #[must_use]
+    pub fn covered_range(&self) -> (u64, u64) {
+        let end = self.ring.rotations() * self.pane_len;
+        (end - self.covered_packets(), end)
+    }
+
+    /// The merged instance over the covered window, built fresh (one K-way
+    /// combine per call, no cache). Useful when the caller wants the full
+    /// instance — node estimates, slack, packet totals — rather than just
+    /// `Output(θ)`. `None` until the first rotation.
+    #[must_use]
+    pub fn merged_window(&self) -> Option<Rhhh<K, E>> {
+        self.ring.merged_window()
+    }
+
+    /// HHHs over the covered window, served from the cached in-flight
+    /// merge: the K-way combine runs at most once per pane (after the
+    /// rotation that invalidated the snapshot), every other call is just
+    /// `Output(θ)` on the snapshot. `None` until the first rotation.
+    #[must_use]
+    pub fn query(&mut self, theta: f64) -> Option<Vec<HeavyHitter<K>>> {
+        if self.cached.is_none() {
+            self.cached = self.ring.merged_window();
+        }
+        self.cached.as_ref().map(|m| m.output(theta))
+    }
+
+    /// HHHs over the covered window with a fresh merge per call — the
+    /// merge-per-query cost model [`WindowedRhhh::query`]'s cache exists to
+    /// avoid; kept for callers that must not observe a snapshot (and as
+    /// the reference side of the cache-coherence property tests).
+    #[must_use]
+    pub fn query_fresh(&self, theta: f64) -> Option<Vec<HeavyHitter<K>>> {
+        self.ring.merged_window().map(|m| m.output(theta))
+    }
+
+    /// HHHs of the in-progress pane (partial; noisier early in the pane).
     #[must_use]
     pub fn query_current(&self, theta: f64) -> Vec<HeavyHitter<K>> {
-        self.current.output(theta)
+        self.ring.active().output(theta)
     }
 }
 
@@ -121,10 +376,12 @@ mod tests {
         }
     }
 
+    /// ψ ≈ 1.96·25/0.01 ≈ 4.9k for the 2D lattice — every window below
+    /// uses at least 10k so the debug-build ψ check binds honestly.
     fn config() -> RhhhConfig {
         RhhhConfig {
             epsilon_a: 0.01,
-            epsilon_s: 0.05,
+            epsilon_s: 0.1,
             delta_s: 0.05,
             v_scale: 1,
             updates_per_packet: 1,
@@ -133,24 +390,35 @@ mod tests {
     }
 
     #[test]
-    fn rotates_every_window() {
+    fn rotates_every_pane() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
-        let mut w = WindowedRhhh::<u32>::new(lat, config(), 10_000);
+        let mut w = WindowedRhhh::<u32>::new(lat, config(), 40_000, 4);
+        assert_eq!(w.pane_len(), 10_000);
         let mut rng = Lcg(1);
         for _ in 0..35_000 {
             w.update(rng.next() as u32);
         }
-        assert_eq!(w.epochs_completed(), 3);
+        assert_eq!(w.panes_completed(), 3);
         assert_eq!(w.current_fill(), 5_000);
+        assert_eq!(w.total_packets(), 35_000);
+        assert_eq!(w.covered_packets(), 30_000, "3 completed panes retained");
+        assert_eq!(w.covered_range(), (0, 30_000));
+        // Past G completed panes, coverage pins at G panes and slides.
+        for _ in 0..20_000 {
+            w.update(rng.next() as u32);
+        }
+        assert_eq!(w.panes_completed(), 5);
+        assert_eq!(w.covered_packets(), 40_000);
+        assert_eq!(w.covered_range(), (10_000, 50_000));
     }
 
     #[test]
-    fn completed_epoch_answers_are_stable() {
+    fn windowed_answers_age_out_old_traffic() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
-        let mut w = WindowedRhhh::<u64>::new(lat.clone(), config(), 100_000);
-        assert!(w.query_completed(0.1).is_none(), "no epoch finished yet");
+        let mut w = WindowedRhhh::<u64>::new(lat.clone(), config(), 100_000, 4);
+        assert!(w.query(0.1).is_none(), "no pane finished yet");
         let mut rng = Lcg(2);
-        // Epoch 1: heavy subnet A. Epoch 2: heavy subnet B.
+        // Window 1: heavy subnet A. Window 2: heavy subnet B.
         for i in 0..100_000u64 {
             let key = if i % 3 == 0 {
                 pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
@@ -159,12 +427,12 @@ mod tests {
             };
             w.update(key);
         }
-        let epoch1 = w.query_completed(0.1).expect("epoch 1 complete");
+        let phase1 = w.query(0.1).expect("window complete");
         assert!(
-            epoch1
+            phase1
                 .iter()
                 .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
-            "epoch 1 must show subnet A"
+            "window 1 must show subnet A"
         );
         for i in 0..100_000u64 {
             let key = if i % 3 == 0 {
@@ -174,37 +442,101 @@ mod tests {
             };
             w.update(key);
         }
-        let epoch2 = w.query_completed(0.1).expect("epoch 2 complete");
+        let phase2 = w.query(0.1).expect("window complete");
         assert!(
-            epoch2
+            phase2
                 .iter()
                 .any(|h| h.prefix.display(&lat).contains("11.21.0.0/16")),
-            "epoch 2 must show subnet B"
+            "window 2 must show subnet B"
         );
         assert!(
-            !epoch2
+            !phase2
                 .iter()
                 .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
-            "subnet A aged out"
+            "subnet A aged out of the 4-pane window"
         );
     }
 
     #[test]
-    fn epochs_use_distinct_seeds() {
+    fn cached_query_matches_fresh_merge() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut w = WindowedRhhh::<u64>::new(lat, config(), 20_000, 4);
+        let mut rng = Lcg(3);
+        let compare = |w: &mut WindowedRhhh<u64>| {
+            let cached = w.query(0.05);
+            let fresh = w.query_fresh(0.05);
+            match (cached, fresh) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.prefix, y.prefix);
+                        assert_eq!(x.freq_upper, y.freq_upper);
+                    }
+                }
+                (a, b) => panic!("cache and fresh disagree on availability: {a:?} vs {b:?}"),
+            }
+        };
+        // Across several rotations, a cached query must be bit-identical
+        // to a fresh merge — including right after each invalidation.
+        for _ in 0..7 {
+            for _ in 0..3_000 {
+                w.update(rng.next());
+            }
+            compare(&mut w);
+            compare(&mut w); // second hit serves the snapshot
+        }
+    }
+
+    #[test]
+    fn panes_use_distinct_seeds() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
-        let mut w = WindowedRhhh::<u32>::new(lat, config(), 1_000);
-        for i in 0..2_500u32 {
+        let mut w = WindowedRhhh::<u32>::new(lat, config(), 10_000, 2);
+        for i in 0..12_000u32 {
             w.update(i);
         }
-        // After two rotations, current and previous configs differ in seed.
-        let prev_seed = w.previous.as_ref().expect("rotated").config().seed;
-        assert_ne!(prev_seed, w.current.config().seed);
+        assert_eq!(w.panes_completed(), 2);
+        let seeds: Vec<u64> = w.ring.completed().map(|p| p.config().seed).collect();
+        assert_eq!(seeds.len(), 2);
+        assert_ne!(seeds[0], seeds[1], "completed panes share a seed");
+        assert_ne!(
+            seeds[1],
+            w.ring.active().config().seed,
+            "active pane reuses a completed seed"
+        );
+    }
+
+    #[test]
+    fn single_pane_is_the_jumping_window() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
+        let mut w = WindowedRhhh::<u32>::new(lat, config(), 10_000, 1);
+        let mut rng = Lcg(9);
+        for _ in 0..25_000 {
+            w.update(rng.next() as u32);
+        }
+        assert_eq!(w.pane_len(), 10_000);
+        assert_eq!(w.covered_packets(), 10_000, "G = 1 covers exactly W");
+        assert_eq!(w.covered_range(), (10_000, 20_000));
     }
 
     #[test]
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
-        let _ = WindowedRhhh::<u32>::new(lat, config(), 0);
+        let _ = WindowedRhhh::<u32>::new(lat, config(), 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one pane")]
+    fn zero_panes_rejected() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
+        let _ = WindowedRhhh::<u32>::new(lat, config(), 10_000, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one packet per pane")]
+    fn window_smaller_than_pane_count_rejected() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_bytes();
+        let _ = WindowedRhhh::<u32>::new(lat, config(), 3, 4);
     }
 }

@@ -166,6 +166,105 @@ fn bulk_flush_differential_adversarial_streams() {
     }
 }
 
+/// The adaptive flush-order threshold on a second trace shape (ROADMAP
+/// open item (b)): the miss-ratio EWMA was tuned on chicago16's heavy
+/// tail, so pin its behaviour on sanjose14-shaped streams. The contract
+/// is regime-tracking, not a particular constant: sanjose14's *tail*
+/// (distinct never-seen flows — the regime the tag array and bulk sweep
+/// target) must hold the sorted sweep, while the *raw* sanjose14 mix —
+/// whose top flows absorb most packets of a 512-packet group even at 64
+/// counters, making groups hit-heavy by the flush's metric — must settle
+/// on arrival order within a few groups; and the count multisets must
+/// keep matching a stream summary fed the mirrored order throughout,
+/// exactly the assertions the chicago16-shaped adversarial streams above
+/// pin (`bulk_flush_all_distinct_group` et al).
+#[test]
+fn adaptive_flush_order_tracks_regime_on_sanjose14_stream() {
+    let mut gen = hhh_traces::TraceGenerator::new(&hhh_traces::TraceConfig::sanjose14());
+    let cap = 64usize;
+    let mut flat: CompactSpaceSaving<u64> = CompactSpaceSaving::with_capacity(cap);
+    let mut list: SpaceSaving<u64> = SpaceSaving::with_capacity(cap);
+    let mirror =
+        |flat: &mut CompactSpaceSaving<u64>, list: &mut SpaceSaving<u64>, group: &[u64]| {
+            let mut g = group.to_vec();
+            flat.flush_group_evicting(&mut g);
+            let mut reference = group.to_vec();
+            if flat.last_flush_sorted() {
+                reference.sort_unstable();
+            }
+            list.increment_batch(&reference);
+        };
+    // First-occurrence-only view of the same generator: the trace's tail.
+    let mut seen = std::collections::HashSet::new();
+    let distinct_group = |gen: &mut hhh_traces::TraceGenerator,
+                          seen: &mut std::collections::HashSet<u64>| {
+        let mut g = Vec::with_capacity(512);
+        while g.len() < 512 {
+            let k = gen.generate().key2();
+            if seen.insert(k) {
+                g.push(k);
+            }
+        }
+        g
+    };
+
+    // Phase 1 — miss-heavy: sanjose14 tail flows (all first occurrences).
+    // Every run in the group probes Absent, so the EWMA must hold every
+    // group on the sorted bulk-eviction sweep.
+    for round in 0..12 {
+        let group = distinct_group(&mut gen, &mut seen);
+        mirror(&mut flat, &mut list, &group);
+        assert!(
+            flat.last_flush_sorted(),
+            "round {round}: sanjose14 tail groups must take the sorted sweep"
+        );
+    }
+
+    // Phase 2 — hit-heavy: the raw sanjose14 mix. Its top flows dominate
+    // a 512-packet group (most packets bump monitored keys), so after the
+    // adaptation lag the EWMA must flip to arrival order and stay there.
+    for round in 0..12 {
+        let group: Vec<u64> = (0..512).map(|_| gen.generate().key2()).collect();
+        mirror(&mut flat, &mut list, &group);
+        if round >= 3 {
+            assert!(
+                !flat.last_flush_sorted(),
+                "round {round}: raw sanjose14 groups must settle on arrival order"
+            );
+        }
+    }
+
+    // Phase 3 — back to the tail: the EWMA re-learns the miss regime.
+    for round in 0..12 {
+        let group = distinct_group(&mut gen, &mut seen);
+        mirror(&mut flat, &mut list, &group);
+        if round >= 3 {
+            assert!(
+                flat.last_flush_sorted(),
+                "round {round}: the sweep must return with the tail regime"
+            );
+        }
+    }
+
+    // Throughout all three regimes the adaptive order must be
+    // guarantee-preserving: same updates, same min-count, same count
+    // multiset as per-key processing of the mirrored order.
+    assert_eq!(flat.updates(), list.updates(), "update counts diverged");
+    assert_eq!(flat.min_count(), list.min_count(), "min-counts diverged");
+    let multiset = |c: Vec<hhh_counters::Candidate<u64>>| -> Vec<u64> {
+        let mut v: Vec<u64> = c.iter().map(|e| e.upper).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        multiset(flat.candidates()),
+        multiset(list.candidates()),
+        "count multisets diverged"
+    );
+    flat.debug_validate();
+    list.debug_validate();
+}
+
 /// Zipf groups: heavy keys hit, the long tail defers — both paths in one
 /// group, across group sizes that straddle the capacity.
 #[test]

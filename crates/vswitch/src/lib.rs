@@ -51,4 +51,4 @@ pub use monitor::{
     AlgoMonitor, BatchingMonitor, CompactBatchingMonitor, DynBatchingMonitor, NoOpMonitor,
 };
 pub use packet::{build_udp_frame, EthernetFrame, Ipv4View, ParseError, UdpView};
-pub use sharded::{shard_of, ShardedMonitor};
+pub use sharded::{shard_of, ShardedMonitor, WindowedShardedMonitor};

@@ -29,7 +29,7 @@
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Sender};
-use hhh_core::{HeavyHitter, Rhhh, RhhhConfig};
+use hhh_core::{HeavyHitter, MergeError, PaneRing, Rhhh, RhhhConfig};
 use hhh_counters::{FrequencyEstimator, SpaceSaving};
 use hhh_hierarchy::{KeyBits, Lattice};
 
@@ -60,6 +60,46 @@ fn shard_of_key<K: KeyBits>(key: K, shards: usize) -> usize {
 enum ShardBatch<K> {
     Unit(Vec<K>),
     Weighted(Vec<(K, u64)>),
+    /// Failure-injection poison: the worker panics on receipt. Only ever
+    /// sent by [`ShardedMonitor::inject_shard_failure`] (chaos tests).
+    Poison,
+}
+
+/// Extracts a human-readable message from a worker thread's panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Joins every shard worker — even after a failure, so no thread leaks —
+/// and surfaces the first death as [`MergeError::ShardFailed`] naming the
+/// shard and its panic payload. Shared by both monitors' harvests so the
+/// windowed and unwindowed pipelines keep an identical failure contract.
+fn join_shards<T>(handles: Vec<JoinHandle<T>>) -> Result<Vec<T>, MergeError> {
+    let mut workers = Vec::with_capacity(handles.len());
+    let mut failure: Option<MergeError> = None;
+    for (shard, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(worker) => workers.push(worker),
+            Err(payload) => {
+                failure.get_or_insert_with(|| {
+                    MergeError::ShardFailed(format!(
+                        "shard {shard}: {}",
+                        panic_message(payload.as_ref())
+                    ))
+                });
+            }
+        }
+    }
+    match failure {
+        Some(err) => Err(err),
+        None => Ok(workers),
+    }
 }
 
 /// Shard-parallel RHHH monitor: `N` worker threads, each owning one RHHH
@@ -128,6 +168,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
                     match batch {
                         ShardBatch::Unit(keys) => worker.update_batch(&keys),
                         ShardBatch::Weighted(packets) => worker.update_batch_weighted(&packets),
+                        ShardBatch::Poison => panic!("injected shard failure"),
                     }
                 }
                 worker
@@ -184,9 +225,11 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         buf.push(key2);
         if buf.len() >= self.batch {
             let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
-            self.senders[shard]
-                .send(ShardBatch::Unit(full))
-                .expect("shard worker alive while monitor exists");
+            // A send only fails when the worker died (panicked) and its
+            // receiver dropped. The feed stays alive — packets for the
+            // dead shard are lost — and harvest reports the failure as a
+            // `MergeError::ShardFailed` instead of poisoning the ingress.
+            let _ = self.senders[shard].send(ShardBatch::Unit(full));
         }
     }
 
@@ -210,9 +253,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         buf.push((key2, weight));
         if buf.len() >= self.batch {
             let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
-            self.senders[shard]
-                .send(ShardBatch::Weighted(full))
-                .expect("shard worker alive while monitor exists");
+            let _ = self.senders[shard].send(ShardBatch::Weighted(full));
         }
     }
 
@@ -231,19 +272,25 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         for (shard, buf) in self.bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 let part = std::mem::take(buf);
-                self.senders[shard]
-                    .send(ShardBatch::Unit(part))
-                    .expect("shard worker alive while monitor exists");
+                let _ = self.senders[shard].send(ShardBatch::Unit(part));
             }
         }
         for (shard, buf) in self.wbufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 let part = std::mem::take(buf);
-                self.senders[shard]
-                    .send(ShardBatch::Weighted(part))
-                    .expect("shard worker alive while monitor exists");
+                let _ = self.senders[shard].send(ShardBatch::Weighted(part));
             }
         }
+    }
+
+    /// Failure-injection hook for chaos tests: kills the given shard's
+    /// worker thread (it panics on the poison message). Subsequent feeds
+    /// keep running — packets routed to the dead shard are dropped — and
+    /// [`ShardedMonitor::harvest`] reports the death as
+    /// [`MergeError::ShardFailed`].
+    #[doc(hidden)]
+    pub fn inject_shard_failure(&mut self, shard: usize) {
+        let _ = self.senders[shard].send(ShardBatch::Poison);
     }
 
     /// Flushes, joins every worker and merges the per-shard summaries into
@@ -253,35 +300,284 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
     /// pipeline used before, which accumulated min-count padding per fold
     /// step (ROADMAP sharding follow-up (c)).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a worker thread panicked.
-    #[must_use]
-    pub fn harvest(mut self) -> Rhhh<K, E> {
+    /// [`MergeError::ShardFailed`] when any worker thread died (panicked)
+    /// mid-feed: its sub-stream's summary is gone, so a merged answer
+    /// would silently under-count. The error names the first dead shard.
+    pub fn harvest(mut self) -> Result<Rhhh<K, E>, MergeError> {
         self.flush();
         self.senders.clear(); // closes every channel; workers drain & exit
-        let mut workers: Vec<Rhhh<K, E>> = self
-            .handles
-            .drain(..)
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect();
+        let mut workers = join_shards(std::mem::take(&mut self.handles))?;
         let mut merged = workers.remove(0);
         merged.merge_many(workers);
-        merged
+        Ok(merged)
     }
 
     /// Convenience: harvest and immediately run `Output(θ)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a worker thread panicked.
-    #[must_use]
-    pub fn finish_and_query(self, theta: f64) -> Vec<HeavyHitter<K>> {
-        self.harvest().output(theta)
+    /// Propagates [`ShardedMonitor::harvest`]'s `ShardFailed`.
+    pub fn finish_and_query(self, theta: f64) -> Result<Vec<HeavyHitter<K>>, MergeError> {
+        Ok(self.harvest()?.output(theta))
     }
 }
 
 impl<E: FrequencyEstimator<u64>> DataplaneMonitor for ShardedMonitor<u64, E> {
+    #[inline]
+    fn on_packet(&mut self, key2: u64) {
+        self.update(key2);
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// One hand-off unit on a windowed shard's channel: a batch of keys, or
+/// the global pane-rotation marker. Markers ride the same ordered channel
+/// as the batches, so every worker rotates at exactly the same global
+/// packet index — pane boundaries stay aligned across shards without any
+/// cross-thread synchronization.
+#[derive(Debug)]
+enum WindowedShardMsg<K> {
+    Batch(Vec<K>),
+    Rotate,
+    /// Failure-injection poison, as in [`ShardBatch::Poison`].
+    Poison,
+}
+
+/// Shard-parallel **sliding-window** RHHH: the windowed twin of
+/// [`ShardedMonitor`].
+///
+/// Every worker thread runs its own [`PaneRing`] over its hash-routed
+/// sub-stream through the geometric-skip batch path. Rotation is driven by
+/// the *global* packet count: every `⌈W/G⌉` packets the ingress thread
+/// flushes all partial buffers (so pane attribution is exact) and
+/// broadcasts a rotation marker down every shard channel. Each shard's
+/// pane `i` therefore summarizes exactly its sub-stream of global pane
+/// `i`, and [`WindowedShardedMonitor::harvest_window`] can answer the
+/// windowed query with one **K·G-way** [`Rhhh::merge_many`] combine over
+/// all shards' retained panes — per-shard errors add within a pane (the
+/// sharded-merge analysis) and per-pane bounds add across the window (the
+/// pane-ring analysis), so the end-to-end bound is the same summed
+/// per-pane bound a single-threaded [`hhh_core::WindowedRhhh`] earns.
+#[derive(Debug)]
+pub struct WindowedShardedMonitor<K: KeyBits = u64, E: FrequencyEstimator<K> = SpaceSaving<K>> {
+    senders: Vec<Sender<WindowedShardMsg<K>>>,
+    handles: Vec<JoinHandle<PaneRing<K, E>>>,
+    bufs: Vec<Vec<K>>,
+    batch: usize,
+    window: u64,
+    pane_len: u64,
+    pane_count: usize,
+    packets: u64,
+    pane_fill: u64,
+    rotations: u64,
+    label: String,
+}
+
+impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
+    /// Spawns `shards` pane-ring workers (distinct deterministic seeds per
+    /// shard, like [`ShardedMonitor::spawn`]) covering the last `window`
+    /// packets with `panes` globally-aligned ring panes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards`, `batch`, `window` or `panes` is zero, or when
+    /// `window < panes`.
+    #[must_use]
+    pub fn spawn(
+        lattice: Lattice<K>,
+        config: RhhhConfig,
+        shards: usize,
+        batch: usize,
+        window: u64,
+        panes: usize,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(batch > 0, "batch size must be positive");
+        assert!(window > 0, "window must be positive");
+        assert!(panes > 0, "need at least one pane");
+        assert!(
+            window >= panes as u64,
+            "window must hold at least one packet per pane"
+        );
+        let base = if config.v_scale == 1 {
+            "RHHH".to_string()
+        } else {
+            format!("{}-RHHH", config.v_scale)
+        };
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let ring = PaneRing::<K, E>::new(
+                lattice.clone(),
+                RhhhConfig {
+                    seed: config.seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ..config
+                },
+                panes,
+            );
+            let (tx, rx) = bounded::<WindowedShardMsg<K>>(QUEUE_BATCHES);
+            handles.push(std::thread::spawn(move || {
+                let mut ring = ring;
+                for msg in rx {
+                    match msg {
+                        WindowedShardMsg::Batch(keys) => ring.active_mut().update_batch(&keys),
+                        WindowedShardMsg::Rotate => ring.rotate(),
+                        WindowedShardMsg::Poison => panic!("injected shard failure"),
+                    }
+                }
+                ring
+            }));
+            senders.push(tx);
+        }
+        Self {
+            senders,
+            handles,
+            bufs: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
+            batch,
+            window,
+            pane_len: window.div_ceil(panes as u64),
+            pane_count: panes,
+            packets: 0,
+            pane_fill: 0,
+            rotations: 0,
+            label: format!("WindowedSharded{shards}-{base}"),
+        }
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The requested window W.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The global rotation period `⌈W/G⌉` in packets.
+    #[must_use]
+    pub fn pane_len(&self) -> u64 {
+        self.pane_len
+    }
+
+    /// Packets fed so far (across all shards).
+    #[must_use]
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Global panes completed so far.
+    #[must_use]
+    pub fn panes_completed(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Routes one packet to its shard; at every global pane boundary,
+    /// flushes all partial buffers and broadcasts the rotation marker.
+    #[inline]
+    pub fn update(&mut self, key2: K) {
+        self.packets += 1;
+        self.pane_fill += 1;
+        let shard = shard_of_key(key2, self.senders.len());
+        let buf = &mut self.bufs[shard];
+        buf.push(key2);
+        if buf.len() >= self.batch {
+            let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
+            let _ = self.senders[shard].send(WindowedShardMsg::Batch(full));
+        }
+        if self.pane_fill == self.pane_len {
+            self.rotate();
+        }
+    }
+
+    /// Feeds a slice of packets (the burst entry point; routing and pane
+    /// accounting stay per-packet, hand-off stays per-batch).
+    pub fn update_batch(&mut self, keys: &[K]) {
+        for &k in keys {
+            self.update(k);
+        }
+    }
+
+    fn rotate(&mut self) {
+        // The boundary packet must reach its worker before the marker:
+        // flush every partial buffer first, then broadcast Rotate on the
+        // same ordered channels.
+        self.flush();
+        for tx in &self.senders {
+            let _ = tx.send(WindowedShardMsg::Rotate);
+        }
+        self.rotations += 1;
+        self.pane_fill = 0;
+    }
+
+    /// Sends every partially filled buffer to its worker.
+    pub fn flush(&mut self) {
+        for (shard, buf) in self.bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let part = std::mem::take(buf);
+                let _ = self.senders[shard].send(WindowedShardMsg::Batch(part));
+            }
+        }
+    }
+
+    /// Failure-injection hook for chaos tests; see
+    /// [`ShardedMonitor::inject_shard_failure`].
+    #[doc(hidden)]
+    pub fn inject_shard_failure(&mut self, shard: usize) {
+        let _ = self.senders[shard].send(WindowedShardMsg::Poison);
+    }
+
+    /// Flushes, joins every worker and combines the windowed answer: all
+    /// shards' retained completed panes merge in a single K·G-way
+    /// [`Rhhh::merge_many`] pass, yielding one instance whose packet total
+    /// is exactly the covered window (at least `W` once `G` global panes
+    /// have completed). Before the first rotation there are no completed
+    /// panes anywhere, and the K active panes merge instead — a partial
+    /// answer over everything fed so far.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::ShardFailed`] when any worker thread died mid-feed
+    /// (same contract as [`ShardedMonitor::harvest`]).
+    pub fn harvest_window(mut self) -> Result<Rhhh<K, E>, MergeError> {
+        self.flush();
+        self.senders.clear(); // closes every channel; workers drain & exit
+        let rings = join_shards(std::mem::take(&mut self.handles))?;
+        let mut panes: Vec<Rhhh<K, E>> = Vec::with_capacity(rings.len() * self.pane_count);
+        if self.rotations == 0 {
+            for ring in rings {
+                let (active, _) = ring.into_parts();
+                panes.push(active);
+            }
+        } else {
+            for ring in rings {
+                let (_, completed) = ring.into_parts();
+                panes.extend(completed);
+            }
+        }
+        let mut merged = panes.remove(0);
+        merged.merge_many(panes);
+        Ok(merged)
+    }
+
+    /// Convenience: harvest the windowed answer and run `Output(θ)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WindowedShardedMonitor::harvest_window`]'s failures.
+    pub fn finish_and_query(self, theta: f64) -> Result<Vec<HeavyHitter<K>>, MergeError> {
+        Ok(self.harvest_window()?.output(theta))
+    }
+}
+
+impl<E: FrequencyEstimator<u64>> DataplaneMonitor for WindowedShardedMonitor<u64, E> {
     #[inline]
     fn on_packet(&mut self, key2: u64) {
         self.update(key2);
@@ -348,7 +644,7 @@ mod tests {
             assert_eq!(mon.packets(), n);
             let total: u64 = mon.shard_packets().iter().sum();
             assert_eq!(total, n, "per-shard routing must account every packet");
-            let merged = mon.harvest();
+            let merged = mon.harvest().expect("healthy pipeline");
             assert_eq!(merged.packets(), n, "merged N covers the whole stream");
             assert_eq!(merged.total_weight(), n);
             let rendered: Vec<String> = merged
@@ -375,7 +671,7 @@ mod tests {
             mon.on_packet(k);
         }
         assert_eq!(mon.label(), "Sharded3-RHHH");
-        let out = mon.finish_and_query(0.1);
+        let out = mon.finish_and_query(0.1).expect("healthy pipeline");
         assert!(out
             .iter()
             .map(|h| h.prefix.display(&lat))
@@ -431,7 +727,7 @@ mod tests {
         }
         assert_eq!(mon.packets(), n);
         assert_eq!(mon.weight(), volume);
-        let merged = mon.harvest();
+        let merged = mon.harvest().expect("healthy pipeline");
         assert_eq!(merged.packets(), n);
         assert_eq!(
             merged.total_weight(),
@@ -461,7 +757,7 @@ mod tests {
         }
         assert_eq!(mon.packets(), 1_000);
         assert_eq!(mon.weight(), 500 + 500 * 10);
-        let merged = mon.harvest();
+        let merged = mon.harvest().expect("healthy pipeline");
         assert_eq!(merged.packets(), 1_000);
         assert_eq!(merged.total_weight(), 500 + 500 * 10);
     }
@@ -474,7 +770,7 @@ mod tests {
         for i in 0..100u64 {
             mon.update(i);
         }
-        let merged = mon.harvest();
+        let merged = mon.harvest().expect("healthy pipeline");
         assert_eq!(merged.packets(), 100);
     }
 
@@ -487,7 +783,7 @@ mod tests {
         for &k in &attack_stream(n, 11) {
             mon.update(k);
         }
-        let merged = mon.harvest();
+        let merged = mon.harvest().expect("healthy pipeline");
         let rate = merged.total_updates() as f64 / n as f64;
         assert!((rate - 0.1).abs() < 0.01, "update rate {rate}");
     }
@@ -497,5 +793,127 @@ mod tests {
     fn zero_shards_rejected() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
         let _ = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, RhhhConfig::default(), 0, 64);
+    }
+
+    #[test]
+    fn windowed_sharded_pane_accounting_is_global() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = WindowedShardedMonitor::<u64, SpaceSaving<u64>>::spawn(
+            lat,
+            config(),
+            3,
+            256,
+            40_000,
+            4,
+        );
+        assert_eq!(mon.pane_len(), 10_000);
+        for &k in &attack_stream(35_000, 21) {
+            mon.update(k);
+        }
+        assert_eq!(mon.packets(), 35_000);
+        assert_eq!(mon.panes_completed(), 3);
+        let merged = mon.harvest_window().expect("healthy pipeline");
+        assert_eq!(
+            merged.packets(),
+            30_000,
+            "windowed harvest covers exactly the completed global panes"
+        );
+    }
+
+    #[test]
+    fn windowed_sharded_finds_recent_attack_and_ages_out_old_one() {
+        for shards in [1usize, 4] {
+            let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+            let mut mon = WindowedShardedMonitor::<u64, CompactSpaceSaving<u64>>::spawn(
+                lat.clone(),
+                config(),
+                shards,
+                512,
+                120_000,
+                4,
+            );
+            // Old traffic: planted attack. Recent window: clean random.
+            for &k in &attack_stream(120_000, 31) {
+                mon.update(k);
+            }
+            let mut rng = Lcg(32);
+            for _ in 0..150_000 {
+                mon.update(pack2(rng.next() as u32, rng.next() as u32));
+            }
+            let out = mon.finish_and_query(0.1).expect("healthy pipeline");
+            assert!(
+                !out.iter()
+                    .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
+                "{shards} shards: attack older than the window must age out"
+            );
+
+            // Symmetric check: an attack inside the window is found.
+            let mut mon = WindowedShardedMonitor::<u64, SpaceSaving<u64>>::spawn(
+                lat.clone(),
+                config(),
+                shards,
+                512,
+                120_000,
+                4,
+            );
+            for _ in 0..150_000 {
+                mon.update(pack2(rng.next() as u32, rng.next() as u32));
+            }
+            for &k in &attack_stream(120_000, 33) {
+                mon.update(k);
+            }
+            let out = mon.finish_and_query(0.1).expect("healthy pipeline");
+            assert!(
+                out.iter()
+                    .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
+                "{shards} shards: attack inside the window must be reported"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_sharded_before_first_rotation_answers_partially() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = WindowedShardedMonitor::<u64, SpaceSaving<u64>>::spawn(
+            lat,
+            config(),
+            2,
+            256,
+            1_000_000,
+            4,
+        );
+        for &k in &attack_stream(10_000, 41) {
+            mon.update(k);
+        }
+        assert_eq!(mon.panes_completed(), 0);
+        let merged = mon.harvest_window().expect("healthy pipeline");
+        assert_eq!(
+            merged.packets(),
+            10_000,
+            "pre-rotation harvest merges the active panes"
+        );
+    }
+
+    #[test]
+    fn dead_shard_surfaces_as_merge_error() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config(), 2, 64);
+        for i in 0..1_000u64 {
+            mon.update(i);
+        }
+        mon.inject_shard_failure(1);
+        // The feed keeps running after the death: sends to the dead shard
+        // are dropped, never panicking the ingress thread.
+        for i in 0..5_000u64 {
+            mon.update(i.wrapping_mul(0x9E37_79B9));
+        }
+        match mon.harvest() {
+            Err(hhh_core::MergeError::ShardFailed(msg)) => {
+                assert!(msg.contains("shard 1"), "error names the shard: {msg}");
+                assert!(msg.contains("injected"), "error carries the payload: {msg}");
+            }
+            Ok(_) => panic!("harvest must not silently merge a partial answer"),
+            Err(e) => panic!("wrong error kind: {e}"),
+        }
     }
 }

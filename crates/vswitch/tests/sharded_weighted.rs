@@ -35,7 +35,7 @@ fn run_weighted<E: FrequencyEstimator<u64>>(
     let expect_weight: u64 = packets.iter().map(|&(_, w)| w).sum();
     assert_eq!(mon.weight(), expect_weight, "feed-side weight ledger");
     assert_eq!(mon.packets(), packets.len() as u64, "feed-side packets");
-    let merged = mon.harvest();
+    let merged = mon.harvest().expect("healthy pipeline");
     (merged.packets(), merged.total_weight())
 }
 

@@ -1,10 +1,11 @@
-//! Continuous monitoring with epoch rotation — operating RHHH the way a
-//! deployment would.
+//! Continuous monitoring with a pane-ring sliding window — operating RHHH
+//! the way a deployment would.
 //!
-//! A fixed-interval `WindowedRhhh` watches the link; every completed epoch
-//! produces a stable HHH report. Midway through the run a DDoS starts: the
-//! per-epoch reports show the attack aggregate appearing (and the victim
-//! prefix lighting up) within one epoch of onset, then disappearing after
+//! A `WindowedRhhh` with a 4-pane ring watches the link; every completed
+//! window phase produces a stable HHH report covering the last W packets
+//! (staleness under one pane, W/4). Midway through the run a DDoS starts:
+//! the reports show the attack aggregate appearing (and the victim prefix
+//! lighting up) within one window of onset, then disappearing after
 //! mitigation — while per-flow views never show anything.
 //!
 //! ```sh
@@ -19,7 +20,7 @@ fn main() {
     let lattice = Lattice::ipv4_src_dst_bytes();
     let window = 1_000_000u64;
     let config = RhhhConfig {
-        // ψ ≈ 0.82M < window: each epoch individually converges.
+        // ψ ≈ 0.82M < window: the merged windowed answer converges.
         epsilon_a: 0.01,
         epsilon_s: 0.01,
         delta_s: 0.001,
@@ -27,7 +28,7 @@ fn main() {
         updates_per_packet: 1,
         seed: 2026,
     };
-    let mut monitor = WindowedRhhh::<u64>::new(lattice.clone(), config, window);
+    let mut monitor = WindowedRhhh::<u64>::new(lattice.clone(), config, window, 4);
 
     let baseline = TraceConfig::chicago16();
     let attack = AttackConfig {
@@ -56,9 +57,7 @@ fn main() {
         for _ in 0..window {
             monitor.update(gen.generate().key2());
         }
-        let report = monitor
-            .query_completed(theta)
-            .expect("epoch just completed");
+        let report = monitor.query(theta).expect("window just completed");
         let attack_rows: Vec<String> = report
             .iter()
             .filter(|h| {
@@ -74,8 +73,8 @@ fn main() {
             })
             .collect();
         println!(
-            "epoch {:>2} [{phase:>9}]: {:>2} HHH prefixes | attack-related: {}",
-            monitor.epochs_completed(),
+            "window {:>2} [{phase:>9}]: {:>2} HHH prefixes | attack-related: {}",
+            monitor.panes_completed() / monitor.pane_count() as u64,
             report.len(),
             if attack_rows.is_empty() {
                 "none".to_string()
@@ -86,8 +85,8 @@ fn main() {
     }
 
     println!(
-        "\nThe attack aggregate enters the per-epoch HHH report the epoch it\n\
-         starts and leaves the epoch after mitigation — continuous detection\n\
-         with O(1) per-packet cost."
+        "\nThe attack aggregate enters the windowed HHH report the window it\n\
+         starts and leaves one window after mitigation — continuous detection\n\
+         with O(1) per-packet cost and at most W/4 packets of staleness."
     );
 }

@@ -59,12 +59,14 @@ fn volume_hhh_differs_from_packet_hhh() {
     assert!(in_bytes, "~15% of bytes must be a θ=10% volume HHH");
 }
 
-/// Windowed monitoring detects onset and decay of an attack across epochs.
+/// Windowed monitoring detects onset and decay of an attack across
+/// window-sized phases of the stream (3-pane ring: each phase is exactly
+/// the three panes the query covers once the phase completes).
 #[test]
 fn windowed_detects_attack_onset_and_decay() {
     let lat = Lattice::ipv4_src_dst_bytes();
     let window = 150_000u64;
-    let mut monitor = WindowedRhhh::<u64>::new(lat.clone(), loose(2), window);
+    let mut monitor = WindowedRhhh::<u64>::new(lat.clone(), loose(2), window, 3);
     let clean = TraceConfig::sanjose14();
     let attacked = clean.clone().with_attack(AttackConfig {
         subnet: u32::from_be_bytes([10, 20, 0, 0]),
@@ -82,12 +84,12 @@ fn windowed_detects_attack_onset_and_decay() {
         for _ in 0..window {
             monitor.update(gen.generate().key2());
         }
-        let report = monitor.query_completed(0.1).expect("epoch complete");
+        let report = monitor.query(0.1).expect("window complete");
         assert_eq!(
             has_attack(&report),
             expect,
-            "epoch {} attack visibility",
-            monitor.epochs_completed()
+            "pane {} attack visibility",
+            monitor.panes_completed()
         );
     }
 }

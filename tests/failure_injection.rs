@@ -2,9 +2,11 @@
 //! panic, never violate their conservative bounds) far outside the happy
 //! path.
 
-use hhh_core::{ExactHhh, HhhAlgorithm};
+use hhh_core::{ExactHhh, HhhAlgorithm, MergeError, RhhhConfig};
+use hhh_counters::SpaceSaving;
 use hhh_eval::AlgoKind;
 use hhh_hierarchy::{pack2, Lattice};
+use hhh_vswitch::{ShardedMonitor, WindowedShardedMonitor};
 
 /// A single key flooding the stream — maximal skew.
 #[test]
@@ -125,6 +127,68 @@ fn empty_stream_queries() {
         let algo = kind.build(lat, 0.01, 5);
         assert_eq!(algo.packets(), 0);
         assert!(algo.query(0.01).is_empty(), "{}", kind.label());
+    }
+}
+
+/// A shard worker dying mid-feed must not poison the ingress thread, and
+/// the harvest must refuse to merge the partial answer: it surfaces
+/// `MergeError::ShardFailed` instead of panicking (or worse, silently
+/// under-counting the dead shard's sub-stream).
+#[test]
+fn dead_shard_mid_feed_surfaces_merge_error() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let config = RhhhConfig {
+        epsilon_a: 0.01,
+        epsilon_s: 0.05,
+        delta_s: 0.05,
+        ..RhhhConfig::default()
+    };
+    let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat.clone(), config, 3, 128);
+    let mut x = 0xDEAD_u64;
+    let mut next = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+        x
+    };
+    for _ in 0..10_000 {
+        mon.update(next());
+    }
+    mon.inject_shard_failure(2);
+    // The channel to shard 2 is (or is about to be) poisoned; the feed
+    // must keep running across the death without panicking.
+    for _ in 0..50_000 {
+        mon.update(next());
+    }
+    match mon.harvest() {
+        Err(MergeError::ShardFailed(msg)) => {
+            assert!(msg.contains("shard 2"), "error must name the shard: {msg}");
+        }
+        Ok(_) => panic!("harvest produced a merged answer from a dead shard"),
+        Err(other) => panic!("wrong error kind: {other}"),
+    }
+
+    // The windowed pipeline honours the same contract: a pane-ring worker
+    // dying mid-window must not panic the feed (nor the pane-rotation
+    // broadcasts that cross the dead channel), and the windowed harvest
+    // refuses the partial answer.
+    let mut mon =
+        WindowedShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config, 2, 128, 20_000, 4);
+    for _ in 0..10_000 {
+        mon.update(next());
+    }
+    mon.inject_shard_failure(1);
+    for _ in 0..30_000 {
+        mon.update(next()); // crosses several rotation broadcasts
+    }
+    match mon.harvest_window() {
+        Err(MergeError::ShardFailed(msg)) => {
+            assert!(msg.contains("shard 1"), "error must name the shard: {msg}");
+            assert!(
+                msg.to_string().contains("injected"),
+                "error carries the panic payload: {msg}"
+            );
+        }
+        Ok(_) => panic!("windowed harvest produced an answer from a dead shard"),
+        Err(other) => panic!("wrong error kind: {other}"),
     }
 }
 
