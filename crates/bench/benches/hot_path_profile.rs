@@ -1,0 +1,189 @@
+//! Cycle accounting for the batch hot path: where `update_batch`'s time
+//! actually goes, per pipeline stage.
+//!
+//! Runs the steady-state 10-RHHH workload (and the `V = H` everything-
+//! selected extreme) through pre-warmed instances of both counter layouts
+//! with `hhh_core::hot_profile`'s stage brackets active, and reports each
+//! stage's share of the whole batch call:
+//!
+//! * `draw` — RNG block fill + geometric gap conversion + selection walk
+//! * `mask-hash` — node derivation + masked-key gather
+//! * `scatter` — distribution into per-node groups
+//! * `flush` — per-node counter flush (sort + increment/evict)
+//!
+//! **Requires `--features hot-profile`** — without it the accounting layer
+//! compiles to nothing and this bench exits with a note (so a plain
+//! `cargo bench` workspace sweep still passes). CI runs it with the
+//! feature and gates on the JSON: every run must attribute ≥ 95% of the
+//! `total` bracket to the four named stages.
+//!
+//! The JSON goes to `$CRITERION_OUTPUT_JSON` (or
+//! `target/criterion/hot_path_profile.json`), one record per
+//! (counter layout × V) run:
+//!
+//! ```json
+//! {"runs": [{"counter": "stream-summary", "v_scale": 10, "packets": 1000000,
+//!            "iters": 10, "total_ns": 123, "accounted_share": 0.97,
+//!            "stages": [{"stage": "draw", "ns": 1, "share": 0.2, "calls": 3}, …]}]}
+//! ```
+//!
+//! Honours `CRITERION_QUICK=1` (smaller warm stream, fewer iterations).
+//! Stage shares are *within-run* fractions and stable across the box's
+//! ±8% run-to-run drift; absolute ns are not — never compare them across
+//! runs.
+
+fn main() {
+    #[cfg(not(feature = "hot-profile"))]
+    println!(
+        "hot_path_profile: the cycle-accounting layer is compiled out; \
+         rerun with `cargo bench -p hhh-bench --bench hot_path_profile \
+         --features hot-profile` to measure stage shares."
+    );
+    #[cfg(feature = "hot-profile")]
+    enabled::run();
+}
+
+#[cfg(feature = "hot-profile")]
+mod enabled {
+    use std::fmt::Write as _;
+
+    use hhh_core::hot_profile::{self, Stage, StageTotals, STAGE_NAMES};
+    use hhh_core::{Rhhh, RhhhConfig};
+    use hhh_counters::{CompactSpaceSaving, FrequencyEstimator, SpaceSaving};
+    use hhh_hierarchy::Lattice;
+    use hhh_traces::{Packet, TraceConfig, TraceGenerator};
+
+    const STEADY_PACKETS: usize = 1_000_000;
+    const WARM_CHUNK: usize = 65_536;
+
+    fn rhhh_config(v_scale: u64) -> RhhhConfig {
+        RhhhConfig {
+            epsilon_a: 0.001,
+            epsilon_s: 0.001,
+            delta_s: 0.001,
+            v_scale,
+            updates_per_packet: 1,
+            seed: 0xBE7C,
+        }
+    }
+
+    struct Run {
+        counter: &'static str,
+        v_scale: u64,
+        iters: usize,
+        totals: StageTotals,
+    }
+
+    /// Clones the warmed instance per iteration (clone cost stays outside
+    /// the brackets — only `update_batch`'s own stages accumulate) and
+    /// returns the accumulated stage totals.
+    fn profile<E>(warmed: &Rhhh<u64, E>, keys: &[u64], iters: usize) -> StageTotals
+    where
+        E: FrequencyEstimator<u64> + Clone,
+    {
+        // One untimed pass to fault in clones/caches before accounting.
+        let mut algo = warmed.clone();
+        algo.update_batch(keys);
+        hot_profile::reset();
+        for _ in 0..iters {
+            let mut algo = warmed.clone();
+            algo.update_batch(keys);
+            std::hint::black_box(algo.total_updates());
+        }
+        hot_profile::snapshot()
+    }
+
+    pub fn run() {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        let warm_packets = if quick { 2_000_000 } else { 12_000_000 };
+        let iters = if quick { 3 } else { 10 };
+        let lat = Lattice::ipv4_src_dst_bytes();
+        let mut runs = Vec::new();
+
+        for v_scale in [1u64, 10] {
+            let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+            let keys2: Vec<u64> = (0..STEADY_PACKETS).map(|_| gen.generate().key2()).collect();
+            let mut warm_list =
+                Rhhh::<u64, SpaceSaving<u64>>::new(lat.clone(), rhhh_config(v_scale));
+            let mut warm_compact =
+                Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), rhhh_config(v_scale));
+            hhh_bench::warm_stream(&mut gen, warm_packets, WARM_CHUNK, Packet::key2, |chunk| {
+                warm_list.update_batch(chunk);
+                warm_compact.update_batch(chunk);
+            });
+
+            runs.push(Run {
+                counter: "stream-summary",
+                v_scale,
+                iters,
+                totals: profile(&warm_list, &keys2, iters),
+            });
+            runs.push(Run {
+                counter: "compact",
+                v_scale,
+                iters,
+                totals: profile(&warm_compact, &keys2, iters),
+            });
+        }
+
+        report(&runs);
+    }
+
+    fn report(runs: &[Run]) {
+        let mut json = String::from("{\"runs\": [\n");
+        for (i, run) in runs.iter().enumerate() {
+            let total = run.totals.ns(Stage::Total).max(1);
+            let per_packet =
+                run.totals.ns(Stage::Total) as f64 / (run.iters * STEADY_PACKETS) as f64;
+            println!(
+                "hot_path_profile/v{}/{:<16} total {:>7.2} ns/pkt  accounted {:>5.1}%",
+                run.v_scale,
+                run.counter,
+                per_packet,
+                run.totals.accounted_share() * 100.0
+            );
+            let mut stages = String::new();
+            for stage in [Stage::Draw, Stage::MaskHash, Stage::Scatter, Stage::Flush] {
+                let ns = run.totals.ns(stage);
+                let share = ns as f64 / total as f64;
+                println!(
+                    "    {:<10} {:>5.1}%  ({:.2} ns/pkt)",
+                    STAGE_NAMES[stage as usize],
+                    share * 100.0,
+                    per_packet * share
+                );
+                let sep = if stage == Stage::Flush { "" } else { ", " };
+                let _ = write!(
+                    stages,
+                    "{{\"stage\": \"{}\", \"ns\": {}, \"share\": {:.4}, \"calls\": {}}}{}",
+                    STAGE_NAMES[stage as usize], ns, share, run.totals.calls[stage as usize], sep
+                );
+            }
+            let sep = if i + 1 == runs.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "  {{\"counter\": \"{}\", \"v_scale\": {}, \"packets\": {}, \"iters\": {}, \
+                 \"total_ns\": {}, \"accounted_share\": {:.4}, \"stages\": [{}]}}{}",
+                run.counter,
+                run.v_scale,
+                STEADY_PACKETS,
+                run.iters,
+                run.totals.ns(Stage::Total),
+                run.totals.accounted_share(),
+                stages,
+                sep
+            );
+        }
+        json.push_str("]}\n");
+
+        let path = std::env::var("CRITERION_OUTPUT_JSON")
+            .unwrap_or_else(|_| "target/criterion/hot_path_profile.json".to_string());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("hot_path_profile: wrote {path}"),
+            Err(e) => eprintln!("hot_path_profile: cannot write {path}: {e}"),
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Batch update path: geometric skip sampling + per-node grouping.
+//! Batch update path: geometric skip sampling + block-staged per-node
+//! grouping.
 //!
 //! # Why a batch path exists
 //!
@@ -23,14 +24,55 @@
 //!    The batch path scatters selected keys straight into one reusable
 //!    buffer per node and flushes node by node, so one instance's index
 //!    and buckets stay cache-hot while it drains its group.
-//! 3. **Repeated work per duplicate key.** The node mask is loaded once
-//!    per *group* instead of once per packet, and after masking, coarse
-//!    nodes collapse many packets onto few distinct keys (at the root
-//!    node, *all* of them onto one). Each group is sorted so equal masked
-//!    keys become runs, which
-//!    [`FrequencyEstimator::increment_batch`] merges into one weighted
-//!    update per distinct key — one index lookup and one bucket walk where
-//!    the scalar path pays one per packet.
+//! 3. **Repeated work per duplicate key.** After masking, coarse nodes
+//!    collapse many packets onto few distinct keys (at the root node,
+//!    *all* of them onto one). Each group is sorted so equal masked keys
+//!    become runs, which [`FrequencyEstimator::increment_batch`] merges
+//!    into one weighted update per distinct key — one index lookup and one
+//!    bucket walk where the scalar path pays one per packet.
+//!
+//! # The block front end (PR 6)
+//!
+//! The selection front end runs as a staged pipeline over *refill blocks*
+//! (up to [`DRAW_BLOCK`] selection trials at a time) instead of one
+//! packet-at-a-time closure dispatch:
+//!
+//! * **Draw** — one [`FastRng::fill_block`] refill produces the block's
+//!   raw uniforms; the node choices are derived from their low bits in one
+//!   dependency-free integer loop, the geometric gaps from their high bits
+//!   in one float loop (the block evaluation of the `fast_ln` polynomial),
+//!   and the selection walk reduces gaps to selected packet indices.
+//!   Splitting the integer and float work into separate loops lets each
+//!   pipeline saturate instead of interleaving; the RNG stream is consumed
+//!   in *exactly* the order of the reference path (the gap transform draws
+//!   nothing, so hoisting the node loop — including its rare Lemire
+//!   rejection re-draws, which stay in trial order — is schedule-only).
+//! * **Mask + hash** — the masked-key gather: `LANE_BLOCK`-wide lanes of
+//!   `keys[idx] & mask[node]` written into one dense staging buffer.
+//!   Masking is fused into the gather, which *replaces* the old
+//!   read-modify-write mask pass over every per-node group; the u64 lane
+//!   ANDs have no cross-lane dependencies. Key hashing itself stays inside
+//!   the counter flush (the tagged table probes with the shared
+//!   [`hhh_counters::mix`] hash), but the dense staged buffer is what the
+//!   flush's hash loop streams from.
+//! * **Scatter** — the staged masked keys are distributed into the
+//!   per-node groups. The pushes are the only randomly-targeted writes
+//!   left in the front end.
+//! * **Flush** — each non-empty group goes to its counter instance via
+//!   [`FrequencyEstimator::flush_group_evicting`], unchanged from PR 4/5.
+//!
+//! Each stage can be bracketed by the feature-gated cycle accounting in
+//! [`crate::hot_profile`] (`hot-profile` feature; compiled out by
+//! default), which is how the `hot_path_profile` bench attributes the
+//! batch path's time.
+//!
+//! The pre-block shape of the path — per-selection closure dispatch, raw
+//! keys scattered first and masked per group at flush time — is preserved
+//! verbatim as [`Rhhh::update_batch_reference`] /
+//! [`Rhhh::update_batch_weighted_reference`]: the property suite pins the
+//! block path bit-identical to it (same seed, same chunking), and the
+//! `update_speed` bench reports the block rows as within-run ratios
+//! against it.
 //!
 //! # Draw-schedule caveat
 //!
@@ -44,7 +86,9 @@
 //! path, so a batch run and a scalar run agree *statistically* — same
 //! convergence bound ψ, same error guarantees — not bit-for-bit. The
 //! `batch_props` suite checks this equivalence with a chi-squared test over
-//! per-node update counts.
+//! per-node update counts. The block and reference batch paths, by
+//! contrast, consume the *same* draws in the same order and are
+//! bit-identical.
 //!
 //! Within one node's group the flush handles keys in sorted rather than
 //! arrival order — a tie-break Space Saving's guarantees never observe
@@ -55,6 +99,8 @@
 use hhh_counters::FrequencyEstimator;
 use hhh_hierarchy::KeyBits;
 
+use crate::hot_profile::{ProfTimer, Stage};
+use crate::radix::radix_sort_keys;
 use crate::rhhh::Rhhh;
 use crate::sampling::{FastRng, GeometricSkip};
 
@@ -63,10 +109,16 @@ use crate::sampling::{FastRng, GeometricSkip};
 /// per lattice node, and the buffers keep their capacity across batches.
 #[derive(Debug, Clone)]
 pub struct BatchScratch<K> {
-    /// Selected raw keys per node, in arrival order (lazily sized to `H`).
+    /// Selected masked keys per node, in arrival order (lazily sized to `H`).
     node_keys: Vec<Vec<K>>,
-    /// Selected `(raw key, weight)` pairs per node (weighted path).
+    /// Selected masked `(key, weight)` pairs per node (weighted path).
     node_weighted: Vec<Vec<(K, u64)>>,
+    /// Dense staging for one block's masked-key gather.
+    mkeys: Vec<K>,
+    /// Dense staging for one block's masked weighted gather.
+    mweighted: Vec<(K, u64)>,
+    /// Ping-pong buffer for the flush's byte-digit radix sort.
+    radix: Vec<K>,
 }
 
 impl<K: KeyBits> Default for BatchScratch<K> {
@@ -74,12 +126,22 @@ impl<K: KeyBits> Default for BatchScratch<K> {
         Self {
             node_keys: Vec::new(),
             node_weighted: Vec::new(),
+            mkeys: Vec::new(),
+            mweighted: Vec::new(),
+            radix: Vec::new(),
         }
     }
 }
 
-/// Draws consumed per refill of the selection walk's scratch blocks.
+/// Draws consumed per refill of the selection walk's scratch blocks — the
+/// granularity at which the staged pipeline (and its profile brackets)
+/// operates.
 const DRAW_BLOCK: usize = 256;
+
+/// Lane width of the masked-key gather: the gather runs in fixed blocks of
+/// this many keys so the bitwise-AND lanes unroll with no per-element
+/// bounds or capacity checks.
+const LANE_BLOCK: usize = 16;
 
 /// Exact Lemire bounded draw from one pre-generated uniform; the rejection
 /// branch (probability `h / 2^64`) falls back to a fresh serial draw, so
@@ -97,18 +159,315 @@ fn node_from(x: u64, h: u64, rng: &mut FastRng) -> u16 {
     (m >> 64) as u16
 }
 
-/// Walks `draws` Bernoulli(`H/V`) trials with the geometric gap sampler and
-/// invokes `sink(draw_index, node)` for each selected trial.
+/// Walks `draws` Bernoulli(`H/V`) trials with the geometric gap sampler
+/// and invokes `on_block(selected_draw_indices, nodes)` once per refill
+/// block with that block's selected trials, in order.
 ///
-/// The naive walk is latency-bound: gap draw → advance → node draw → gap
-/// draw, each chained through the RNG state. Since the RNG stream does not
-/// depend on the walk's results, gaps and node draws are instead generated
-/// in blocks ([`FastRng::fill_block`] + [`GeometricSkip::gaps_from_block`])
-/// whose elements have no cross-iteration dependencies, and the walk just
-/// consumes them. Block sizes adapt to the expected number of remaining
-/// selections so small batches don't over-draw.
+/// This is the Draw stage of the block pipeline: one RNG block refill,
+/// one integer loop deriving the node choices (the only consumer of
+/// further serial draws, via the rare Lemire rejection), one float loop
+/// converting gaps, and the selection walk that accumulates gaps into
+/// draw indices. It consumes the RNG stream in exactly the same order as
+/// [`for_each_selected_reference`] — same refill sizes, same rejection
+/// draws in the same trial order — so the two paths are bit-identical
+/// given the same generator state.
 #[inline]
-fn for_each_selected<E>(
+fn for_each_selected_blocks<S>(
+    skip: &GeometricSkip,
+    rng: &mut FastRng,
+    h: u64,
+    v: u64,
+    draws: u64,
+    mut on_block: S,
+) where
+    S: FnMut(&[u64], &[u16]),
+{
+    if draws == 0 {
+        return;
+    }
+    let mut raw = [0u64; DRAW_BLOCK];
+    let mut nodes = [0u16; DRAW_BLOCK];
+    let mut idx = [0u64; DRAW_BLOCK];
+
+    if skip.selects_all() {
+        // V = H: every trial is selected; only node choices are needed.
+        let mut cur = 0u64;
+        while cur < draws {
+            let t = ProfTimer::start();
+            let take = ((draws - cur) as usize).min(DRAW_BLOCK);
+            rng.fill_block(&mut raw[..take]);
+            for j in 0..take {
+                nodes[j] = node_from(raw[j], h, rng);
+                idx[j] = cur + j as u64;
+            }
+            t.stop(Stage::Draw);
+            on_block(&idx[..take], &nodes[..take]);
+            cur += take as u64;
+        }
+        return;
+    }
+
+    let inv_p = (v / h).max(1); // expected draws per selection ≈ V/H
+    let mut cur = 0u64;
+    loop {
+        let t = ProfTimer::start();
+        // Size the refill to the expected remaining selections (plus
+        // slack) so a tail refill doesn't draw a full block for a handful
+        // of survivors.
+        let expect = (draws - cur) / inv_p + 8;
+        let len = (expect as usize).min(DRAW_BLOCK);
+        rng.fill_block(&mut raw[..len]);
+        if h < (1 << 11) {
+            // One raw draw yields both the trial's node (bits 0..11,
+            // exact 11-bit Lemire whose rare rejection — probability
+            // (2^11 mod h)/2^11 — falls back to a fresh serial draw) and
+            // its gap (bits 11..64). Node derivation runs first: the gap
+            // transform overwrites the raw draws in place and consumes no
+            // RNG, so the rejection draws keep their trial order.
+            let threshold = (1u64 << 11) % h;
+            for j in 0..len {
+                let m = (raw[j] & 0x7FF) * h;
+                nodes[j] = if (m & 0x7FF) < threshold {
+                    rng.bounded(h) as u16
+                } else {
+                    (m >> 11) as u16
+                };
+            }
+            skip.gaps_from_block(&mut raw[..len]);
+        } else {
+            // Very deep hierarchies: separate node draws, taken *after*
+            // the gap block like the reference path.
+            skip.gaps_from_block(&mut raw[..len]);
+            let mut node_raw = [0u64; DRAW_BLOCK];
+            rng.fill_block(&mut node_raw[..len]);
+            for j in 0..len {
+                nodes[j] = node_from(node_raw[j], h, rng);
+            }
+        }
+        // The walk: every consumed trial is one selection until the draw
+        // budget runs out mid-block (leftover trials are discarded, as in
+        // the reference).
+        let mut m = 0usize;
+        let mut done = false;
+        for &gap in &raw[..len] {
+            cur += gap;
+            if cur >= draws {
+                done = true;
+                break;
+            }
+            idx[m] = cur;
+            m += 1;
+            cur += 1;
+        }
+        t.stop(Stage::Draw);
+        if m > 0 {
+            on_block(&idx[..m], &nodes[..m]);
+        }
+        if done {
+            return;
+        }
+    }
+}
+
+/// The Mask+hash stage: gathers `keys[idx/r] & masks[node]` for one block
+/// into the dense staging buffer, [`LANE_BLOCK`] lanes at a time. The
+/// lane loops index fixed-size chunks, so they compile to straight-line
+/// loads and ANDs with no capacity or bounds checks; `map_key` lets the
+/// weighted path gather `(key, weight)` pairs through the same lanes.
+#[inline]
+fn gather_masked<K: KeyBits, T: Copy, F>(
+    r: u64,
+    idx: &[u64],
+    nodes: &[u16],
+    masks: &[K],
+    out: &mut Vec<T>,
+    map_key: F,
+) where
+    F: Fn(usize, K) -> T,
+{
+    let m = idx.len();
+    out.clear();
+    out.reserve(m);
+    let lanes = m - m % LANE_BLOCK;
+    for (ic, nc) in idx[..lanes]
+        .chunks_exact(LANE_BLOCK)
+        .zip(nodes[..lanes].chunks_exact(LANE_BLOCK))
+    {
+        for l in 0..LANE_BLOCK {
+            let packet = if r == 1 { ic[l] } else { ic[l] / r } as usize;
+            out.push(map_key(packet, masks[nc[l] as usize]));
+        }
+    }
+    for j in lanes..m {
+        let packet = if r == 1 { idx[j] } else { idx[j] / r } as usize;
+        out.push(map_key(packet, masks[nodes[j] as usize]));
+    }
+}
+
+impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
+    /// Algorithm 1 `Update` over a whole packet slice — statistically
+    /// identical to calling [`Rhhh::update`] per element (see the
+    /// [module docs](self) for the exact sense of "identical"), at a
+    /// fraction of the cost when `V > H`.
+    ///
+    /// Runs the staged block pipeline of the module docs: block-generated
+    /// draws, a lane-wise masked gather (masking fused into the gather, so
+    /// no group is re-walked to mask it), per-node scatter, and a sorted
+    /// flush — ordered by the constant-byte-skipping radix sort of
+    /// [`crate::radix`] — that merges duplicate masked keys into one
+    /// weighted [`FrequencyEstimator`] update each. Bit-identical to
+    /// [`Rhhh::update_batch_reference`] for the same seed and chunking.
+    pub fn update_batch(&mut self, keys: &[K]) {
+        let total = ProfTimer::start();
+        let n = keys.len() as u64;
+        self.packets += n;
+        self.weight += n;
+        let r = u64::from(self.config.updates_per_packet);
+        let draws = if r == 1 { n } else { n * r };
+
+        let h = self.h as usize;
+        let scratch = &mut self.scratch;
+        if scratch.node_keys.len() < h {
+            scratch.node_keys.resize_with(h, Vec::new);
+        }
+        for buf in &mut scratch.node_keys[..h] {
+            buf.clear();
+        }
+
+        let node_keys = &mut scratch.node_keys;
+        let mkeys = &mut scratch.mkeys;
+        let masks = &self.masks;
+        for_each_selected_blocks(
+            &self.skip,
+            &mut self.rng,
+            self.h,
+            self.v,
+            draws,
+            |idx, nodes| {
+                let t = ProfTimer::start();
+                gather_masked(r, idx, nodes, masks, mkeys, |packet, mask| {
+                    keys[packet].and(mask)
+                });
+                t.stop(Stage::MaskHash);
+                let t = ProfTimer::start();
+                for (&node, &mk) in nodes.iter().zip(mkeys.iter()) {
+                    node_keys[node as usize].push(mk);
+                }
+                t.stop(Stage::Scatter);
+            },
+        );
+
+        // Flush node by node: hand each unordered, already-masked group to
+        // the estimator's `flush_group_evicting_with`, which owns both the
+        // ordering decision (the default sorts by key so duplicates become
+        // runs for `increment_batch`) and the license to batch the
+        // evictions themselves (the flat-arena layout serves each run of
+        // slot-stealing keys from one minimum-level sweep). When the
+        // estimator does sort, it uses our byte-digit radix sorter, which
+        // skips the byte positions a node's mask zeroed — same ascending
+        // order as `sort_unstable`, so the state stays bit-identical to the
+        // reference path's comparison-sorted flush. Order within a group is
+        // a tie-break the analysis never observes, and bulk eviction
+        // preserves the per-key count multiset exactly; see the module docs
+        // and the `flush_group_evicting` contract.
+        let t = ProfTimer::start();
+        let instances = &mut self.instances;
+        let radix = &mut scratch.radix;
+        for (node, group) in scratch.node_keys[..h].iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            instances[node].flush_group_evicting_with(group, &mut |g| radix_sort_keys(g, radix));
+        }
+        t.stop(Stage::Flush);
+        total.stop(Stage::Total);
+    }
+
+    /// Weighted batch update: the batch counterpart of
+    /// [`Rhhh::update_weighted`]. Each element is one packet carrying
+    /// `weight` units (e.g. bytes); selection stays per *packet*, and a
+    /// selected packet records its full weight at the chosen node. Runs
+    /// the same staged block pipeline as [`Rhhh::update_batch`] and is
+    /// bit-identical to [`Rhhh::update_batch_weighted_reference`].
+    pub fn update_batch_weighted(&mut self, packets: &[(K, u64)]) {
+        let total = ProfTimer::start();
+        let n = packets.len() as u64;
+        self.packets += n;
+        self.weight += packets.iter().map(|&(_, w)| w).sum::<u64>();
+        let r = u64::from(self.config.updates_per_packet);
+        let draws = if r == 1 { n } else { n * r };
+
+        let h = self.h as usize;
+        let scratch = &mut self.scratch;
+        if scratch.node_weighted.len() < h {
+            scratch.node_weighted.resize_with(h, Vec::new);
+        }
+        for buf in &mut scratch.node_weighted[..h] {
+            buf.clear();
+        }
+
+        let node_weighted = &mut scratch.node_weighted;
+        let mweighted = &mut scratch.mweighted;
+        let masks = &self.masks;
+        for_each_selected_blocks(
+            &self.skip,
+            &mut self.rng,
+            self.h,
+            self.v,
+            draws,
+            |idx, nodes| {
+                let t = ProfTimer::start();
+                gather_masked(r, idx, nodes, masks, mweighted, |packet, mask| {
+                    let (key, w) = packets[packet];
+                    (key.and(mask), w)
+                });
+                t.stop(Stage::MaskHash);
+                let t = ProfTimer::start();
+                for (&node, &entry) in nodes.iter().zip(mweighted.iter()) {
+                    node_weighted[node as usize].push(entry);
+                }
+                t.stop(Stage::Scatter);
+            },
+        );
+
+        let t = ProfTimer::start();
+        let instances = &mut self.instances;
+        for (node, group) in scratch.node_weighted[..h].iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // Sort by masked key and merge each run into one `add`.
+            group.sort_unstable();
+            let instance = &mut instances[node];
+            let mut i = 0usize;
+            while i < group.len() {
+                let key = group[i].0;
+                let mut w = group[i].1;
+                let mut j = i + 1;
+                while j < group.len() && group[j].0 == key {
+                    w += group[j].1;
+                    j += 1;
+                }
+                instance.add(key, w);
+                i = j;
+            }
+        }
+        t.stop(Stage::Flush);
+        total.stop(Stage::Total);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen PR 5-shape reference path
+// ---------------------------------------------------------------------------
+
+/// The pre-block selection walk, preserved verbatim: per-selection closure
+/// dispatch with interleaved node/gap derivation per refill. Consumes the
+/// RNG stream in the same order as [`for_each_selected_blocks`]; kept so
+/// the property suite can pin the block path bit-identical against it and
+/// the `update_speed` bench can report within-run ratios.
+#[inline]
+fn for_each_selected_reference<E>(
     skip: &GeometricSkip,
     rng: &mut FastRng,
     h: u64,
@@ -188,16 +547,14 @@ fn for_each_selected<E>(
 }
 
 impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
-    /// Algorithm 1 `Update` over a whole packet slice — statistically
-    /// identical to calling [`Rhhh::update`] per element (see the
-    /// [module docs](self) for the exact sense of "identical"), at a
-    /// fraction of the cost when `V > H`.
-    ///
-    /// The three phases are: geometric-skip selection (touching only the
-    /// ~`H/V` selected packets, with block-generated draws), per-node
-    /// scatter, and a sorted flush that merges duplicate masked keys into
-    /// one weighted [`FrequencyEstimator`] update each.
-    pub fn update_batch(&mut self, keys: &[K]) {
+    /// The PR 5-shape batch update, frozen for comparison: scatters *raw*
+    /// keys per selection through a per-packet closure, then masks each
+    /// group in a separate read-modify-write pass before flushing.
+    /// Consumes the same RNG draws in the same order as
+    /// [`Rhhh::update_batch`] and produces bit-identical state (the
+    /// property suite enforces this); exists as the baseline side of the
+    /// `update_speed` block-vs-reference rows, not for production use.
+    pub fn update_batch_reference(&mut self, keys: &[K]) {
         let n = keys.len() as u64;
         self.packets += n;
         self.weight += n;
@@ -212,18 +569,17 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
             buf.clear();
         }
 
-        // Selection: scatter straight into the per-node buffers (the 25
-        // hot Vec tails stay cached; no second grouping pass needed).
+        // Selection: scatter straight into the per-node buffers.
         let node_keys = &mut scratch.node_keys;
         if r == 1 {
             // Common case: draw index == packet index, no division.
-            for_each_selected(&self.skip, &mut self.rng, self.h, self.v, n, |i, node| {
+            for_each_selected_reference(&self.skip, &mut self.rng, self.h, self.v, n, |i, node| {
                 node_keys[node as usize].push(keys[i as usize]);
             });
         } else {
             // Corollary 6.8: r independent selection trials per packet is
             // one geometric walk over n·r virtual draws.
-            for_each_selected(
+            for_each_selected_reference(
                 &self.skip,
                 &mut self.rng,
                 self.h,
@@ -236,14 +592,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
         }
 
         // Flush node by node: mask once per group, then hand the unordered
-        // group to the estimator's `flush_group_evicting`, which owns both
-        // the ordering decision (the default sorts by key so duplicates
-        // become runs for `increment_batch`) and the license to batch the
-        // evictions themselves (the flat-arena layout serves each run of
-        // slot-stealing keys from one minimum-level sweep). Order within a
-        // group is a tie-break the analysis never observes, and bulk
-        // eviction preserves the per-key count multiset exactly; see the
-        // module docs and the `flush_group_evicting` contract.
+        // group to the estimator.
         for node in 0..h {
             let group = &mut scratch.node_keys[node];
             if group.is_empty() {
@@ -257,11 +606,9 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
         }
     }
 
-    /// Weighted batch update: the batch counterpart of
-    /// [`Rhhh::update_weighted`]. Each element is one packet carrying
-    /// `weight` units (e.g. bytes); selection stays per *packet*, and a
-    /// selected packet records its full weight at the chosen node.
-    pub fn update_batch_weighted(&mut self, packets: &[(K, u64)]) {
+    /// The PR 5-shape weighted batch update, frozen for comparison; see
+    /// [`Rhhh::update_batch_reference`].
+    pub fn update_batch_weighted_reference(&mut self, packets: &[(K, u64)]) {
         let n = packets.len() as u64;
         self.packets += n;
         self.weight += packets.iter().map(|&(_, w)| w).sum::<u64>();
@@ -278,11 +625,11 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
 
         let node_weighted = &mut scratch.node_weighted;
         if r == 1 {
-            for_each_selected(&self.skip, &mut self.rng, self.h, self.v, n, |i, node| {
+            for_each_selected_reference(&self.skip, &mut self.rng, self.h, self.v, n, |i, node| {
                 node_weighted[node as usize].push(packets[i as usize]);
             });
         } else {
-            for_each_selected(
+            for_each_selected_reference(
                 &self.skip,
                 &mut self.rng,
                 self.h,
@@ -325,7 +672,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
 #[cfg(test)]
 mod tests {
     use crate::{HhhAlgorithm, Rhhh, RhhhConfig};
-    use hhh_hierarchy::{pack2, Lattice};
+    use hhh_hierarchy::{pack2, Lattice, NodeId};
 
     struct Lcg(u64);
     impl Lcg {
@@ -419,6 +766,40 @@ mod tests {
         for (x, y) in oa.iter().zip(&ob) {
             assert_eq!(x.prefix, y.prefix);
             assert_eq!(x.freq_upper, y.freq_upper);
+        }
+    }
+
+    #[test]
+    fn block_path_matches_reference_bitwise() {
+        // The full-strength pin lives in `batch_props`; this is the quick
+        // in-crate smoke check of the same contract. Comparing per-node
+        // candidate vectors is stronger than comparing `output(θ)` (it pins
+        // the full counter state, order included) and avoids the HHH
+        // extraction pass, which is slow at the paper's fine default ε in
+        // unoptimized builds.
+        use crate::NodeEstimates;
+        for v_scale in [1u64, 10] {
+            let lat = Lattice::ipv4_src_dst_bytes();
+            let cfg = RhhhConfig {
+                v_scale,
+                ..RhhhConfig::default()
+            };
+            let keys = stream(80_000, 13);
+            let mut block = Rhhh::<u64>::new(lat.clone(), cfg);
+            let mut reference = Rhhh::<u64>::new(lat, cfg);
+            for chunk in keys.chunks(7_001) {
+                block.update_batch(chunk);
+                reference.update_batch_reference(chunk);
+            }
+            assert_eq!(block.total_updates(), reference.total_updates());
+            for node in 0..block.h() as u16 {
+                let node = NodeId(node);
+                assert_eq!(
+                    block.node_candidates(node),
+                    reference.node_candidates(node),
+                    "v_scale {v_scale}: counter state diverged at {node:?}"
+                );
+            }
         }
     }
 

@@ -57,7 +57,9 @@
 pub mod batch;
 pub mod counter;
 pub mod exact;
+pub mod hot_profile;
 pub mod output;
+pub mod radix;
 pub mod rhhh;
 pub mod sampling;
 pub mod windowed;

@@ -9,21 +9,13 @@
 //! Determinism matters for the reproduction: every experiment seeds its RNG
 //! so runs are repeatable; the 5-run confidence intervals vary the seed
 //! explicitly.
+//!
+//! The wyrand arithmetic itself lives in `hhh_counters::`[`mix`], shared
+//! with the key-hash mixer so the workspace has exactly one copy of each
+//! mixing function; this module owns the stream state and the bounded /
+//! unit-interval / geometric transforms over it.
 
-/// The wyrand state increment (also the seed splash constant).
-const WY_ADD: u64 = 0xA076_1D64_78BD_642F;
-
-/// The wyrand mix xor constant.
-const WY_XOR: u64 = 0xE703_7ED1_A0B4_28DB;
-
-/// The wyrand output mix for a given state value. Shared by the serial
-/// [`FastRng::next_u64`] and the block fill so the two can never drift
-/// apart: both advance the state by [`WY_ADD`] and mix with this function.
-#[inline(always)]
-fn wyrand_mix(state: u64) -> u64 {
-    let t = u128::from(state).wrapping_mul(u128::from(state ^ WY_XOR));
-    ((t >> 64) ^ t) as u64
-}
+use hhh_counters::mix::{self, WY_ADD};
 
 /// A small, fast, seedable PRNG (wyrand). Not cryptographic — the paper's
 /// adversary model does not include RNG prediction, and the analysis only
@@ -50,7 +42,7 @@ impl FastRng {
     #[inline(always)]
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(WY_ADD);
-        wyrand_mix(self.state)
+        mix::wyrand_mix(self.state)
     }
 
     /// Uniform draw in `[0, n)` by Lemire's nearly-divisionless rejection
@@ -100,14 +92,11 @@ impl FastRng {
     /// scalar path), but the wyrand state advances by a *constant* per
     /// draw, so a block's states are an affine sequence the compiler can
     /// compute independently — the expensive 64×64→128 mixes then pipeline
-    /// instead of serializing.
+    /// instead of serializing (the loop itself is
+    /// [`mix::wyrand_fill`], shared with anything else that
+    /// wants a block of wyrand draws).
     pub fn fill_block(&mut self, out: &mut [u64]) {
-        let mut s = self.state;
-        for o in out.iter_mut() {
-            s = s.wrapping_add(WY_ADD);
-            *o = wyrand_mix(s);
-        }
-        self.state = s;
+        self.state = mix::wyrand_fill(self.state, out);
     }
 }
 
@@ -209,6 +198,20 @@ impl GeometricSkip {
         }
     }
 
+    /// The multi-draw gap path: fills `out` with consecutive geometric
+    /// gaps, bit-identical to one [`GeometricSkip::next_gap`] per element
+    /// on the same generator, but drawing the raw uniforms through
+    /// [`FastRng::fill_block`] and then evaluating the log transform over
+    /// the whole block, so neither the RNG latency chain nor the `ln`
+    /// dependency chain serializes the loop.
+    ///
+    /// Must not be called when [`GeometricSkip::selects_all`].
+    pub fn fill_gaps(&self, rng: &mut FastRng, out: &mut [u64]) {
+        debug_assert!(!self.select_all);
+        rng.fill_block(out);
+        self.gaps_from_block(out);
+    }
+
     /// Converts 53 uniform bits into one geometric gap. The batch path
     /// derives the gap (bits 11..64) and the node choice (bits 0..11) of
     /// one trial from a *single* raw draw — the bit ranges are disjoint, so
@@ -244,6 +247,24 @@ fn fast_ln_unit(x: f64) -> f64 {
     let ln_m =
         2.0 * t * (1.0 + t2 * (1.0 / 3.0 + t2 * (1.0 / 5.0 + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0)))));
     ln_m + e * std::f64::consts::LN_2
+}
+
+/// [`fast_ln_unit`] over a block: `out[i] = fast_ln_unit(xs[i])`. Identical
+/// per-element arithmetic (pinned by test), evaluated with no
+/// cross-iteration dependency so the one division per lane pipelines. The
+/// gap conversions ([`GeometricSkip::gaps_from_block`] /
+/// [`GeometricSkip::fill_gaps`]) inline this shape fused with the bits→unit
+/// scaling; this standalone form exists so the error-bound test covers the
+/// block evaluation directly.
+///
+/// # Panics
+///
+/// Panics when the slices' lengths differ.
+pub fn fast_ln_unit_block(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "ln block length mismatch");
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = fast_ln_unit(x);
+    }
 }
 
 #[cfg(test)]
@@ -424,6 +445,40 @@ mod tests {
         }
         for u in [1.0, 0.5, 0.25, f64::powi(2.0, -53)] {
             assert!((fast_ln_unit(u) - u.ln()).abs() < 4e-6, "at {u}");
+        }
+    }
+
+    #[test]
+    fn fast_ln_block_matches_serial_and_std_ln() {
+        // The block evaluator must be the serial function per lane — bit
+        // for bit — and therefore inherit its error bound vs f64::ln.
+        let mut rng = FastRng::new(606);
+        for _ in 0..500 {
+            let xs: Vec<f64> = (0..97).map(|_| rng.next_f64_open()).collect();
+            let mut out = vec![0.0; xs.len()];
+            fast_ln_unit_block(&xs, &mut out);
+            for (i, (&x, &y)) in xs.iter().zip(&out).enumerate() {
+                assert_eq!(y.to_bits(), fast_ln_unit(x).to_bits(), "lane {i}");
+                assert!((y - x.ln()).abs() < 4e-6, "block ln({x}) = {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_gaps_matches_serial_next_gap() {
+        // The multi-draw path must consume the RNG stream exactly like the
+        // serial draw loop and produce identical gaps.
+        for (h, v) in [(25u64, 250u64), (25, 50), (1, 1000)] {
+            let skip = GeometricSkip::new(h, v);
+            let mut serial = FastRng::new(0xFEED);
+            let mut blocked = FastRng::new(0xFEED);
+            let mut gaps = [0u64; 97];
+            skip.fill_gaps(&mut blocked, &mut gaps);
+            for (i, &g) in gaps.iter().enumerate() {
+                assert_eq!(g, skip.next_gap(&mut serial), "gap {i} diverged");
+            }
+            // State carries across the block boundary.
+            assert_eq!(blocked.next_u64(), serial.next_u64());
         }
     }
 }

@@ -338,6 +338,173 @@ fn flush_group_evicting_matches_default_flush() {
     }
 }
 
+/// Per-instance state comparison used by the PR 6 block-vs-reference pins:
+/// identical RNG schedules must leave *identical* counter state, so we
+/// compare packets, total updates and every node's full candidate vector
+/// (order included) — strictly stronger than comparing `output(θ)`.
+fn assert_state_identical<E>(label: &str, block: &Rhhh<u64, E>, reference: &Rhhh<u64, E>)
+where
+    E: hhh_counters::FrequencyEstimator<u64>,
+{
+    assert_eq!(block.packets(), reference.packets(), "{label}: packets");
+    assert_eq!(
+        block.total_updates(),
+        reference.total_updates(),
+        "{label}: total updates"
+    );
+    for node in 0..block.h() as u16 {
+        let node = NodeId(node);
+        assert_eq!(
+            block.node_updates(node),
+            reference.node_updates(node),
+            "{label}: update totals diverged at {node:?}"
+        );
+        assert_eq!(
+            block.node_candidates(node),
+            reference.node_candidates(node),
+            "{label}: counter state diverged at {node:?}"
+        );
+    }
+}
+
+/// The PR 6 block front end must be *bit-identical* to the frozen PR 5
+/// reference scatter given the same seed and chunking — not merely equal in
+/// distribution. Pinned across V ∈ {H, 10H} × both counter layouts ×
+/// several chunkings (whole-slice, power-of-two, ragged prime) × r ∈ {1, 4}.
+#[test]
+fn block_path_bit_identical_to_reference() {
+    use hhh_counters::CompactSpaceSaving;
+    let keys = stream(150_000, 99);
+    for v_scale in [1u64, 10] {
+        for updates_per_packet in [1u32, 4] {
+            for chunk in [150_000usize, 8_192, 7_001] {
+                let config = RhhhConfig {
+                    epsilon_s: 0.01,
+                    epsilon_a: 0.005,
+                    delta_s: 0.05,
+                    v_scale,
+                    updates_per_packet,
+                    seed: 0xB10C,
+                };
+                let lat = Lattice::ipv4_src_dst_bytes();
+                let label =
+                    format!("v_scale {v_scale}, r {updates_per_packet}, chunk {chunk}, list");
+                let mut block = Rhhh::<u64>::new(lat.clone(), config);
+                let mut reference = Rhhh::<u64>::new(lat.clone(), config);
+                for c in keys.chunks(chunk) {
+                    block.update_batch(c);
+                    reference.update_batch_reference(c);
+                }
+                assert_state_identical(&label, &block, &reference);
+
+                let label =
+                    format!("v_scale {v_scale}, r {updates_per_packet}, chunk {chunk}, compact");
+                let mut block = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), config);
+                let mut reference = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat, config);
+                for c in keys.chunks(chunk) {
+                    block.update_batch(c);
+                    reference.update_batch_reference(c);
+                }
+                assert_state_identical(&label, &block, &reference);
+            }
+        }
+    }
+}
+
+/// Weighted feeds go through the same block engine (gap draws over packet
+/// indices, weights carried alongside); the weighted block path must also
+/// be bit-identical to its frozen reference.
+#[test]
+fn block_weighted_path_bit_identical_to_reference() {
+    use hhh_counters::CompactSpaceSaving;
+    let mut rng = Lcg(0x00B1_0CED);
+    let packets: Vec<(u64, u64)> = (0..150_000usize)
+        .map(|i| {
+            let key = if i % 10 < 3 {
+                pack2(0x0A14_0000 | (rng.next() as u32 & 0xFFFF), 0x0808_0808)
+            } else {
+                pack2(rng.next() as u32, rng.next() as u32)
+            };
+            (key, 64 + (rng.next() % 1400))
+        })
+        .collect();
+    for v_scale in [1u64, 10] {
+        for chunk in [150_000usize, 2_048, 7_001] {
+            let config = RhhhConfig {
+                epsilon_s: 0.01,
+                epsilon_a: 0.005,
+                delta_s: 0.05,
+                v_scale,
+                updates_per_packet: 1,
+                seed: 0x17E5,
+            };
+            let lat = Lattice::ipv4_src_dst_bytes();
+            let label = format!("weighted, v_scale {v_scale}, chunk {chunk}, list");
+            let mut block = Rhhh::<u64>::new(lat.clone(), config);
+            let mut reference = Rhhh::<u64>::new(lat.clone(), config);
+            for c in packets.chunks(chunk) {
+                block.update_batch_weighted(c);
+                reference.update_batch_weighted_reference(c);
+            }
+            assert_eq!(block.total_weight(), reference.total_weight(), "{label}");
+            assert_state_identical(&label, &block, &reference);
+
+            let label = format!("weighted, v_scale {v_scale}, chunk {chunk}, compact");
+            let mut block = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), config);
+            let mut reference = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat, config);
+            for c in packets.chunks(chunk) {
+                block.update_batch_weighted(c);
+                reference.update_batch_weighted_reference(c);
+            }
+            assert_eq!(block.total_weight(), reference.total_weight(), "{label}");
+            assert_state_identical(&label, &block, &reference);
+        }
+    }
+}
+
+/// Windowed feeds split batches at pane boundaries before reaching the
+/// block engine; with a ragged chunk size every pane rotation lands
+/// mid-chunk. The block path must agree with the reference bit for bit on
+/// every pane — pinned through the merged-window query (coarse ε keeps the
+/// extraction cheap) and the bookkeeping counters.
+#[test]
+fn block_windowed_path_bit_identical_across_pane_straddles() {
+    use hhh_core::WindowedRhhh;
+    // ε_s sized so ψ = Z·V/ε_s² ≈ 22k stays under the 40k window (checked
+    // by `WindowedRhhh::new` in debug builds).
+    let config = RhhhConfig {
+        epsilon_s: 0.15,
+        epsilon_a: 0.01,
+        delta_s: 0.05,
+        v_scale: 10,
+        updates_per_packet: 1,
+        seed: 0xAB1E,
+    };
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let keys = stream(130_000, 7);
+    // window 40k over 4 panes → pane length 10k; 7001-key chunks straddle
+    // every rotation.
+    let mut block = WindowedRhhh::<u64>::new(lat.clone(), config, 40_000, 4);
+    let mut reference = WindowedRhhh::<u64>::new(lat, config, 40_000, 4);
+    for c in keys.chunks(7_001) {
+        block.update_batch(c);
+        reference.update_batch_reference(c);
+    }
+    assert_eq!(block.total_packets(), reference.total_packets());
+    assert_eq!(block.panes_completed(), reference.panes_completed());
+    assert_eq!(block.covered_range(), reference.covered_range());
+    assert_eq!(
+        block.query(0.1),
+        reference.query(0.1),
+        "windowed merged-window answers diverged"
+    );
+    assert_eq!(
+        block.query_current(0.1),
+        reference.query_current(0.1),
+        "active-pane answers diverged"
+    );
+}
+
 /// Swapping the per-node counter for the flat-arena layout changes neither
 /// the selection schedule (same RNG, same draws) nor the count multisets
 /// (both layouts evict true minima), so a compact-backed run must deliver

@@ -6,11 +6,14 @@
 //! explicit non-goal — the keys are IP prefixes already attacker-visible,
 //! and the counter algorithms' guarantees do not depend on hash quality
 //! (only the Count-Min sketch does, and it uses its own seeded row hashes).
+//!
+//! The mixing arithmetic itself lives in [`crate::mix`], shared with the
+//! batch front end's block hashing; this module is the `Hasher` adapter
+//! over it. `hash_u64(v)` through this hasher and [`crate::mix::hash_u64`]
+//! are the same function.
 
+use crate::mix;
 use std::hash::{BuildHasher, Hasher};
-
-/// 64-bit multiplicative constant (golden-ratio based, as in FxHash).
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// Multiply-fold hasher over the written words.
 #[derive(Debug, Default, Clone)]
@@ -21,23 +24,14 @@ pub struct FastHasher {
 impl FastHasher {
     #[inline(always)]
     fn fold(&mut self, word: u64) {
-        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+        self.state = mix::fx_fold(self.state, word);
     }
 }
 
 impl Hasher for FastHasher {
     #[inline(always)]
     fn finish(&self) -> u64 {
-        // MurmurHash3's fmix64 finalizer: full avalanche, so the
-        // low-entropy top bits of packed prefix keys spread into the
-        // bucket-index bits.
-        let mut x = self.state;
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-        x ^= x >> 33;
-        x
+        mix::fmix64(self.state)
     }
 
     #[inline(always)]

@@ -80,6 +80,7 @@ mod fast_hash;
 mod heap_space_saving;
 mod lossy_counting;
 mod misra_gries;
+pub mod mix;
 mod space_saving;
 mod tagged_table;
 
@@ -192,6 +193,24 @@ pub trait FrequencyEstimator<K: CounterKey>: Send + 'static {
     /// exactly; only the tie-break among equal minima may differ.
     fn flush_group_evicting(&mut self, keys: &mut [K]) {
         self.flush_group(keys);
+    }
+
+    /// [`Self::flush_group_evicting`] with a caller-supplied ascending
+    /// sorter — the entry point of RHHH's *block* batch pipeline, which
+    /// sorts masked key groups with a radix pass an order-comparison sort
+    /// can't match on prefix-masked keys (most digit positions are
+    /// constant within a group). `sort` must produce exactly
+    /// `sort_unstable`'s ascending order; since equal keys are
+    /// indistinguishable, any ascending sort leaves the estimator in a
+    /// state bit-identical to [`Self::flush_group_evicting`]'s.
+    ///
+    /// The default ignores the sorter and delegates, so estimators that
+    /// never opted in keep their exact `flush_group_evicting` behaviour;
+    /// the Space Saving layouts override it to route their *sorted* paths
+    /// (and only those) through `sort`.
+    fn flush_group_evicting_with(&mut self, keys: &mut [K], sort: &mut dyn FnMut(&mut [K])) {
+        let _ = sort;
+        self.flush_group_evicting(keys);
     }
 
     /// Merges `other` — a summary of a *different portion* of the same

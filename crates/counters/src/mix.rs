@@ -1,0 +1,181 @@
+//! Shared integer mixing primitives — the one home of the workspace's two
+//! wyrand-style mixers, with block-capable variants for the batch hot path.
+//!
+//! Until PR 6 the RNG output mix (`hhh-core::sampling`'s wyrand step) and
+//! the key hash mix ([`crate::FastHasher`]'s multiply-fold + fmix64
+//! finalizer) were two independent copies of the same idea: one 64×64
+//! multiply whose halves are folded together. Both sit on the per-packet
+//! hot path — one mixing *draws*, one mixing *keys* — and the batch front
+//! end wants to evaluate either over a whole block of lanes at once, so
+//! they live here as free functions the compiler can pipeline: each block
+//! loop's iterations are dependency-free, which turns the ~5-cycle
+//! multiply latency chains of the serial callers into back-to-back issues.
+//!
+//! Exact-output compatibility is part of the contract: the serial
+//! functions reproduce their pre-PR 6 call sites bit for bit (pinned by
+//! hardcoded-vector tests below), and every `*_block` variant is defined
+//! as "the serial function per element" — nothing about blocking may leak
+//! into the values, only into the schedule.
+
+/// The wyrand state increment (also the seed splash constant).
+pub const WY_ADD: u64 = 0xA076_1D64_78BD_642F;
+
+/// The wyrand mix xor constant.
+pub const WY_XOR: u64 = 0xE703_7ED1_A0B4_28DB;
+
+/// 64-bit multiplicative constant (golden-ratio based, as in FxHash) used
+/// by the key-hash fold.
+pub const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The wyrand output mix for a given state value: one 64×64→128 multiply
+/// of the state against its xor-perturbed self, halves folded together.
+/// Shared by the serial RNG step and the block fill so the two can never
+/// drift apart.
+#[inline(always)]
+#[must_use]
+pub fn wyrand_mix(state: u64) -> u64 {
+    let t = u128::from(state).wrapping_mul(u128::from(state ^ WY_XOR));
+    ((t >> 64) ^ t) as u64
+}
+
+/// One FxHash-style fold step: rotate the running state, xor the word in,
+/// multiply by [`FX_SEED`]. The word-ingestion half of [`crate::FastHasher`].
+#[inline(always)]
+#[must_use]
+pub fn fx_fold(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// MurmurHash3's fmix64 finalizer: full avalanche, so the low-entropy top
+/// bits of packed prefix keys spread into the bucket-index bits. The
+/// finish half of [`crate::FastHasher`].
+#[inline(always)]
+#[must_use]
+pub fn fmix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// The full one-word key hash: fold `v` into an empty state, then
+/// finalize. Bit-identical to hashing `v` through [`crate::FastHasher`]
+/// via `write_u64` + `finish` (pinned below), so table layouts derived
+/// from either agree.
+#[inline(always)]
+#[must_use]
+pub fn hash_u64(v: u64) -> u64 {
+    fmix64(fx_fold(0, v))
+}
+
+/// Fills `out` with consecutive wyrand draws starting *after* `state`,
+/// returning the advanced state. Equivalent to `state += WY_ADD;
+/// out[i] = wyrand_mix(state)` per element — the states are an affine
+/// sequence, so the expensive mixes have no cross-iteration dependencies
+/// and pipeline instead of serializing (~10 cycles of latency per draw on
+/// the serial path).
+#[must_use]
+pub fn wyrand_fill(state: u64, out: &mut [u64]) -> u64 {
+    let mut s = state;
+    for o in out.iter_mut() {
+        s = s.wrapping_add(WY_ADD);
+        *o = wyrand_mix(s);
+    }
+    s
+}
+
+/// [`hash_u64`] over a block of keys: `out[i] = hash_u64(keys[i])`. The
+/// lanes are independent, so the three multiplies per key issue
+/// back-to-back across lanes.
+///
+/// # Panics
+///
+/// Panics when the slices' lengths differ.
+pub fn hash_u64_block(keys: &[u64], out: &mut [u64]) {
+    assert_eq!(keys.len(), out.len(), "hash block length mismatch");
+    for (o, &k) in out.iter_mut().zip(keys) {
+        *o = hash_u64(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    /// Pinned output vectors: these are the exact values the pre-PR 6
+    /// `sampling.rs::wyrand_mix` produced. Any change here silently
+    /// reshuffles every seeded experiment in the workspace.
+    #[test]
+    fn wyrand_mix_pinned_vectors() {
+        for (input, expect) in [
+            (0u64, 0u64),
+            (1, 0xe703_7ed1_a0b4_28da),
+            (42, 0xe692_ce64_5d8e_b7af),
+            (0xDEAD_BEEF, 0xa34f_48b7_9870_032e),
+            (u64::MAX, u64::MAX),
+        ] {
+            assert_eq!(wyrand_mix(input), expect, "wyrand_mix({input:#x})");
+        }
+    }
+
+    /// Pinned output vectors: the exact values the pre-PR 6
+    /// `FastHasher::write_u64` + `finish` pair produced. Any change here
+    /// silently re-homes every entry of every tagged table.
+    #[test]
+    fn hash_u64_pinned_vectors() {
+        for (input, expect) in [
+            (0u64, 0u64),
+            (1, 0x37e8_d294_6949_7cd2),
+            (42, 0x2558_5839_4b61_ab76),
+            (0xDEAD_BEEF, 0x106a_a50d_b78f_d850),
+            (u64::MAX, 0x92f9_6f6a_0392_ef8d),
+        ] {
+            assert_eq!(hash_u64(input), expect, "hash_u64({input:#x})");
+        }
+    }
+
+    #[test]
+    fn hash_u64_matches_fast_hasher_call_site() {
+        for v in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX, 0x0A14_0000_0808_0808] {
+            assert_eq!(
+                hash_u64(v),
+                crate::IntHashBuilder.hash_one(v),
+                "free-function hash diverged from the Hasher path at {v:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn wyrand_fill_matches_serial_definition() {
+        let mut state = 0x5EEDu64;
+        let mut block = [0u64; 97];
+        let advanced = wyrand_fill(state, &mut block);
+        for (i, &b) in block.iter().enumerate() {
+            state = state.wrapping_add(WY_ADD);
+            assert_eq!(b, wyrand_mix(state), "draw {i} diverged");
+        }
+        assert_eq!(advanced, state, "state must advance past the block");
+    }
+
+    #[test]
+    fn hash_block_matches_serial() {
+        let keys: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut out = vec![0u64; keys.len()];
+        hash_u64_block(&keys, &mut out);
+        for (i, (&k, &h)) in keys.iter().zip(&out).enumerate() {
+            assert_eq!(h, hash_u64(k), "lane {i} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn hash_block_rejects_length_mismatch() {
+        let mut out = [0u64; 2];
+        hash_u64_block(&[1, 2, 3], &mut out);
+    }
+}

@@ -57,6 +57,12 @@ pub trait KeyBits:
     /// Truncates the key to its low 64 bits (for hashing/diagnostics).
     fn low_u64(self) -> u64;
 
+    /// Zero-extends the key to `u128`. The unsigned order of the result is
+    /// exactly the key's `Ord` — digit-by-digit sorts of keys (however the
+    /// digits are extracted) therefore reproduce `sort_unstable`'s
+    /// ascending order bit for bit.
+    fn to_u128(self) -> u128;
+
     /// A mask covering the bit range `[lo, lo + len)` counted from the least
     /// significant bit. `len == 0` yields zero.
     #[must_use]
@@ -135,6 +141,11 @@ macro_rules! impl_key_bits {
             #[inline(always)]
             fn low_u64(self) -> u64 {
                 self as u64
+            }
+
+            #[inline(always)]
+            fn to_u128(self) -> u128 {
+                self as u128
             }
         }
     };
@@ -231,5 +242,7 @@ mod tests {
         assert_eq!(KeyBits::count_ones(b), 16);
         assert_eq!(u32::from_u64(0x1_0000_0001), 1u32);
         assert_eq!(0xFFu32.low_u64(), 0xFF);
+        assert_eq!(0xDEAD_BEEFu32.to_u128(), 0xDEAD_BEEFu128);
+        assert_eq!(u64::MAX.to_u128(), u128::from(u64::MAX));
     }
 }

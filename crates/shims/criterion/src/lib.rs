@@ -15,6 +15,12 @@
 //!
 //! Quick mode (`--quick` argument, or `CRITERION_QUICK=1`) shrinks warm-up
 //! and measurement windows ~10x for smoke runs.
+//!
+//! `CRITERION_FILTER=<substring>` skips every benchmark whose
+//! `group/id` label does not contain the substring — the environment
+//! counterpart of real criterion's positional filter argument, for
+//! targeted local measurement runs (`CRITERION_FILTER=block-vs-pr5 cargo
+//! bench -p hhh-bench --bench update_speed`).
 
 use std::fmt::Write as _;
 use std::hint;
@@ -226,17 +232,58 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Shim extension (no real-criterion counterpart): measures two
+    /// benchmarks in alternating time slices and reports each as its own
+    /// record, exactly as if it had run alone.
+    ///
+    /// Sequential measurement windows make A-vs-B ratios hostage to
+    /// whatever the clock frequency and cache climate did *between* the
+    /// windows — on this workspace's shared boxes that drift reaches ±8%
+    /// per minute, swamping single-digit wins. Interleaving spreads both
+    /// sides' samples across the same wall-clock span, so slow drift
+    /// cancels out of the ratio and only the fast (averaged-out) noise
+    /// remains. Use it for any row pair whose *ratio* is the deliverable,
+    /// e.g. the `block-vs-pr5` acceptance rows.
+    pub fn bench_pair_interleaved<FA, FB>(
+        &mut self,
+        id_a: impl std::fmt::Display,
+        mut fa: FA,
+        id_b: impl std::fmt::Display,
+        mut fb: FB,
+    ) -> &mut Self
+    where
+        FA: FnMut(&mut Bencher),
+        FB: FnMut(&mut Bencher),
+    {
+        run_pair(
+            &self.name,
+            &id_a.to_string(),
+            &mut fa,
+            &id_b.to_string(),
+            &mut fb,
+            self.settings,
+            self.throughput,
+        );
+        self
+    }
+
     /// Ends the group (reporting happens per-benchmark).
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(
+fn run_one<F: FnMut(&mut Bencher) + ?Sized>(
     group: &str,
     id: &str,
     settings: Settings,
     throughput: Option<Throughput>,
     f: &mut F,
 ) {
+    if let Ok(filter) = std::env::var("CRITERION_FILTER") {
+        if !filter_allows(&filter, group, id) {
+            return;
+        }
+    }
+
     // Warm-up phase.
     let mut b = Bencher {
         deadline: Instant::now() + settings.effective_warm_up(),
@@ -253,8 +300,73 @@ fn run_one<F: FnMut(&mut Bencher)>(
     };
     f(&mut b);
 
-    let iters = b.iters.max(1);
-    let mean_ns = b.total.as_nanos() as f64 / iters as f64;
+    report(group, id, throughput, b.total, b.iters);
+}
+
+/// Alternating slices per side within one measurement window; enough
+/// rounds that slow drift averages into both sides equally, few enough
+/// that each slice still fits several iterations of a multi-ms benchmark.
+const PAIR_ROUNDS: u32 = 8;
+
+fn run_pair(
+    group: &str,
+    id_a: &str,
+    fa: &mut dyn FnMut(&mut Bencher),
+    id_b: &str,
+    fb: &mut dyn FnMut(&mut Bencher),
+    settings: Settings,
+    throughput: Option<Throughput>,
+) {
+    let (allow_a, allow_b) = match std::env::var("CRITERION_FILTER") {
+        Ok(f) => (
+            filter_allows(&f, group, id_a),
+            filter_allows(&f, group, id_b),
+        ),
+        Err(_) => (true, true),
+    };
+    match (allow_a, allow_b) {
+        (false, false) => return,
+        (true, false) => return run_one(group, id_a, settings, throughput, fa),
+        (false, true) => return run_one(group, id_b, settings, throughput, fb),
+        (true, true) => {}
+    }
+
+    fn slice_run(f: &mut dyn FnMut(&mut Bencher), window: Duration) -> (Duration, u64) {
+        let mut b = Bencher {
+            deadline: Instant::now() + window,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        (b.total, b.iters)
+    }
+
+    // Warm both sides: half the window each, so neither side starts
+    // cache-cold in round one.
+    let half_warm = settings.effective_warm_up() / 2;
+    slice_run(fa, half_warm);
+    slice_run(fb, half_warm);
+
+    let slice = settings.effective_measurement() / (2 * PAIR_ROUNDS);
+    let mut totals = [Duration::ZERO; 2];
+    let mut iters = [0u64; 2];
+    for _ in 0..PAIR_ROUNDS {
+        let (t, i) = slice_run(fa, slice);
+        totals[0] += t;
+        iters[0] += i;
+        let (t, i) = slice_run(fb, slice);
+        totals[1] += t;
+        iters[1] += i;
+    }
+
+    report(group, id_a, throughput, totals[0], iters[0]);
+    report(group, id_b, throughput, totals[1], iters[1]);
+}
+
+/// Prints one Criterion-style result line and appends the JSON record.
+fn report(group: &str, id: &str, throughput: Option<Throughput>, total: Duration, iters: u64) {
+    let iters = iters.max(1);
+    let mean_ns = total.as_nanos() as f64 / iters as f64;
     let label = if group.is_empty() {
         id.to_string()
     } else {
@@ -283,6 +395,21 @@ fn run_one<F: FnMut(&mut Bencher)>(
         iters,
         elements,
     });
+}
+
+/// Whether a `CRITERION_FILTER` substring admits the benchmark labelled
+/// `group/id` (or bare `id` outside a group). An empty filter admits
+/// everything.
+fn filter_allows(filter: &str, group: &str, id: &str) -> bool {
+    if filter.is_empty() {
+        return true;
+    }
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    label.contains(filter)
 }
 
 fn format_ns(ns: f64) -> String {
@@ -484,5 +611,45 @@ mod tests {
             .iter()
             .any(|r| r.group == "shim-test" && r.id == "noop");
         assert!(found);
+    }
+
+    #[test]
+    fn pair_interleaving_records_both_sides() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-pair-test");
+        group
+            .warm_up_time(Duration::from_millis(4))
+            .measurement_time(Duration::from_millis(16));
+        group.bench_pair_interleaved(
+            "side-a",
+            |b| b.iter(|| black_box(2 + 2)),
+            "side-b",
+            |b| b.iter(|| black_box(3 + 3)),
+        );
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        for id in ["side-a", "side-b"] {
+            let rec = results
+                .iter()
+                .find(|r| r.group == "shim-pair-test" && r.id == id)
+                .expect("both sides recorded");
+            assert!(rec.iters > 0 && rec.mean_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn filter_matches_on_the_group_slash_id_label() {
+        assert!(filter_allows("", "any", "thing"));
+        assert!(filter_allows(
+            "block-vs-pr5",
+            "block-vs-pr5",
+            "block/compact"
+        ));
+        assert!(filter_allows("pr5/stream", "block-vs-pr5", "pr5/stream"));
+        assert!(!filter_allows("hot_path", "block-vs-pr5", "pr5/stream"));
+        // Ungrouped benchmarks match on the bare id.
+        assert!(filter_allows("solo", "", "solo-bench"));
+        assert!(!filter_allows("group/", "", "solo-bench"));
     }
 }
