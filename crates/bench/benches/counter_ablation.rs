@@ -16,9 +16,12 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hhh_bench::Workload;
+use hhh_core::{Rhhh, RhhhConfig};
 use hhh_counters::{
-    CompactSpaceSaving, FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+    CompactSpaceSaving, CuckooHeavyKeeper, DispatchedEstimator, FrequencyEstimator,
+    HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
 };
+use hhh_hierarchy::Lattice;
 use hhh_traces::{Packet, TraceConfig, TraceGenerator};
 
 const PACKETS: usize = 200_000;
@@ -98,6 +101,7 @@ fn benches(c: &mut Criterion) {
         bench_counter::<HeapSpaceSaving<u32>>(c, &group, "SpaceSaving(heap)", capacity, &w.keys1);
         bench_counter::<MisraGries<u32>>(c, &group, "MisraGries", capacity, &w.keys1);
         bench_counter::<LossyCounting<u32>>(c, &group, "LossyCounting", capacity, &w.keys1);
+        bench_counter::<CuckooHeavyKeeper<u32>>(c, &group, "CuckooHeavyKeeper", capacity, &w.keys1);
     }
 }
 
@@ -142,6 +146,14 @@ fn compact_vs_stream_summary(c: &mut Criterion) {
             &chunks,
             total,
         );
+        bench_counter_batch::<CuckooHeavyKeeper<u32>>(
+            c,
+            &group,
+            "sorted-batch/chk",
+            capacity,
+            &chunks,
+            total,
+        );
     }
 }
 
@@ -166,10 +178,12 @@ fn miss_heavy(c: &mut Criterion) {
     let mut warm_list: SpaceSaving<u32> = SpaceSaving::with_capacity(CAPACITY);
     let mut warm_compact: CompactSpaceSaving<u32> = CompactSpaceSaving::with_capacity(CAPACITY);
     let mut warm_heap: HeapSpaceSaving<u32> = HeapSpaceSaving::with_capacity(CAPACITY);
+    let mut warm_chk: CuckooHeavyKeeper<u32> = CuckooHeavyKeeper::with_capacity(CAPACITY);
     hhh_bench::warm_stream(&mut gen, WARM_PACKETS, GROUP_KEYS, Packet::key1, |chunk| {
         warm_list.increment_batch(chunk);
         warm_compact.increment_batch(chunk);
         warm_heap.increment_batch(chunk);
+        warm_chk.increment_batch(chunk);
     });
 
     // All-distinct measured keys in a region real traces never visit
@@ -199,6 +213,18 @@ fn miss_heavy(c: &mut Criterion) {
     g.bench_function(BenchmarkId::from_parameter("scalar/compact"), |b| {
         b.iter_batched(
             || warm_compact.clone(),
+            |mut est| {
+                for &k in &keys {
+                    est.increment(k);
+                }
+                est
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function(BenchmarkId::from_parameter("scalar/chk"), |b| {
+        b.iter_batched(
+            || warm_chk.clone(),
             |mut est| {
                 for &k in &keys {
                     est.increment(k);
@@ -244,8 +270,122 @@ fn miss_heavy(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         );
     });
+    g.bench_function(BenchmarkId::from_parameter("flush/chk"), |b| {
+        b.iter_batched(
+            || (warm_chk.clone(), chunks.clone()),
+            |(mut est, mut chunks)| {
+                for chunk in &mut chunks {
+                    est.flush_group_evicting(chunk);
+                }
+                est
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
     g.finish();
 }
 
-criterion_group!(ablation, benches, compact_vs_stream_summary, miss_heavy);
+/// The PR 7 acceptance pair at the monitor level: one warmed dispatched
+/// RHHH against the best *fixed* layout for the same config, measured
+/// with the interleaved-pair protocol so the within-run ratio is immune
+/// to clock drift. The fixed side is the measured PR 6 winner per
+/// regime: `compact` at V = 10H (miss-heavy batch flush), the
+/// stream-summary list at V = H (hit-heavy). During warm-up the
+/// dispatched lattice settles its per-node census, so the measured
+/// window prices steady state, not migrations.
+fn dispatch_vs_fixed(c: &mut Criterion) {
+    const STEADY_PACKETS: usize = 1_000_000;
+    const WARM_CHUNK: usize = 65_536;
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    let warm_packets = if quick { 2_000_000 } else { 12_000_000 };
+    let lat = Lattice::ipv4_src_dst_bytes();
+    for v_scale in [1u64, 10] {
+        let group = format!("dispatch-vs-fixed/v{v_scale}");
+        let config = RhhhConfig {
+            epsilon_a: 0.001,
+            epsilon_s: 0.001,
+            delta_s: 0.001,
+            v_scale,
+            updates_per_packet: 1,
+            seed: 0xBE7C,
+        };
+        let mut gen = TraceGenerator::new(&TraceConfig::chicago16());
+        let keys2: Vec<u64> = (0..STEADY_PACKETS).map(|_| gen.generate().key2()).collect();
+        let mut warm_dispatch = Rhhh::<u64, DispatchedEstimator<u64>>::new(lat.clone(), config);
+        let mut warm_list = Rhhh::<u64, SpaceSaving<u64>>::new(lat.clone(), config);
+        let mut warm_compact = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), config);
+        hhh_bench::warm_stream(&mut gen, warm_packets, WARM_CHUNK, Packet::key2, |chunk| {
+            warm_dispatch.update_batch(chunk);
+            warm_list.update_batch(chunk);
+            warm_compact.update_batch(chunk);
+        });
+
+        // Per-node chosen-layout census after warm-up (ROADMAP table).
+        let census: Vec<&'static str> = warm_dispatch
+            .node_instances()
+            .iter()
+            .map(FrequencyEstimator::layout_label)
+            .collect();
+        let compact_nodes = census.iter().filter(|l| **l == "compact").count();
+        eprintln!(
+            "dispatch-vs-fixed/v{v_scale} census: {compact_nodes}/{} compact, nodes: {census:?}",
+            census.len()
+        );
+
+        let mut g = c.benchmark_group(&group);
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2))
+            .throughput(Throughput::Elements(keys2.len() as u64));
+        let fixed_label = if v_scale == 10 {
+            "fixed/compact"
+        } else {
+            "fixed/stream-summary"
+        };
+        g.bench_pair_interleaved(
+            "dispatch",
+            |b| {
+                b.iter_batched(
+                    || warm_dispatch.clone(),
+                    |mut algo| {
+                        algo.update_batch(&keys2);
+                        algo
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+            fixed_label,
+            |b| {
+                if v_scale == 10 {
+                    b.iter_batched(
+                        || warm_compact.clone(),
+                        |mut algo| {
+                            algo.update_batch(&keys2);
+                            algo
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                } else {
+                    b.iter_batched(
+                        || warm_list.clone(),
+                        |mut algo| {
+                            algo.update_batch(&keys2);
+                            algo
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                }
+            },
+        );
+        g.finish();
+    }
+}
+
+criterion_group!(
+    ablation,
+    benches,
+    compact_vs_stream_summary,
+    miss_heavy,
+    dispatch_vs_fixed
+);
 criterion_main!(ablation);

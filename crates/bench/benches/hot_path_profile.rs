@@ -2,8 +2,9 @@
 //! actually goes, per pipeline stage.
 //!
 //! Runs the steady-state 10-RHHH workload (and the `V = H` everything-
-//! selected extreme) through pre-warmed instances of both counter layouts
-//! with `hhh_core::hot_profile`'s stage brackets active, and reports each
+//! selected extreme) through pre-warmed instances of both fixed counter
+//! layouts plus the regime-adaptive dispatched wrapper, with
+//! `hhh_core::hot_profile`'s stage brackets active, and reports each
 //! stage's share of the whole batch call:
 //!
 //! * `draw` — RNG block fill + geometric gap conversion + selection walk
@@ -24,8 +25,13 @@
 //! ```json
 //! {"runs": [{"counter": "stream-summary", "v_scale": 10, "packets": 1000000,
 //!            "iters": 10, "total_ns": 123, "accounted_share": 0.97,
-//!            "stages": [{"stage": "draw", "ns": 1, "share": 0.2, "calls": 3}, …]}]}
+//!            "stages": [{"stage": "draw", "ns": 1, "share": 0.2, "calls": 3}, …],
+//!            "flush_layouts": [{"layout": "compact", "ns": 1, "calls": 2}, …]}]}
 //! ```
+//!
+//! `flush_layouts` splits the `flush` stage by the flushed node's counter
+//! layout label — one row for a fixed lattice, the per-layout census
+//! breakdown for a dispatched one.
 //!
 //! Honours `CRITERION_QUICK=1` (smaller warm stream, fewer iterations).
 //! Stage shares are *within-run* fractions and stable across the box's
@@ -49,7 +55,7 @@ mod enabled {
 
     use hhh_core::hot_profile::{self, Stage, StageTotals, STAGE_NAMES};
     use hhh_core::{Rhhh, RhhhConfig};
-    use hhh_counters::{CompactSpaceSaving, FrequencyEstimator, SpaceSaving};
+    use hhh_counters::{CompactSpaceSaving, DispatchedEstimator, FrequencyEstimator, SpaceSaving};
     use hhh_hierarchy::Lattice;
     use hhh_traces::{Packet, TraceConfig, TraceGenerator};
 
@@ -72,12 +78,17 @@ mod enabled {
         v_scale: u64,
         iters: usize,
         totals: StageTotals,
+        flush_layouts: Vec<(&'static str, u64, u64)>,
     }
 
     /// Clones the warmed instance per iteration (clone cost stays outside
     /// the brackets — only `update_batch`'s own stages accumulate) and
     /// returns the accumulated stage totals.
-    fn profile<E>(warmed: &Rhhh<u64, E>, keys: &[u64], iters: usize) -> StageTotals
+    fn profile<E>(
+        warmed: &Rhhh<u64, E>,
+        keys: &[u64],
+        iters: usize,
+    ) -> (StageTotals, Vec<(&'static str, u64, u64)>)
     where
         E: FrequencyEstimator<u64> + Clone,
     {
@@ -90,7 +101,10 @@ mod enabled {
             algo.update_batch(keys);
             std::hint::black_box(algo.total_updates());
         }
-        hot_profile::snapshot()
+        (
+            hot_profile::snapshot(),
+            hot_profile::flush_layout_snapshot(),
+        )
     }
 
     pub fn run() {
@@ -107,22 +121,37 @@ mod enabled {
                 Rhhh::<u64, SpaceSaving<u64>>::new(lat.clone(), rhhh_config(v_scale));
             let mut warm_compact =
                 Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), rhhh_config(v_scale));
+            let mut warm_dispatch =
+                Rhhh::<u64, DispatchedEstimator<u64>>::new(lat.clone(), rhhh_config(v_scale));
             hhh_bench::warm_stream(&mut gen, warm_packets, WARM_CHUNK, Packet::key2, |chunk| {
                 warm_list.update_batch(chunk);
                 warm_compact.update_batch(chunk);
+                warm_dispatch.update_batch(chunk);
             });
 
+            let (totals, flush_layouts) = profile(&warm_list, &keys2, iters);
             runs.push(Run {
                 counter: "stream-summary",
                 v_scale,
                 iters,
-                totals: profile(&warm_list, &keys2, iters),
+                totals,
+                flush_layouts,
             });
+            let (totals, flush_layouts) = profile(&warm_compact, &keys2, iters);
             runs.push(Run {
                 counter: "compact",
                 v_scale,
                 iters,
-                totals: profile(&warm_compact, &keys2, iters),
+                totals,
+                flush_layouts,
+            });
+            let (totals, flush_layouts) = profile(&warm_dispatch, &keys2, iters);
+            runs.push(Run {
+                counter: "dispatch",
+                v_scale,
+                iters,
+                totals,
+                flush_layouts,
             });
         }
 
@@ -159,11 +188,29 @@ mod enabled {
                     STAGE_NAMES[stage as usize], ns, share, run.totals.calls[stage as usize], sep
                 );
             }
+            let mut layouts = String::new();
+            for (j, (label, ns, calls)) in run.flush_layouts.iter().enumerate() {
+                let share = *ns as f64 / total as f64;
+                println!(
+                    "      flush[{label}] {:>5.1}%  ({calls} groups)",
+                    share * 100.0
+                );
+                let sep = if j + 1 == run.flush_layouts.len() {
+                    ""
+                } else {
+                    ", "
+                };
+                let _ = write!(
+                    layouts,
+                    "{{\"layout\": \"{label}\", \"ns\": {ns}, \"calls\": {calls}}}{sep}"
+                );
+            }
             let sep = if i + 1 == runs.len() { "" } else { "," };
             let _ = writeln!(
                 json,
                 "  {{\"counter\": \"{}\", \"v_scale\": {}, \"packets\": {}, \"iters\": {}, \
-                 \"total_ns\": {}, \"accounted_share\": {:.4}, \"stages\": [{}]}}{}",
+                 \"total_ns\": {}, \"accounted_share\": {:.4}, \"stages\": [{}], \
+                 \"flush_layouts\": [{}]}}{}",
                 run.counter,
                 run.v_scale,
                 STEADY_PACKETS,
@@ -171,6 +218,7 @@ mod enabled {
                 run.totals.ns(Stage::Total),
                 run.totals.accounted_share(),
                 stages,
+                layouts,
                 sep
             );
         }

@@ -6,7 +6,8 @@ use std::time::Instant;
 
 use hhh_core::{CounterKind, HeavyHitter, HhhAlgorithm, Rhhh, RhhhConfig, WindowedRhhh};
 use hhh_counters::{
-    CompactSpaceSaving, FrequencyEstimator, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+    CompactSpaceSaving, CuckooHeavyKeeper, DispatchedEstimator, FrequencyEstimator,
+    HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
 };
 use hhh_eval::AlgoKind;
 use hhh_hierarchy::{KeyBits, Lattice};
@@ -139,6 +140,14 @@ macro_rules! with_counter_type {
             }
             CounterKind::LossyCounting => {
                 type $est<K> = LossyCounting<K>;
+                $body
+            }
+            CounterKind::CuckooHeavyKeeper => {
+                type $est<K> = CuckooHeavyKeeper<K>;
+                $body
+            }
+            CounterKind::Dispatch => {
+                type $est<K> = DispatchedEstimator<K>;
                 $body
             }
         }

@@ -377,7 +377,12 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
             if group.is_empty() {
                 continue;
             }
-            instances[node].flush_group_evicting_with(group, &mut |g| radix_sort_keys(g, radix));
+            // Inner bracket feeds the per-layout side table only; the
+            // outer `t` still owns the `Stage::Flush` accounting.
+            let per_node = ProfTimer::start();
+            let instance = &mut instances[node];
+            instance.flush_group_evicting_with(group, &mut |g| radix_sort_keys(g, radix));
+            per_node.stop_layout(|| instance.layout_label());
         }
         t.stop(Stage::Flush);
         total.stop(Stage::Total);
@@ -437,6 +442,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
                 continue;
             }
             // Sort by masked key and merge each run into one `add`.
+            let per_node = ProfTimer::start();
             group.sort_unstable();
             let instance = &mut instances[node];
             let mut i = 0usize;
@@ -451,6 +457,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
                 instance.add(key, w);
                 i = j;
             }
+            per_node.stop_layout(|| instance.layout_label());
         }
         t.stop(Stage::Flush);
         total.stop(Stage::Total);

@@ -7,7 +7,10 @@
 //! (`--counter`), the evaluation harness and the vswitch monitors can all
 //! thread it through to [`Rhhh`] without hard-coding a concrete type.
 
-use hhh_counters::{CompactSpaceSaving, HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving};
+use hhh_counters::{
+    CompactSpaceSaving, CuckooHeavyKeeper, DispatchedEstimator, HeapSpaceSaving, LossyCounting,
+    MisraGries, SpaceSaving,
+};
 use hhh_hierarchy::{KeyBits, Lattice};
 
 use crate::rhhh::{Rhhh, RhhhConfig};
@@ -29,19 +32,29 @@ pub enum CounterKind {
     MisraGries,
     /// Manku–Motwani Lossy Counting — deterministic, δ = 0.
     LossyCounting,
+    /// Cuckoo Heavy Keeper — bucketized cuckoo table with exponential
+    /// decay counts; deterministic deficit bound instead of per-entry
+    /// errors.
+    CuckooHeavyKeeper,
+    /// Regime-adaptive dispatch: each node picks stream-summary or
+    /// compact by its observed flush miss ratio and migrates once when
+    /// the regime settles.
+    Dispatch,
 }
 
 impl CounterKind {
     /// Every kind, in ablation-roster order (the two production layouts
     /// first).
     #[must_use]
-    pub fn roster() -> [CounterKind; 5] {
+    pub fn roster() -> [CounterKind; 7] {
         [
             CounterKind::StreamSummary,
             CounterKind::Compact,
+            CounterKind::Dispatch,
             CounterKind::Heap,
             CounterKind::MisraGries,
             CounterKind::LossyCounting,
+            CounterKind::CuckooHeavyKeeper,
         ]
     }
 
@@ -54,6 +67,8 @@ impl CounterKind {
             CounterKind::Heap => "heap",
             CounterKind::MisraGries => "misra-gries",
             CounterKind::LossyCounting => "lossy-counting",
+            CounterKind::CuckooHeavyKeeper => "chk",
+            CounterKind::Dispatch => "dispatch",
         }
     }
 
@@ -70,10 +85,12 @@ impl CounterKind {
             "heap" => CounterKind::Heap,
             "misra-gries" => CounterKind::MisraGries,
             "lossy-counting" => CounterKind::LossyCounting,
+            "chk" | "cuckoo-heavy-keeper" => CounterKind::CuckooHeavyKeeper,
+            "dispatch" => CounterKind::Dispatch,
             other => {
                 return Err(format!(
-                    "unknown counter `{other}` (try stream-summary, compact, heap, \
-                     misra-gries, lossy-counting)"
+                    "unknown counter `{other}` (try stream-summary, compact, dispatch, heap, \
+                     misra-gries, lossy-counting, chk)"
                 ))
             }
         })
@@ -98,6 +115,12 @@ impl CounterKind {
             CounterKind::LossyCounting => {
                 Box::new(Rhhh::<K, LossyCounting<K>>::new(lattice, config))
             }
+            CounterKind::CuckooHeavyKeeper => {
+                Box::new(Rhhh::<K, CuckooHeavyKeeper<K>>::new(lattice, config))
+            }
+            CounterKind::Dispatch => {
+                Box::new(Rhhh::<K, DispatchedEstimator<K>>::new(lattice, config))
+            }
         }
     }
 }
@@ -114,6 +137,10 @@ mod tests {
         assert_eq!(
             CounterKind::parse("space-saving"),
             Ok(CounterKind::StreamSummary)
+        );
+        assert_eq!(
+            CounterKind::parse("cuckoo-heavy-keeper"),
+            Ok(CounterKind::CuckooHeavyKeeper)
         );
         assert!(CounterKind::parse("bogus").is_err());
     }

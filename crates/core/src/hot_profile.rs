@@ -30,6 +30,14 @@
 //! `hot_path_profile` bench asserts the named stages cover ≥ 95% of the
 //! total.
 //!
+//! The `flush` stage additionally keeps a **per-layout** side table: each
+//! per-node flush charges its time against the node counter's
+//! [`layout_label`](hhh_counters::FrequencyEstimator::layout_label), so a
+//! dispatched lattice (where different nodes run different layouts) shows
+//! where its flush cycles actually go. The side table is informational —
+//! the `Stage::Flush` accumulator and the ≥ 95% accounted-share gate are
+//! computed exactly as before.
+//!
 //! With the feature **off** (the default), [`ProfTimer`] is a unit struct,
 //! every method is an empty `#[inline(always)]` body, and the whole layer
 //! compiles to nothing — the bit-identity and throughput of the unprofiled
@@ -89,11 +97,12 @@ impl StageTotals {
 #[cfg(feature = "hot-profile")]
 mod imp {
     use super::{Stage, StageTotals};
-    use std::cell::Cell;
+    use std::cell::{Cell, RefCell};
     use std::time::Instant;
 
     thread_local! {
         static TOTALS: Cell<StageTotals> = const { Cell::new(StageTotals { ns: [0; 5], calls: [0; 5] }) };
+        static FLUSH_LAYOUTS: RefCell<Vec<(&'static str, u64, u64)>> = const { RefCell::new(Vec::new()) };
     }
 
     /// Wall-clock bracket charging its elapsed time to one [`Stage`].
@@ -123,17 +132,44 @@ mod imp {
                 t.set(totals);
             });
         }
+
+        /// Ends the bracket, charging the elapsed time to the flush
+        /// layout side table only (not a [`Stage`] — the caller's outer
+        /// `Stage::Flush` bracket still owns the stage accounting).
+        /// `label` is lazy so the disabled build never evaluates it.
+        #[inline(always)]
+        pub fn stop_layout(self, label: impl FnOnce() -> &'static str) {
+            let elapsed = self.start.elapsed().as_nanos() as u64;
+            let label = label();
+            FLUSH_LAYOUTS.with(|t| {
+                let mut rows = t.borrow_mut();
+                if let Some(row) = rows.iter_mut().find(|r| r.0 == label) {
+                    row.1 += elapsed;
+                    row.2 += 1;
+                } else {
+                    rows.push((label, elapsed, 1));
+                }
+            });
+        }
     }
 
     /// Zeroes the current thread's accumulators.
     pub fn reset() {
         TOTALS.with(|t| t.set(StageTotals::default()));
+        FLUSH_LAYOUTS.with(|t| t.borrow_mut().clear());
     }
 
     /// Returns the current thread's accumulated totals.
     #[must_use]
     pub fn snapshot() -> StageTotals {
         TOTALS.with(Cell::get)
+    }
+
+    /// Returns the current thread's flush time split by counter layout
+    /// label: `(label, ns, brackets)`, in first-seen order.
+    #[must_use]
+    pub fn flush_layout_snapshot() -> Vec<(&'static str, u64, u64)> {
+        FLUSH_LAYOUTS.with(|t| t.borrow().clone())
     }
 }
 
@@ -159,6 +195,12 @@ mod imp {
         pub fn stop(self, stage: Stage) {
             let _ = stage;
         }
+
+        /// Charges nothing; the label closure is never called.
+        #[inline(always)]
+        pub fn stop_layout(self, label: impl FnOnce() -> &'static str) {
+            let _ = label;
+        }
     }
 
     /// No accumulators to zero.
@@ -169,9 +211,15 @@ mod imp {
     pub fn snapshot() -> StageTotals {
         StageTotals::default()
     }
+
+    /// Always empty.
+    #[must_use]
+    pub fn flush_layout_snapshot() -> Vec<(&'static str, u64, u64)> {
+        Vec::new()
+    }
 }
 
-pub use imp::{reset, snapshot, ProfTimer};
+pub use imp::{flush_layout_snapshot, reset, snapshot, ProfTimer};
 
 #[cfg(test)]
 mod tests {
@@ -196,12 +244,36 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "hot-profile")]
+    fn flush_layout_table_accumulates_per_label() {
+        reset();
+        for label in ["compact", "stream-summary", "compact"] {
+            let t = ProfTimer::start();
+            std::hint::black_box(0u64);
+            t.stop_layout(|| label);
+        }
+        let rows = flush_layout_snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "compact");
+        assert_eq!(rows[0].2, 2, "two compact brackets fold into one row");
+        assert_eq!(rows[1].0, "stream-summary");
+        assert_eq!(rows[1].2, 1);
+        // The side table never touches the stage accumulators.
+        assert_eq!(snapshot(), StageTotals::default());
+        reset();
+        assert!(flush_layout_snapshot().is_empty());
+    }
+
+    #[test]
     #[cfg(not(feature = "hot-profile"))]
     fn disabled_layer_is_inert() {
         reset();
         let t = ProfTimer::start();
         t.stop(Stage::Total);
+        let t = ProfTimer::start();
+        t.stop_layout(|| unreachable!("label must not be evaluated when disabled"));
         assert_eq!(snapshot(), StageTotals::default());
+        assert!(flush_layout_snapshot().is_empty());
     }
 
     #[test]

@@ -423,6 +423,15 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
     pub fn node_updates(&self, node: NodeId) -> u64 {
         self.instances[node.index()].updates()
     }
+
+    /// The per-node counter instances in lattice-node order (diagnostic;
+    /// the dispatch census in the speed benches reads each instance's
+    /// [`FrequencyEstimator::layout_label`] through this).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn node_instances(&self) -> &[E] {
+        &self.instances
+    }
 }
 
 impl<K: KeyBits, E: FrequencyEstimator<K>> NodeEstimates<K> for Rhhh<K, E> {
@@ -683,7 +692,10 @@ mod tests {
 
     #[test]
     fn works_with_other_counter_algorithms() {
-        use hhh_counters::{CompactSpaceSaving, HeapSpaceSaving, LossyCounting, MisraGries};
+        use hhh_counters::{
+            CompactSpaceSaving, CuckooHeavyKeeper, DispatchedEstimator, HeapSpaceSaving,
+            LossyCounting, MisraGries,
+        };
         let mut rng = Lcg(11);
         let mut keys = Vec::new();
         for i in 0..100_000u64 {
@@ -719,6 +731,8 @@ mod tests {
         check!(HeapSpaceSaving<u32>);
         check!(MisraGries<u32>);
         check!(LossyCounting<u32>);
+        check!(CuckooHeavyKeeper<u32>);
+        check!(DispatchedEstimator<u32>);
     }
 
     #[test]

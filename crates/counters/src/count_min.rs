@@ -195,6 +195,10 @@ impl<K: CounterKey> FrequencyEstimator<K> for CountMin<K> {
     fn capacity(&self) -> usize {
         self.capacity
     }
+
+    fn layout_label(&self) -> &'static str {
+        "count-min"
+    }
 }
 
 #[cfg(test)]

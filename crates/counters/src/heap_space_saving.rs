@@ -236,6 +236,10 @@ impl<K: CounterKey> FrequencyEstimator<K> for HeapSpaceSaving<K> {
     fn capacity(&self) -> usize {
         self.capacity
     }
+
+    fn layout_label(&self) -> &'static str {
+        "heap"
+    }
 }
 
 #[cfg(test)]

@@ -70,7 +70,7 @@ const LANES_HI: u64 = 0x8080_8080_8080_8080;
 /// byte), never false negatives — callers confirm candidates against the
 /// key lane, so a rare false positive costs one extra compare.
 #[inline(always)]
-fn zero_bytes(x: u64) -> u64 {
+pub(crate) fn zero_bytes(x: u64) -> u64 {
     x.wrapping_sub(LANES_LO) & !x & LANES_HI
 }
 

@@ -6,8 +6,11 @@
 //! same class as one instance) while the independent sampling errors add in
 //! variance, so accuracy should be *flat in K*. This experiment measures
 //! that claim with the paper's three quality metrics against exact ground
-//! truth, for K ∈ {1, 2, 4, 8} and both Space Saving layouts, plus the
-//! wall-clock cost of the merge itself.
+//! truth, for K ∈ {1, 2, 4, 8} and **every counter in
+//! [`CounterKind::roster`]**, plus the wall-clock cost of the merge
+//! itself. (For the decay family the merged per-key bands widen by the
+//! summed shard deficits — its documented merge bound — so its accuracy
+//! column is expected to drift with K rather than stay flat.)
 //!
 //! Two combine strategies are compared at every K > 1:
 //!
@@ -23,7 +26,10 @@
 use std::time::Instant;
 
 use hhh_core::{CounterKind, ExactHhh, HeavyHitter, HhhAlgorithm, Rhhh, RhhhConfig};
-use hhh_counters::{CompactSpaceSaving, FrequencyEstimator, SpaceSaving};
+use hhh_counters::{
+    CompactSpaceSaving, CuckooHeavyKeeper, DispatchedEstimator, FrequencyEstimator,
+    HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+};
 use hhh_eval::{accuracy_error_ratio, coverage_error_ratio, false_positive_ratio, Args, Report};
 use hhh_hierarchy::Lattice;
 use hhh_traces::{Packet, TraceConfig, TraceGenerator};
@@ -66,6 +72,43 @@ fn run_kway<E: FrequencyEstimator<u64>>(
     (merged.output(theta), merge_ms)
 }
 
+/// Monomorphizes `$body` over the roster: `$est` aliases the concrete
+/// `u64`-keyed estimator for `$kind`.
+macro_rules! with_counter_type {
+    ($kind:expr, $est:ident, $body:expr) => {
+        match $kind {
+            CounterKind::StreamSummary => {
+                type $est = SpaceSaving<u64>;
+                $body
+            }
+            CounterKind::Compact => {
+                type $est = CompactSpaceSaving<u64>;
+                $body
+            }
+            CounterKind::Dispatch => {
+                type $est = DispatchedEstimator<u64>;
+                $body
+            }
+            CounterKind::Heap => {
+                type $est = HeapSpaceSaving<u64>;
+                $body
+            }
+            CounterKind::MisraGries => {
+                type $est = MisraGries<u64>;
+                $body
+            }
+            CounterKind::LossyCounting => {
+                type $est = LossyCounting<u64>;
+                $body
+            }
+            CounterKind::CuckooHeavyKeeper => {
+                type $est = CuckooHeavyKeeper<u64>;
+                $body
+            }
+        }
+    };
+}
+
 fn main() {
     let args = Args::parse(1_000_000, 1);
     let mut report = Report::new(
@@ -106,7 +149,7 @@ fn main() {
             )
         };
 
-        for counter in [CounterKind::StreamSummary, CounterKind::Compact] {
+        for counter in CounterKind::roster() {
             for shards in [1usize, 2, 4, 8] {
                 // Pairwise fold through the dyn driver trait.
                 let mut parts: Vec<Box<dyn HhhAlgorithm<u64>>> = (0..shards)
@@ -144,22 +187,9 @@ fn main() {
 
                 // Single K-way combine (the harvest path).
                 if shards > 1 {
-                    let (out, merge_ms) = match counter {
-                        CounterKind::Compact => run_kway::<CompactSpaceSaving<u64>>(
-                            &lattice,
-                            &keys,
-                            args.epsilon,
-                            shards,
-                            args.theta,
-                        ),
-                        _ => run_kway::<SpaceSaving<u64>>(
-                            &lattice,
-                            &keys,
-                            args.epsilon,
-                            shards,
-                            args.theta,
-                        ),
-                    };
+                    let (out, merge_ms) = with_counter_type!(counter, Est, {
+                        run_kway::<Est>(&lattice, &keys, args.epsilon, shards, args.theta)
+                    });
                     let (acc, cov, fpr) = metrics(&out);
                     report.row(&[
                         trace.name.clone(),

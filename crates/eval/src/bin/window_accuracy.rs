@@ -8,9 +8,14 @@
 //! the G independent per-pane sampling slacks sum to `√G ×` the merged
 //! slack. This experiment measures that claim against an **exact oracle
 //! computed over precisely the covered packet range**, for G ∈ {1, 2, 4,
-//! 8}, both Space Saving layouts and two trace shapes, and prices the two
-//! query paths (fresh K-way merge per query vs the cached in-flight
-//! snapshot).
+//! 8}, **every counter in [`CounterKind::roster`]** and two trace shapes,
+//! and prices the two query paths (fresh K-way merge per query vs the
+//! cached in-flight snapshot).
+//!
+//! The bound check is two-sided (`|upper − truth| ≤ allow`) for the
+//! ε·N-error family and one-sided (`truth ≤ upper + allow`) for the decay
+//! family (`chk`), whose upper bound embeds the data-dependent deficit —
+//! a sound overestimate with no ε·N-sized cap.
 //!
 //! Columns: the three standard quality metrics vs the covered-range
 //! oracle, `bound_violations` (reported HHHs straying beyond the summed
@@ -21,7 +26,10 @@
 use std::time::Instant;
 
 use hhh_core::{CounterKind, ExactHhh, HhhAlgorithm, RhhhConfig, WindowedRhhh};
-use hhh_counters::{CompactSpaceSaving, FrequencyEstimator, SpaceSaving};
+use hhh_counters::{
+    CompactSpaceSaving, CuckooHeavyKeeper, DispatchedEstimator, FrequencyEstimator,
+    HeapSpaceSaving, LossyCounting, MisraGries, SpaceSaving,
+};
 use hhh_eval::{accuracy_error_ratio, coverage_error_ratio, false_positive_ratio, Args, Report};
 use hhh_hierarchy::Lattice;
 use hhh_traces::{Packet, TraceConfig, TraceGenerator};
@@ -45,6 +53,7 @@ fn run_one<E: FrequencyEstimator<u64> + Clone>(
     panes: usize,
     epsilon: f64,
     theta: f64,
+    two_sided: bool,
 ) -> Row {
     // ε_s is sized so that ψ = Z·V/ε_s² lands at 80% of the window — the
     // windows this binary constructs are honestly convergent at every
@@ -92,7 +101,11 @@ fn run_one<E: FrequencyEstimator<u64> + Clone>(
         .iter()
         .filter(|h| {
             let truth = oracle.frequency(&h.prefix) as f64;
-            (h.freq_upper - truth).abs() > allow
+            if two_sided {
+                (h.freq_upper - truth).abs() > allow
+            } else {
+                truth - h.freq_upper > allow
+            }
         })
         .count();
 
@@ -105,6 +118,43 @@ fn run_one<E: FrequencyEstimator<u64> + Clone>(
         merge_ms,
         cached_ms,
     }
+}
+
+/// Monomorphizes `$body` over the roster: `$est` aliases the concrete
+/// `u64`-keyed estimator for `$kind`.
+macro_rules! with_counter_type {
+    ($kind:expr, $est:ident, $body:expr) => {
+        match $kind {
+            CounterKind::StreamSummary => {
+                type $est = SpaceSaving<u64>;
+                $body
+            }
+            CounterKind::Compact => {
+                type $est = CompactSpaceSaving<u64>;
+                $body
+            }
+            CounterKind::Dispatch => {
+                type $est = DispatchedEstimator<u64>;
+                $body
+            }
+            CounterKind::Heap => {
+                type $est = HeapSpaceSaving<u64>;
+                $body
+            }
+            CounterKind::MisraGries => {
+                type $est = MisraGries<u64>;
+                $body
+            }
+            CounterKind::LossyCounting => {
+                type $est = LossyCounting<u64>;
+                $body
+            }
+            CounterKind::CuckooHeavyKeeper => {
+                type $est = CuckooHeavyKeeper<u64>;
+                $body
+            }
+        }
+    };
 }
 
 fn main() {
@@ -149,26 +199,22 @@ fn main() {
             .iter()
             .map(Packet::key2)
             .collect();
-        for counter in [CounterKind::StreamSummary, CounterKind::Compact] {
+        for counter in CounterKind::roster() {
+            // The decay family's upper embeds the data-dependent deficit;
+            // only the lower side of the sandwich carries an ε·N-class cap.
+            let two_sided = counter != CounterKind::CuckooHeavyKeeper;
             for panes in [1usize, 2, 4, 8] {
-                let row = match counter {
-                    CounterKind::Compact => run_one::<CompactSpaceSaving<u64>>(
+                let row = with_counter_type!(counter, Est, {
+                    run_one::<Est>(
                         &lattice,
                         &keys,
                         window,
                         panes,
                         args.epsilon,
                         args.theta,
-                    ),
-                    _ => run_one::<SpaceSaving<u64>>(
-                        &lattice,
-                        &keys,
-                        window,
-                        panes,
-                        args.epsilon,
-                        args.theta,
-                    ),
-                };
+                        two_sided,
+                    )
+                });
                 report.row(&[
                     trace.name.clone(),
                     counter.label().to_string(),

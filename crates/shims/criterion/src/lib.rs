@@ -242,8 +242,11 @@ impl BenchmarkGroup<'_> {
     /// per minute, swamping single-digit wins. Interleaving spreads both
     /// sides' samples across the same wall-clock span, so slow drift
     /// cancels out of the ratio and only the fast (averaged-out) noise
-    /// remains. Use it for any row pair whose *ratio* is the deliverable,
-    /// e.g. the `block-vs-pr5` acceptance rows.
+    /// remains. Each side reports the median of its per-round means, so a
+    /// contention burst that lands inside a handful of slices is discarded
+    /// rather than charged to one side. Use it for any row pair whose
+    /// *ratio* is the deliverable, e.g. the `block-vs-pr5` and
+    /// `dispatch-vs-fixed` acceptance rows.
     pub fn bench_pair_interleaved<FA, FB>(
         &mut self,
         id_a: impl std::fmt::Display,
@@ -304,9 +307,9 @@ fn run_one<F: FnMut(&mut Bencher) + ?Sized>(
 }
 
 /// Alternating slices per side within one measurement window; enough
-/// rounds that slow drift averages into both sides equally, few enough
-/// that each slice still fits several iterations of a multi-ms benchmark.
-const PAIR_ROUNDS: u32 = 8;
+/// rounds that slow drift averages into both sides equally and the
+/// per-round median has a real sample population behind it.
+const PAIR_ROUNDS: u32 = 16;
 
 fn run_pair(
     group: &str,
@@ -347,26 +350,51 @@ fn run_pair(
     slice_run(fa, half_warm);
     slice_run(fb, half_warm);
 
+    // Each side reports the MEDIAN of its per-round means, not the global
+    // mean: on a box where a noisy neighbour can double one slice's wall
+    // time, the global mean hands whole bursts to whichever side they
+    // landed on, while the per-round median discards them symmetrically.
     let slice = settings.effective_measurement() / (2 * PAIR_ROUNDS);
-    let mut totals = [Duration::ZERO; 2];
+    let mut rounds_a = Vec::with_capacity(PAIR_ROUNDS as usize);
+    let mut rounds_b = Vec::with_capacity(PAIR_ROUNDS as usize);
     let mut iters = [0u64; 2];
     for _ in 0..PAIR_ROUNDS {
         let (t, i) = slice_run(fa, slice);
-        totals[0] += t;
+        rounds_a.push(t.as_nanos() as f64 / i.max(1) as f64);
         iters[0] += i;
         let (t, i) = slice_run(fb, slice);
-        totals[1] += t;
+        rounds_b.push(t.as_nanos() as f64 / i.max(1) as f64);
         iters[1] += i;
     }
 
-    report(group, id_a, throughput, totals[0], iters[0]);
-    report(group, id_b, throughput, totals[1], iters[1]);
+    report_mean(group, id_a, throughput, median(&mut rounds_a), iters[0]);
+    report_mean(group, id_b, throughput, median(&mut rounds_b), iters[1]);
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_unstable_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
 }
 
 /// Prints one Criterion-style result line and appends the JSON record.
 fn report(group: &str, id: &str, throughput: Option<Throughput>, total: Duration, iters: u64) {
     let iters = iters.max(1);
     let mean_ns = total.as_nanos() as f64 / iters as f64;
+    report_mean(group, id, throughput, mean_ns, iters);
+}
+
+/// Reporting tail shared by the mean (single-row) and median (pair-row)
+/// paths; `mean_ns` is whatever per-iteration statistic the caller chose.
+fn report_mean(group: &str, id: &str, throughput: Option<Throughput>, mean_ns: f64, iters: u64) {
+    let iters = iters.max(1);
     let label = if group.is_empty() {
         id.to_string()
     } else {
@@ -636,6 +664,15 @@ mod tests {
                 .expect("both sides recorded");
             assert!(rec.iters > 0 && rec.mean_ns > 0.0);
         }
+    }
+
+    #[test]
+    fn median_discards_bursts_symmetrically() {
+        let mut odd = [10.0, 1e9, 12.0, 11.0, 13.0];
+        assert!((median(&mut odd) - 12.0).abs() < f64::EPSILON);
+        let mut even = [10.0, 20.0, 30.0, 1e9];
+        assert!((median(&mut even) - 25.0).abs() < f64::EPSILON);
+        assert_eq!(median(&mut []), 0.0);
     }
 
     #[test]
