@@ -1,13 +1,25 @@
 //! Shard-parallel pipeline cost model: what merge-on-query buys and costs.
 //!
-//! Three groups:
+//! Five groups:
 //!
 //! * `sharded_throughput/pipeline` — end-to-end packets/s of the
 //!   [`ShardedMonitor`] (hash-route → per-shard batch workers → harvest
 //!   merge) for 1, 2 and 4 shards, both Space Saving layouts. On a
 //!   single-vCPU box the extra shards measure the *coordination overhead*
-//!   (hash, buffer, channel, merge) rather than a speedup — the number a
+//!   (hash, buffer, hand-off, merge) rather than a speedup — the number a
 //!   deployment needs to know before reaching for threads.
+//! * `sharded_throughput/ring-vs-channel` — interleaved A/B pairs of the
+//!   two hand-off planes at a deliberately small batch grain (512 keys),
+//!   so the per-send cost — SPSC ring push+unpark vs mutex/condvar
+//!   channel send — dominates the comparison. Scheduler drift hits both
+//!   sides of a pair equally (same protocol as the PR 6/7 layout pairs).
+//!   After the pairs, one instrumented ring run per shard count prints
+//!   the per-shard occupancy/park/drop counters.
+//! * `sharded_throughput/query` — the non-blocking query plane on a live
+//!   4-shard ring monitor: `cached` re-serves the epoch-keyed merge,
+//!   `per-merge` K-way-merges the latest snapshots from scratch. Row ids
+//!   mirror `windowed_throughput/query` in `update_speed` so CI can
+//!   compare the two caches directly.
 //! * `sharded_throughput/merge` — the harvest-time cost of one
 //!   [`Rhhh::merge`] of two steady-state instances (25 nodes × 1001
 //!   counters each); this is the per-query price of shard parallelism and
@@ -23,10 +35,13 @@ use hhh_bench::Workload;
 use hhh_core::{Rhhh, RhhhConfig};
 use hhh_counters::{CompactSpaceSaving, SpaceSaving};
 use hhh_hierarchy::Lattice;
-use hhh_vswitch::{Backpressure, MultiVmDistributedRhhh, ShardedMonitor};
+use hhh_vswitch::{Backpressure, Handoff, MultiVmDistributedRhhh, ShardedMonitor, SpawnOptions};
 
 const PACKETS: usize = 1_000_000;
 const SHARD_BATCH: usize = 4_096;
+/// Small grain for the hand-off A/B: ~8× more sends per packet than the
+/// pipeline group, so the ring-vs-channel term is what the pair measures.
+const HANDOFF_BATCH: usize = 512;
 
 fn config(v_scale: u64) -> RhhhConfig {
     RhhhConfig {
@@ -55,7 +70,8 @@ fn pipeline(c: &mut Criterion) {
                     config(10),
                     shards,
                     SHARD_BATCH,
-                );
+                )
+                .expect("spawn workers");
                 for &k in &w.keys2 {
                     mon.update(k);
                 }
@@ -71,7 +87,8 @@ fn pipeline(c: &mut Criterion) {
                         config(10),
                         shards,
                         SHARD_BATCH,
-                    );
+                    )
+                    .expect("spawn workers");
                     for &k in &w.keys2 {
                         mon.update(k);
                     }
@@ -81,6 +98,119 @@ fn pipeline(c: &mut Criterion) {
         );
     }
     g.finish();
+}
+
+/// One feed+harvest pass at the small hand-off grain with the given plane.
+fn handoff_pass(
+    lat: &Lattice<u64>,
+    keys: &[u64],
+    shards: usize,
+    handoff: Handoff,
+) -> Rhhh<u64, SpaceSaving<u64>> {
+    let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+        lat.clone(),
+        config(10),
+        shards,
+        HANDOFF_BATCH,
+        SpawnOptions {
+            handoff,
+            ..SpawnOptions::default()
+        },
+    )
+    .expect("spawn workers");
+    for &k in keys {
+        mon.update(k);
+    }
+    mon.harvest().expect("healthy pipeline")
+}
+
+fn ring_vs_channel(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut g = c.benchmark_group("sharded_throughput/ring-vs-channel");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(w.keys2.len() as u64));
+    for shards in [1usize, 2, 4] {
+        g.bench_pair_interleaved(
+            format!("x{shards}-ring"),
+            |b| b.iter(|| handoff_pass(&lat, &w.keys2, shards, Handoff::Ring)),
+            format!("x{shards}-channel"),
+            |b| b.iter(|| handoff_pass(&lat, &w.keys2, shards, Handoff::Channel)),
+        );
+    }
+    g.finish();
+
+    // One instrumented ring feed per shard count: the backpressure story
+    // behind the pair numbers (how full the rings ran, how often either
+    // side had to park, whether anything was dropped).
+    for shards in [1usize, 2, 4] {
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+            lat.clone(),
+            config(10),
+            shards,
+            HANDOFF_BATCH,
+            SpawnOptions::default(),
+        )
+        .expect("spawn workers");
+        for &k in &w.keys2 {
+            mon.update(k);
+        }
+        mon.flush();
+        for (i, s) in mon.handoff_stats().iter().enumerate() {
+            println!(
+                "# ring x{shards} shard {i}: sends={} occ-mean={:.2} occ-max={} \
+                 full={} parks={} dropped={}",
+                s.sends,
+                s.mean_occupancy(),
+                s.occupancy_max,
+                s.full_events,
+                s.park_events,
+                s.dropped,
+            );
+        }
+        mon.harvest().expect("healthy pipeline");
+    }
+}
+
+fn query_plane(c: &mut Criterion) {
+    let w = Workload::chicago16(PACKETS);
+    let lat = Lattice::ipv4_src_dst_bytes();
+
+    // A live 4-shard ring monitor: feed the full trace, publish, and keep
+    // the workers alive (parked) while the query plane is measured.
+    let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+        lat,
+        config(1),
+        4,
+        SHARD_BATCH,
+        SpawnOptions::default(),
+    )
+    .expect("spawn workers");
+    for &k in &w.keys2 {
+        mon.update(k);
+    }
+    mon.publish_now();
+    let fed = w.keys2.len() as u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while mon.query_coverage() < fed && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(mon.query_coverage(), fed, "snapshots cover the full feed");
+
+    let mut g = c.benchmark_group("sharded_throughput/query");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.bench_function(BenchmarkId::from_parameter("cached"), |b| {
+        b.iter(|| mon.query(0.1));
+    });
+    g.bench_function(BenchmarkId::from_parameter("per-merge"), |b| {
+        b.iter(|| mon.query_fresh(0.1));
+    });
+    g.finish();
+    mon.harvest().expect("healthy pipeline");
 }
 
 fn merge_cost(c: &mut Criterion) {
@@ -153,5 +283,12 @@ fn multi_vm(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(sharded, pipeline, merge_cost, multi_vm);
+criterion_group!(
+    sharded,
+    pipeline,
+    ring_vs_channel,
+    query_plane,
+    merge_cost,
+    multi_vm
+);
 criterion_main!(sharded);

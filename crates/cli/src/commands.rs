@@ -13,7 +13,7 @@ use hhh_eval::AlgoKind;
 use hhh_hierarchy::{KeyBits, Lattice};
 use hhh_traces::io::{write_trace, TraceReader};
 use hhh_traces::{AttackConfig, Packet, TraceConfig, TraceGenerator};
-use hhh_vswitch::{ShardedMonitor, WindowedShardedMonitor};
+use hhh_vswitch::{Handoff, ShardedMonitor, SpawnOptions, WindowedShardedMonitor};
 
 use crate::args::Flags;
 
@@ -113,6 +113,13 @@ fn shards_flag(flags: &Flags) -> Result<Option<usize>, String> {
         ));
     }
     Ok(if n == 0.0 { None } else { Some(n as usize) })
+}
+
+/// Parses the optional `--handoff ring|channel` flag selecting the
+/// sharded batch hand-off (default: the lock-free ring; `channel` keeps
+/// the bounded-channel baseline for differential runs).
+fn handoff_flag(flags: &Flags) -> Result<Handoff, String> {
+    flags.get("handoff").map_or(Ok(Handoff::Ring), str::parse)
 }
 
 /// Monomorphizes one expression over the selected [`CounterKind`]: inside
@@ -228,6 +235,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
     let batch = flags.switch("batch");
     let counter = counter_kind(&flags)?;
     let shards = shards_flag(&flags)?;
+    let handoff = handoff_flag(&flags)?;
     let window = window_flags(&flags)?;
     let filter = flags.get("filter").map(ToString::to_string);
     let packets = load_packets(&flags)?;
@@ -244,6 +252,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             batch,
             counter,
             shards,
+            handoff,
             window,
             top,
             filter.as_deref(),
@@ -259,6 +268,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             batch,
             counter,
             shards,
+            handoff,
             window,
             top,
             filter.as_deref(),
@@ -274,6 +284,7 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
             batch,
             counter,
             shards,
+            handoff,
             window,
             top,
             filter.as_deref(),
@@ -326,36 +337,83 @@ fn run_rhhh_timed<K: KeyBits, E: FrequencyEstimator<K>>(
 /// every key across `shards` worker threads (each on its own RHHH instance
 /// through the batch path), then merge-on-harvest. The elapsed time covers
 /// feed, drain and merge — the end-to-end pipeline cost a deployment pays.
-fn run_sharded_timed<K: KeyBits, E: FrequencyEstimator<K>>(
+fn run_sharded_timed<K: KeyBits, E: FrequencyEstimator<K> + Clone + Sync>(
     lattice: &Lattice<K>,
     config: RhhhConfig,
     shards: usize,
+    handoff: Handoff,
+    live_query: bool,
     keys: &[K],
     theta: f64,
 ) -> Result<(Vec<HeavyHitter<K>>, u64, f64), String> {
+    let opts = SpawnOptions {
+        handoff,
+        ..SpawnOptions::default()
+    };
     let start = Instant::now();
-    let mut mon = ShardedMonitor::<K, E>::spawn(lattice.clone(), config, shards, SHARD_BATCH);
+    let mut mon =
+        ShardedMonitor::<K, E>::spawn_with(lattice.clone(), config, shards, SHARD_BATCH, opts)
+            .map_err(|e| e.to_string())?;
     for &k in keys {
         mon.update(k);
     }
+    let fed = start.elapsed();
+    if live_query {
+        // Demonstrate the snapshot query plane off the clock: the workers
+        // keep running while we merge their latest published snapshots.
+        report_live_query(&mut mon, theta);
+    }
+    let drain = Instant::now();
     let merged = mon.harvest().map_err(|e| e.to_string())?;
-    let elapsed = start.elapsed().as_secs_f64();
+    let elapsed = (fed + drain.elapsed()).as_secs_f64();
     let total = merged.packets();
     Ok((merged.output(theta), total, elapsed))
+}
+
+/// Publishes fresh snapshots, waits (bounded) for them to land, and
+/// prints the live query's answer size, coverage and latency — without
+/// joining or stopping the workers.
+fn report_live_query<K: KeyBits, E: FrequencyEstimator<K> + Clone + Sync>(
+    mon: &mut ShardedMonitor<K, E>,
+    theta: f64,
+) {
+    mon.publish_now();
+    let fed = mon.packets();
+    let deadline = Instant::now() + std::time::Duration::from_millis(500);
+    while mon.query_coverage() < fed && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    let start = Instant::now();
+    let live = mon.query(theta);
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "# live snapshot query: {} HHHs over {}/{} packets in {:.3} ms (workers not joined)",
+        live.len(),
+        mon.query_coverage(),
+        fed,
+        ms
+    );
 }
 
 /// The volume twin of [`run_sharded_timed`]: feeds `(key, weight)` pairs
 /// through [`ShardedMonitor::update_weighted`], so `--shards --volume`
 /// measures byte-weighted HHHs on the shard-parallel pipeline.
-fn run_sharded_weighted_timed<K: KeyBits, E: FrequencyEstimator<K>>(
+fn run_sharded_weighted_timed<K: KeyBits, E: FrequencyEstimator<K> + Clone + Sync>(
     lattice: &Lattice<K>,
     config: RhhhConfig,
     shards: usize,
+    handoff: Handoff,
     weighted: &[(K, u64)],
     theta: f64,
 ) -> Result<(Vec<HeavyHitter<K>>, u64, f64), String> {
+    let opts = SpawnOptions {
+        handoff,
+        ..SpawnOptions::default()
+    };
     let start = Instant::now();
-    let mut mon = ShardedMonitor::<K, E>::spawn(lattice.clone(), config, shards, SHARD_BATCH);
+    let mut mon =
+        ShardedMonitor::<K, E>::spawn_with(lattice.clone(), config, shards, SHARD_BATCH, opts)
+            .map_err(|e| e.to_string())?;
     mon.update_batch_weighted(weighted);
     let merged = mon.harvest().map_err(|e| e.to_string())?;
     let elapsed = start.elapsed().as_secs_f64();
@@ -400,24 +458,32 @@ fn run_windowed_timed<K: KeyBits, E: FrequencyEstimator<K> + Clone>(
 /// The shard-parallel windowed pipeline: hash-route across `shards`
 /// pane-ring workers with globally aligned rotations, harvest with one
 /// K·G-way merge.
-fn run_windowed_sharded_timed<K: KeyBits, E: FrequencyEstimator<K>>(
+#[allow(clippy::too_many_arguments)]
+fn run_windowed_sharded_timed<K: KeyBits, E: FrequencyEstimator<K> + Clone + Sync>(
     lattice: &Lattice<K>,
     config: RhhhConfig,
     window: u64,
     panes: usize,
     shards: usize,
+    handoff: Handoff,
     keys: &[K],
     theta: f64,
 ) -> Result<(Vec<HeavyHitter<K>>, u64, f64), String> {
+    let opts = SpawnOptions {
+        handoff,
+        ..SpawnOptions::default()
+    };
     let start = Instant::now();
-    let mut mon = WindowedShardedMonitor::<K, E>::spawn(
+    let mut mon = WindowedShardedMonitor::<K, E>::spawn_with(
         lattice.clone(),
         config,
         shards,
         SHARD_BATCH,
         window,
         panes,
-    );
+        opts,
+    )
+    .map_err(|e| e.to_string())?;
     mon.update_batch(keys);
     let merged = mon.harvest_window().map_err(|e| e.to_string())?;
     let elapsed = start.elapsed().as_secs_f64();
@@ -437,6 +503,7 @@ fn run_analysis<K: KeyBits>(
     batch: bool,
     counter: CounterKind,
     shards: Option<usize>,
+    handoff: Handoff,
     window: Option<(u64, usize)>,
     top: usize,
     filter: Option<&str>,
@@ -501,7 +568,7 @@ fn run_analysis<K: KeyBits>(
             if let Some(shards) = shards {
                 with_counter_type!(counter, Est, {
                     run_windowed_sharded_timed::<K, Est<K>>(
-                        lattice, config, win, panes, shards, &keys, theta,
+                        lattice, config, win, panes, shards, handoff, &keys, theta,
                     )?
                 })
             } else {
@@ -515,12 +582,14 @@ fn run_analysis<K: KeyBits>(
             if volume {
                 with_counter_type!(counter, Est, {
                     run_sharded_weighted_timed::<K, Est<K>>(
-                        lattice, config, shards, &weighted, theta,
+                        lattice, config, shards, handoff, &weighted, theta,
                     )?
                 })
             } else {
                 with_counter_type!(counter, Est, {
-                    run_sharded_timed::<K, Est<K>>(lattice, config, shards, &keys, theta)?
+                    run_sharded_timed::<K, Est<K>>(
+                        lattice, config, shards, handoff, true, &keys, theta,
+                    )?
                 })
             }
         } else {
@@ -599,6 +668,7 @@ fn speed_inner(argv: &[String]) -> Result<(), String> {
     let batch = flags.switch("batch");
     let counter = counter_kind(&flags)?;
     let shards = shards_flag(&flags)?;
+    let handoff = handoff_flag(&flags)?;
     let data = TraceGenerator::new(&config).take_packets(packets);
 
     println!(
@@ -616,6 +686,7 @@ fn speed_inner(argv: &[String]) -> Result<(), String> {
                 batch,
                 counter,
                 shards,
+                handoff,
             );
         }
         "1d-bytes" => {
@@ -627,6 +698,7 @@ fn speed_inner(argv: &[String]) -> Result<(), String> {
                 batch,
                 counter,
                 shards,
+                handoff,
             );
         }
         "1d-bits" => {
@@ -638,6 +710,7 @@ fn speed_inner(argv: &[String]) -> Result<(), String> {
                 batch,
                 counter,
                 shards,
+                handoff,
             );
         }
         other => return Err(format!("unknown hierarchy `{other}`")),
@@ -654,6 +727,7 @@ fn measure_sharded_mpps<K: KeyBits>(
     epsilon: f64,
     v_scale: u64,
     shards: usize,
+    handoff: Handoff,
 ) -> f64 {
     let config = RhhhConfig {
         epsilon_a: epsilon,
@@ -664,7 +738,7 @@ fn measure_sharded_mpps<K: KeyBits>(
         seed: 1,
     };
     let (_, total, elapsed) = with_counter_type!(counter, Est, {
-        run_sharded_timed::<K, Est<K>>(lattice, config, shards, keys, 1.0)
+        run_sharded_timed::<K, Est<K>>(lattice, config, shards, handoff, false, keys, 1.0)
     })
     .expect("healthy pipeline");
     total as f64 / elapsed / 1e6
@@ -677,6 +751,7 @@ fn speed_table<K: KeyBits>(
     batch: bool,
     counter: CounterKind,
     shards: Option<usize>,
+    handoff: Handoff,
 ) {
     let mut kinds = AlgoKind::roster();
     if counter != CounterKind::default() {
@@ -711,10 +786,15 @@ fn speed_table<K: KeyBits>(
             let AlgoKind::Rhhh { v_scale, counter } = kind else {
                 continue;
             };
-            let mpps = measure_sharded_mpps(*counter, lattice, keys, epsilon, *v_scale, shards);
+            let mpps =
+                measure_sharded_mpps(*counter, lattice, keys, epsilon, *v_scale, shards, handoff);
+            let tag = match handoff {
+                Handoff::Ring => String::new(),
+                Handoff::Channel => ", channel".to_string(),
+            };
             println!(
                 "{:<26} {:>10.2}",
-                format!("{}(x{shards} shards)", kind.label()),
+                format!("{}(x{shards} shards{tag})", kind.label()),
                 mpps
             );
         }
@@ -798,9 +878,16 @@ mod tests {
             .iter()
             .map(Packet::key2)
             .collect();
-        let (output, total, elapsed) =
-            run_sharded_timed::<u64, SpaceSaving<u64>>(&lat, config, 3, &keys, 0.1)
-                .expect("healthy pipeline");
+        let (output, total, elapsed) = run_sharded_timed::<u64, SpaceSaving<u64>>(
+            &lat,
+            config,
+            3,
+            Handoff::Ring,
+            true,
+            &keys,
+            0.1,
+        )
+        .expect("healthy pipeline");
         assert_eq!(total, 200_000);
         assert!(elapsed > 0.0);
         assert!(
@@ -844,9 +931,15 @@ mod tests {
             })
             .collect();
         let volume: u64 = weighted.iter().map(|&(_, w)| w).sum();
-        let (output, total, elapsed) =
-            run_sharded_weighted_timed::<u64, SpaceSaving<u64>>(&lat, config, 3, &weighted, 0.3)
-                .expect("healthy pipeline");
+        let (output, total, elapsed) = run_sharded_weighted_timed::<u64, SpaceSaving<u64>>(
+            &lat,
+            config,
+            3,
+            Handoff::Channel,
+            &weighted,
+            0.3,
+        )
+        .expect("healthy pipeline");
         assert_eq!(total, volume, "sharded volume must be conserved");
         assert!(elapsed > 0.0);
         assert!(
@@ -966,7 +1059,14 @@ mod tests {
             .map(Packet::key2)
             .collect();
         let (output, covered, elapsed) = run_windowed_sharded_timed::<u64, SpaceSaving<u64>>(
-            &lat, config, 100_000, 4, 3, &keys, 0.1,
+            &lat,
+            config,
+            100_000,
+            4,
+            3,
+            Handoff::Ring,
+            &keys,
+            0.1,
         )
         .expect("healthy pipeline");
         assert_eq!(covered, 100_000);

@@ -42,10 +42,11 @@ USAGE:
                   [--counter stream-summary|compact|heap|misra-gries|lossy-counting] \\
                   [--theta <t>] [--epsilon <e>] [--volume] [--batch] \\
                   [--shards <n>]           (hash-partition across n worker threads) \\
+                  [--handoff ring|channel] (shard ingest plane; default lock-free ring) \\
                   [--window <w> [--panes <g>]]  (sliding window: last w packets, g-pane ring) \\
                   [--top <k>] [--filter <prefix>]   (e.g. --filter 10.0.0.0/8,*)
     rhhh speed    [--hierarchy <h>] [--packets <n>] [--preset <name>] [--batch] \\
-                  [--counter <kind>] [--shards <n>]
+                  [--counter <kind>] [--shards <n>] [--handoff ring|channel]
 
 PRESETS: chicago15 chicago16 sanjose13 sanjose14"
     );

@@ -1,0 +1,119 @@
+//! Offline shim for `arc-swap`.
+//!
+//! Provides the tiny slice of the real crate the sharded query plane
+//! uses: a shared slot holding an `Arc<T>` that writers replace wholesale
+//! and readers clone out ([`ArcSwap::store`] / [`ArcSwap::load_full`]).
+//! The real crate does this with hazard-pointer-style lock-free reads;
+//! this workspace denies `unsafe`, so the shim guards the slot with a
+//! `Mutex` instead. The critical section is a pointer-sized copy plus a
+//! reference-count bump — nanoseconds — and the slot is written once per
+//! *publication interval* (many batches), not per packet, so the lock is
+//! effectively uncontended and never on the ingest hot path. Swap in the
+//! real crate by deleting the shim entry in the root manifest's
+//! `[workspace.dependencies]`.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A slot holding an `Arc<T>` that can be atomically replaced while other
+/// threads read it. Readers never observe a torn value: they either get
+/// the old `Arc` or the new one, each keeping its pointee alive.
+pub struct ArcSwap<T> {
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Creates the slot holding `value`.
+    #[must_use]
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            slot: Mutex::new(value),
+        }
+    }
+
+    /// Creates the slot from a bare value (`ArcSwap::new(Arc::new(v))`).
+    #[must_use]
+    pub fn from_pointee(value: T) -> Self {
+        Self::new(Arc::new(value))
+    }
+
+    /// Returns a clone of the current `Arc` — the reader side of the
+    /// snapshot plane. Named after the real crate's owning load.
+    #[must_use]
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(&self.slot.lock().expect("ArcSwap slot never poisoned"))
+    }
+
+    /// Replaces the stored `Arc`, dropping the previous one.
+    pub fn store(&self, value: Arc<T>) {
+        drop(self.swap(value));
+    }
+
+    /// Replaces the stored `Arc`, returning the previous one.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(
+            &mut self.slot.lock().expect("ArcSwap slot never poisoned"),
+            value,
+        )
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ArcSwap").field(&self.load_full()).finish()
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        Self::from_pointee(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_latest_store() {
+        let slot = ArcSwap::from_pointee(1u32);
+        assert_eq!(*slot.load_full(), 1);
+        slot.store(Arc::new(2));
+        assert_eq!(*slot.load_full(), 2);
+    }
+
+    #[test]
+    fn swap_returns_previous_value() {
+        let slot = ArcSwap::from_pointee("old".to_string());
+        let prev = slot.swap(Arc::new("new".to_string()));
+        assert_eq!(*prev, "old");
+        assert_eq!(*slot.load_full(), "new");
+    }
+
+    #[test]
+    fn old_arcs_outlive_replacement() {
+        let slot = ArcSwap::from_pointee(vec![1, 2, 3]);
+        let held = slot.load_full();
+        slot.store(Arc::new(vec![4]));
+        assert_eq!(*held, [1, 2, 3], "reader's Arc keeps the old value alive");
+        assert_eq!(*slot.load_full(), [4]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_stay_consistent() {
+        let slot = Arc::new(ArcSwap::from_pointee((0u64, 0u64)));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                for i in 1..=10_000u64 {
+                    slot.store(Arc::new((i, i.wrapping_mul(7))));
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            let pair = slot.load_full();
+            assert_eq!(pair.1, pair.0.wrapping_mul(7), "no torn reads");
+        }
+        writer.join().unwrap();
+    }
+}

@@ -527,6 +527,29 @@ impl Bencher {
     }
 }
 
+/// Anchors a relative report path at the workspace root — the outermost
+/// ancestor of the current directory whose `Cargo.toml` declares
+/// `[workspace]`. Cargo runs bench binaries with cwd = the *package*
+/// root, so without this `CRITERION_OUTPUT_JSON=BENCH_x.json` would land
+/// in `crates/bench/` while CI's assert/upload steps (which run at the
+/// repo root) look for it at the top level. Absolute paths pass through.
+fn anchor_at_workspace_root(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut root = None;
+    for dir in cwd.ancestors() {
+        if let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                root = Some(dir.to_path_buf());
+            }
+        }
+    }
+    root.unwrap_or(cwd).join(p)
+}
+
 /// Not public API; used by `criterion_main!` to emit the JSON report.
 #[doc(hidden)]
 pub fn __write_report() {
@@ -551,7 +574,8 @@ pub fn __write_report() {
         };
         format!("target/criterion/{stem}.json")
     });
-    if let Some(dir) = std::path::Path::new(&path).parent() {
+    let path = anchor_at_workspace_root(&path);
+    if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
     let mut json = String::from("[\n");
@@ -571,9 +595,9 @@ pub fn __write_report() {
     }
     json.push_str("]\n");
     if let Err(e) = std::fs::write(&path, json) {
-        eprintln!("criterion shim: cannot write {path}: {e}");
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
     } else {
-        println!("criterion shim: wrote {path}");
+        println!("criterion shim: wrote {}", path.display());
     }
 }
 
@@ -602,6 +626,32 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn report_paths_anchor_at_the_workspace_root() {
+        // Test binaries run with cwd = this package's root; the anchored
+        // path must climb to the outermost [workspace] manifest instead.
+        let anchored = anchor_at_workspace_root("BENCH_x.json");
+        assert_eq!(anchored.file_name().unwrap(), "BENCH_x.json");
+        let root = anchored.parent().unwrap();
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+        assert!(
+            manifest.contains("[workspace]"),
+            "anchor must be the workspace root"
+        );
+        assert_ne!(
+            root,
+            std::env::current_dir().unwrap(),
+            "package root is not the anchor"
+        );
+        // Absolute paths pass through untouched.
+        let abs = if cfg!(windows) {
+            "C:\\tmp\\r.json"
+        } else {
+            "/tmp/r.json"
+        };
+        assert_eq!(anchor_at_workspace_root(abs), std::path::PathBuf::from(abs));
+    }
 
     #[test]
     fn bencher_iter_counts_and_times() {

@@ -37,6 +37,7 @@
 pub mod datapath;
 pub mod distributed;
 pub mod flow_table;
+pub mod handoff;
 pub mod monitor;
 pub mod packet;
 pub mod sharded;
@@ -47,8 +48,9 @@ pub use distributed::{
     SharedCollector, SharedFrontend,
 };
 pub use flow_table::{Action, FlowKey, MegaflowTable, MicroflowCache};
+pub use handoff::{Handoff, HandoffStats, SpawnError, SpawnOptions};
 pub use monitor::{
     AlgoMonitor, BatchingMonitor, CompactBatchingMonitor, DynBatchingMonitor, NoOpMonitor,
 };
 pub use packet::{build_udp_frame, EthernetFrame, Ipv4View, ParseError, UdpView};
-pub use sharded::{shard_of, ShardedMonitor, WindowedShardedMonitor};
+pub use sharded::{shard_of, ShardSnapshot, ShardedMonitor, WindowedShardedMonitor};

@@ -1,5 +1,6 @@
 //! Shard-parallel RHHH: RSS-style hash partitioning across worker threads,
-//! merge-on-harvest.
+//! lock-free batch hand-off, merge-on-harvest, and a non-blocking
+//! snapshot query plane.
 //!
 //! Modern NICs spread flows across receive queues by hashing the packet
 //! header (RSS), and each queue is polled by its own core. The inline
@@ -17,28 +18,46 @@
 //! instance's `slack()` over the summed `N` charges. Convergence needs the
 //! *total* stream length to pass ψ, which the merged packet count reflects.
 //!
-//! The channel carries whole batches (one `Vec` per `batch` packets), not
+//! The hand-off carries whole batches (one `Vec` per `batch` packets), not
 //! packets, so the per-packet cost on the ingress thread is a hash, a
-//! buffer push and an amortized send — and the workers spend their time in
-//! `update_batch`, not on synchronization. The channels are bounded
-//! ([`QUEUE_BATCHES`] in-flight batches per shard), so a worker that falls
-//! behind backpressures the ingress thread instead of accumulating an
-//! unbounded backlog — the same discipline the distributed link in
-//! [`crate::distributed`] applies.
+//! buffer push and an amortized hand-off — and the workers spend their
+//! time in `update_batch`, not on synchronization. By default the hand-off
+//! is a fixed-capacity lock-free SPSC ring per shard
+//! ([`crate::handoff::Handoff::Ring`]): the uncontended crossing is two
+//! atomic read-modify-writes, with spin-then-park backpressure when a
+//! worker falls behind ([`QUEUE_BATCHES`] in-flight batches bound the
+//! backlog). The previous bounded-channel hop stays available behind
+//! [`SpawnOptions`] as the differential baseline.
+//!
+//! **The query plane never joins or blocks the workers.** Each worker
+//! periodically publishes an epoch-stamped [`ShardSnapshot`] — a clone of
+//! its summary — through an atomically swappable pointer (`arc-swap`):
+//! every `publish_every` batches for [`ShardedMonitor`], at every pane
+//! rotation for [`WindowedShardedMonitor`], and once at exit. A live
+//! `query(θ)` loads the latest snapshot from every shard and K-way-merges
+//! them via [`Rhhh::merge_many`], caching the merged instance keyed by the
+//! epoch vector (the cross-thread generalization of the pane-ring query
+//! cache in [`hhh_core::WindowedRhhh`]): repeated queries between
+//! publications cost one `Output(θ)` scan, not a re-merge. Snapshots are
+//! clones, so publication never perturbs the worker's state and the
+//! harvest stays bit-identical whether or when queries ran.
 
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Sender};
-use hhh_core::{HeavyHitter, MergeError, PaneRing, Rhhh, RhhhConfig};
+use arc_swap::ArcSwap;
+use hhh_core::{HeavyHitter, HhhAlgorithm, MergeError, PaneRing, Rhhh, RhhhConfig};
 use hhh_counters::{FrequencyEstimator, SpaceSaving};
 use hhh_hierarchy::{KeyBits, Lattice};
 
 use crate::datapath::DataplaneMonitor;
+use crate::handoff::{conduit, spawn_named, HandoffStats, ShardTx, SpawnError, SpawnOptions};
 
-/// In-flight batches each shard's channel may hold before the ingress
-/// thread blocks. Enough to ride out scheduling hiccups (at the default
-/// 4Ki-key batches this is ≤ 2 MiB per shard), small enough that a
-/// continuously slower worker bounds memory instead of growing a backlog.
+/// In-flight batches each shard's hand-off may hold before the ingress
+/// thread backpressures. Enough to ride out scheduling hiccups (at the
+/// default 4Ki-key batches this is ≤ 2 MiB per shard), small enough that
+/// a continuously slower worker bounds memory instead of growing a
+/// backlog.
 const QUEUE_BATCHES: usize = 16;
 
 /// The canonical key-hash routing, re-exported so pipeline users need not
@@ -52,14 +71,39 @@ fn shard_of_key<K: KeyBits>(key: K, shards: usize) -> usize {
     shard_of(key.low_u64(), shards)
 }
 
-/// One hand-off unit on a shard's channel: a batch of unit-weight keys
+/// One worker's published view of its sub-stream, swapped atomically into
+/// the monitor-visible slot so readers never block the worker.
+///
+/// `epoch` increments with every publication (the initial empty snapshot
+/// is epoch 0), so the query cache can detect staleness by comparing
+/// epoch vectors. `batches` counts the hand-off units folded into
+/// `summary` — a query made after this snapshot reflects every batch the
+/// worker acknowledged before publishing it, and is stale by at most one
+/// publication interval.
+#[derive(Debug)]
+pub struct ShardSnapshot<K: KeyBits, E: FrequencyEstimator<K>> {
+    /// Publication sequence number (0 = the pre-feed empty snapshot).
+    pub epoch: u64,
+    /// Batches folded into `summary` at publication time.
+    pub batches: u64,
+    /// Clone of the worker's RHHH state (for the windowed monitor: the
+    /// merged completed window, or the active pane before any rotation —
+    /// mirroring `harvest_window`'s coverage rule).
+    pub summary: Rhhh<K, E>,
+}
+
+/// One hand-off unit on a shard's conduit: a batch of unit-weight keys
 /// (the packet-count feed) or of `(key, weight)` pairs (the volume feed).
-/// Both kinds may interleave on one channel — the worker drains them in
+/// Both kinds may interleave on one conduit — the worker drains them in
 /// arrival order through the matching RHHH batch path.
 #[derive(Debug)]
 enum ShardBatch<K> {
     Unit(Vec<K>),
     Weighted(Vec<(K, u64)>),
+    /// Publication marker: the worker publishes a fresh snapshot now.
+    /// Rides the same FIFO conduit as the batches, so the snapshot
+    /// reflects everything sent before the marker.
+    Publish,
     /// Failure-injection poison: the worker panics on receipt. Only ever
     /// sent by [`ShardedMonitor::inject_shard_failure`] (chaos tests).
     Poison,
@@ -102,11 +146,38 @@ fn join_shards<T>(handles: Vec<JoinHandle<T>>) -> Result<Vec<T>, MergeError> {
     }
 }
 
+/// Stores a fresh epoch-stamped snapshot of `summary` into `slot`.
+fn publish_snapshot<K: KeyBits, E: FrequencyEstimator<K> + Clone>(
+    slot: &ArcSwap<ShardSnapshot<K, E>>,
+    epoch: &mut u64,
+    batches: u64,
+    summary: &Rhhh<K, E>,
+) {
+    *epoch += 1;
+    slot.store(Arc::new(ShardSnapshot {
+        epoch: *epoch,
+        batches,
+        summary: summary.clone(),
+    }));
+}
+
+/// K-way-merges one summary clone per snapshot (the read side of the
+/// query plane; never touches the workers).
+fn merge_snapshots<K: KeyBits, E: FrequencyEstimator<K> + Clone>(
+    snaps: &[Arc<ShardSnapshot<K, E>>],
+) -> Rhhh<K, E> {
+    let mut merged = snaps[0].summary.clone();
+    merged.merge_many(snaps[1..].iter().map(|s| s.summary.clone()).collect());
+    merged
+}
+
 /// Shard-parallel RHHH monitor: `N` worker threads, each owning one RHHH
 /// instance fed through the batch path, combined by merge at harvest.
 ///
-/// Create with [`ShardedMonitor::spawn`], feed packets via
-/// [`ShardedMonitor::on_packet`] (or as a [`DataplaneMonitor`]), then
+/// Create with [`ShardedMonitor::spawn`] (or [`ShardedMonitor::spawn_with`]
+/// for hand-off/publication knobs), feed packets via
+/// [`ShardedMonitor::on_packet`] (or as a [`DataplaneMonitor`]), query the
+/// live snapshot plane with [`ShardedMonitor::query`] at any time, then
 /// [`ShardedMonitor::harvest`] to join the workers and obtain the merged,
 /// queryable instance.
 ///
@@ -115,8 +186,10 @@ fn join_shards<T>(handles: Vec<JoinHandle<T>>) -> Result<Vec<T>, MergeError> {
 /// with the batch flush the workers run.
 #[derive(Debug)]
 pub struct ShardedMonitor<K: KeyBits = u64, E: FrequencyEstimator<K> = SpaceSaving<K>> {
-    senders: Vec<Sender<ShardBatch<K>>>,
+    senders: Vec<ShardTx<ShardBatch<K>>>,
     handles: Vec<JoinHandle<Rhhh<K, E>>>,
+    snapshots: Vec<Arc<ArcSwap<ShardSnapshot<K, E>>>>,
+    stats: Vec<HandoffStats>,
     bufs: Vec<Vec<K>>,
     /// Per-shard `(key, weight)` buffers of the volume feed; allocated
     /// lazily on the first weighted packet so packet-count pipelines pay
@@ -128,20 +201,52 @@ pub struct ShardedMonitor<K: KeyBits = u64, E: FrequencyEstimator<K> = SpaceSavi
     /// used).
     weight: u64,
     per_shard: Vec<u64>,
+    /// Live-query merge cache keyed by the snapshot epoch vector; stays
+    /// valid until any shard publishes again.
+    query_cache: Option<(Vec<u64>, Rhhh<K, E>)>,
     label: String,
 }
 
-impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
+impl<K: KeyBits, E: FrequencyEstimator<K> + Clone + Sync> ShardedMonitor<K, E> {
     /// Spawns `shards` worker threads over copies of `lattice`/`config`
     /// (each worker gets a distinct deterministic seed derived from
     /// `config.seed`), buffering `batch` packets per shard before handing
-    /// a batch over.
+    /// a batch over. Uses the default [`SpawnOptions`] (ring hand-off,
+    /// snapshot every 8 batches).
+    ///
+    /// # Errors
+    ///
+    /// [`SpawnError`] when the OS refuses to start a worker thread.
     ///
     /// # Panics
     ///
     /// Panics when `shards` or `batch` is zero.
-    #[must_use]
-    pub fn spawn(lattice: Lattice<K>, config: RhhhConfig, shards: usize, batch: usize) -> Self {
+    pub fn spawn(
+        lattice: Lattice<K>,
+        config: RhhhConfig,
+        shards: usize,
+        batch: usize,
+    ) -> Result<Self, SpawnError> {
+        Self::spawn_with(lattice, config, shards, batch, SpawnOptions::default())
+    }
+
+    /// [`ShardedMonitor::spawn`] with explicit hand-off and publication
+    /// options. Worker threads are named `shard-{i}`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpawnError`] when the OS refuses to start a worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` or `batch` is zero.
+    pub fn spawn_with(
+        lattice: Lattice<K>,
+        config: RhhhConfig,
+        shards: usize,
+        batch: usize,
+        opts: SpawnOptions,
+    ) -> Result<Self, SpawnError> {
         assert!(shards > 0, "need at least one shard");
         assert!(batch > 0, "batch size must be positive");
         let base = if config.v_scale == 1 {
@@ -149,8 +254,10 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         } else {
             format!("{}-RHHH", config.v_scale)
         };
+        let publish_every = opts.publish_every.max(1);
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let mut snapshots = Vec::with_capacity(shards);
         for shard in 0..shards {
             let worker = Rhhh::<K, E>::new(
                 lattice.clone(),
@@ -161,31 +268,61 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
                     ..config
                 },
             );
-            let (tx, rx) = bounded::<ShardBatch<K>>(QUEUE_BATCHES);
-            handles.push(std::thread::spawn(move || {
+            let slot = Arc::new(ArcSwap::from_pointee(ShardSnapshot {
+                epoch: 0,
+                batches: 0,
+                summary: worker.clone(),
+            }));
+            snapshots.push(Arc::clone(&slot));
+            let (tx, rx) = conduit::<ShardBatch<K>>(opts.handoff, QUEUE_BATCHES);
+            let handle = spawn_named(format!("shard-{shard}"), move || {
                 let mut worker = worker;
-                for batch in rx {
-                    match batch {
-                        ShardBatch::Unit(keys) => worker.update_batch(&keys),
-                        ShardBatch::Weighted(packets) => worker.update_batch_weighted(&packets),
+                let mut batches = 0u64;
+                let mut epoch = 0u64;
+                while let Some(msg) = rx.recv() {
+                    match msg {
+                        ShardBatch::Unit(keys) => {
+                            worker.update_batch(&keys);
+                            batches += 1;
+                            if batches.is_multiple_of(publish_every) {
+                                publish_snapshot(&slot, &mut epoch, batches, &worker);
+                            }
+                        }
+                        ShardBatch::Weighted(packets) => {
+                            worker.update_batch_weighted(&packets);
+                            batches += 1;
+                            if batches.is_multiple_of(publish_every) {
+                                publish_snapshot(&slot, &mut epoch, batches, &worker);
+                            }
+                        }
+                        ShardBatch::Publish => {
+                            publish_snapshot(&slot, &mut epoch, batches, &worker);
+                        }
                         ShardBatch::Poison => panic!("injected shard failure"),
                     }
                 }
+                // Final publication so late readers see the full
+                // sub-stream even without harvesting.
+                publish_snapshot(&slot, &mut epoch, batches, &worker);
                 worker
-            }));
-            senders.push(tx);
+            })?;
+            senders.push(tx.bind(handle.thread().clone()));
+            handles.push(handle);
         }
-        Self {
+        Ok(Self {
             senders,
             handles,
+            snapshots,
+            stats: vec![HandoffStats::default(); shards],
             bufs: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
             wbufs: (0..shards).map(|_| Vec::new()).collect(),
             batch,
             packets: 0,
             weight: 0,
             per_shard: vec![0; shards],
+            query_cache: None,
             label: format!("Sharded{shards}-{base}"),
-        }
+        })
     }
 
     /// Number of worker shards.
@@ -213,6 +350,21 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         self.weight
     }
 
+    /// Per-shard hand-off counters (sends, ring occupancy, backpressure
+    /// and park events, drops) — the diagnostics `sharded_throughput`
+    /// prints.
+    #[must_use]
+    pub fn handoff_stats(&self) -> &[HandoffStats] {
+        &self.stats
+    }
+
+    /// The latest published snapshot epoch per shard (0 until a shard
+    /// first publishes). Strictly increases with each publication.
+    #[must_use]
+    pub fn snapshot_epochs(&self) -> Vec<u64> {
+        self.snapshots.iter().map(|s| s.load_full().epoch).collect()
+    }
+
     /// Routes one packet to its shard, handing off a full batch when the
     /// shard's buffer fills.
     #[inline]
@@ -225,11 +377,12 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         buf.push(key2);
         if buf.len() >= self.batch {
             let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
-            // A send only fails when the worker died (panicked) and its
-            // receiver dropped. The feed stays alive — packets for the
-            // dead shard are lost — and harvest reports the failure as a
-            // `MergeError::ShardFailed` instead of poisoning the ingress.
-            let _ = self.senders[shard].send(ShardBatch::Unit(full));
+            // A send only fails when the worker died (panicked). The feed
+            // stays alive — packets for the dead shard are lost and
+            // counted in its `HandoffStats::dropped` — and harvest
+            // reports the failure as a `MergeError::ShardFailed` instead
+            // of poisoning the ingress.
+            let _ = self.senders[shard].send(ShardBatch::Unit(full), &mut self.stats[shard]);
         }
     }
 
@@ -253,7 +406,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         buf.push((key2, weight));
         if buf.len() >= self.batch {
             let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
-            let _ = self.senders[shard].send(ShardBatch::Weighted(full));
+            let _ = self.senders[shard].send(ShardBatch::Weighted(full), &mut self.stats[shard]);
         }
     }
 
@@ -272,25 +425,92 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
         for (shard, buf) in self.bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 let part = std::mem::take(buf);
-                let _ = self.senders[shard].send(ShardBatch::Unit(part));
+                let _ = self.senders[shard].send(ShardBatch::Unit(part), &mut self.stats[shard]);
             }
         }
         for (shard, buf) in self.wbufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 let part = std::mem::take(buf);
-                let _ = self.senders[shard].send(ShardBatch::Weighted(part));
+                let _ =
+                    self.senders[shard].send(ShardBatch::Weighted(part), &mut self.stats[shard]);
             }
         }
+    }
+
+    /// Flushes all partial buffers and asks every worker to publish a
+    /// fresh snapshot. The marker rides the FIFO hand-off behind the
+    /// flushed batches, so once each shard's epoch advances past its
+    /// value at call time, [`ShardedMonitor::query`] reflects **every**
+    /// packet fed before this call — the deterministic freshness hook the
+    /// property suite pins.
+    pub fn publish_now(&mut self) {
+        self.flush();
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let _ = tx.send(ShardBatch::Publish, &mut self.stats[shard]);
+        }
+    }
+
+    /// Ensures the query cache holds the merge of the latest snapshots.
+    fn refresh_query_cache(&mut self) {
+        let snaps: Vec<Arc<ShardSnapshot<K, E>>> =
+            self.snapshots.iter().map(|s| s.load_full()).collect();
+        let epochs: Vec<u64> = snaps.iter().map(|s| s.epoch).collect();
+        if let Some((cached, _)) = &self.query_cache {
+            if *cached == epochs {
+                return;
+            }
+        }
+        let merged = merge_snapshots(&snaps);
+        self.query_cache = Some((epochs, merged));
+    }
+
+    /// Live `Output(θ)` over the latest published snapshots — never
+    /// joins, blocks, or slows the workers. The K-way merge is cached
+    /// keyed by the snapshot epoch vector, so repeated queries between
+    /// publications cost one output scan (the cross-thread analogue of
+    /// [`hhh_core::WindowedRhhh::query`]'s cache). Staleness is bounded
+    /// by one publication interval per shard plus whatever sits in the
+    /// monitor's partial buffers; call [`ShardedMonitor::publish_now`]
+    /// first for an up-to-the-call answer.
+    pub fn query(&mut self, theta: f64) -> Vec<HeavyHitter<K>> {
+        self.refresh_query_cache();
+        self.query_cache
+            .as_ref()
+            .expect("cache refreshed above")
+            .1
+            .output(theta)
+    }
+
+    /// [`ShardedMonitor::query`] without the epoch cache: re-merges the
+    /// latest snapshots on every call. The differential baseline the
+    /// bench races the cached path against.
+    #[must_use]
+    pub fn query_fresh(&self, theta: f64) -> Vec<HeavyHitter<K>> {
+        let snaps: Vec<Arc<ShardSnapshot<K, E>>> =
+            self.snapshots.iter().map(|s| s.load_full()).collect();
+        merge_snapshots(&snaps).output(theta)
+    }
+
+    /// Packets covered by the current snapshot merge — how much of the
+    /// fed stream a live query reflects right now.
+    pub fn query_coverage(&mut self) -> u64 {
+        self.refresh_query_cache();
+        self.query_cache
+            .as_ref()
+            .expect("cache refreshed above")
+            .1
+            .packets()
     }
 
     /// Failure-injection hook for chaos tests: kills the given shard's
     /// worker thread (it panics on the poison message). Subsequent feeds
     /// keep running — packets routed to the dead shard are dropped — and
     /// [`ShardedMonitor::harvest`] reports the death as
-    /// [`MergeError::ShardFailed`].
+    /// [`MergeError::ShardFailed`]. Live queries keep answering from the
+    /// dead shard's last published snapshot.
     #[doc(hidden)]
     pub fn inject_shard_failure(&mut self, shard: usize) {
-        let _ = self.senders[shard].send(ShardBatch::Poison);
+        let _ = self.senders[shard].send(ShardBatch::Poison, &mut self.stats[shard]);
     }
 
     /// Flushes, joins every worker and merges the per-shard summaries into
@@ -307,7 +527,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
     /// would silently under-count. The error names the first dead shard.
     pub fn harvest(mut self) -> Result<Rhhh<K, E>, MergeError> {
         self.flush();
-        self.senders.clear(); // closes every channel; workers drain & exit
+        self.senders.clear(); // closes every hand-off; workers drain & exit
         let mut workers = join_shards(std::mem::take(&mut self.handles))?;
         let mut merged = workers.remove(0);
         merged.merge_many(workers);
@@ -324,7 +544,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> ShardedMonitor<K, E> {
     }
 }
 
-impl<E: FrequencyEstimator<u64>> DataplaneMonitor for ShardedMonitor<u64, E> {
+impl<E: FrequencyEstimator<u64> + Clone + Sync> DataplaneMonitor for ShardedMonitor<u64, E> {
     #[inline]
     fn on_packet(&mut self, key2: u64) {
         self.update(key2);
@@ -335,8 +555,8 @@ impl<E: FrequencyEstimator<u64>> DataplaneMonitor for ShardedMonitor<u64, E> {
     }
 }
 
-/// One hand-off unit on a windowed shard's channel: a batch of keys, or
-/// the global pane-rotation marker. Markers ride the same ordered channel
+/// One hand-off unit on a windowed shard's conduit: a batch of keys, or
+/// the global pane-rotation marker. Markers ride the same ordered conduit
 /// as the batches, so every worker rotates at exactly the same global
 /// packet index — pane boundaries stay aligned across shards without any
 /// cross-thread synchronization.
@@ -344,8 +564,32 @@ impl<E: FrequencyEstimator<u64>> DataplaneMonitor for ShardedMonitor<u64, E> {
 enum WindowedShardMsg<K> {
     Batch(Vec<K>),
     Rotate,
+    /// Publication marker, as in [`ShardBatch::Publish`].
+    Publish,
     /// Failure-injection poison, as in [`ShardBatch::Poison`].
     Poison,
+}
+
+/// Stores a fresh epoch-stamped snapshot of the ring's current windowed
+/// answer: the merged completed panes, or the active pane before the
+/// first rotation — exactly the coverage rule
+/// [`WindowedShardedMonitor::harvest_window`] applies, so live queries
+/// and the harvest agree on semantics.
+fn publish_window_snapshot<K: KeyBits, E: FrequencyEstimator<K> + Clone>(
+    slot: &ArcSwap<ShardSnapshot<K, E>>,
+    epoch: &mut u64,
+    batches: u64,
+    ring: &PaneRing<K, E>,
+) {
+    *epoch += 1;
+    let summary = ring
+        .merged_window()
+        .unwrap_or_else(|| ring.active().clone());
+    slot.store(Arc::new(ShardSnapshot {
+        epoch: *epoch,
+        batches,
+        summary,
+    }));
 }
 
 /// Shard-parallel **sliding-window** RHHH: the windowed twin of
@@ -355,7 +599,7 @@ enum WindowedShardMsg<K> {
 /// sub-stream through the geometric-skip batch path. Rotation is driven by
 /// the *global* packet count: every `⌈W/G⌉` packets the ingress thread
 /// flushes all partial buffers (so pane attribution is exact) and
-/// broadcasts a rotation marker down every shard channel. Each shard's
+/// broadcasts a rotation marker down every shard conduit. Each shard's
 /// pane `i` therefore summarizes exactly its sub-stream of global pane
 /// `i`, and [`WindowedShardedMonitor::harvest_window`] can answer the
 /// windowed query with one **K·G-way** [`Rhhh::merge_many`] combine over
@@ -363,10 +607,16 @@ enum WindowedShardMsg<K> {
 /// sharded-merge analysis) and per-pane bounds add across the window (the
 /// pane-ring analysis), so the end-to-end bound is the same summed
 /// per-pane bound a single-threaded [`hhh_core::WindowedRhhh`] earns.
+///
+/// Workers publish their merged-window snapshot at every rotation, so
+/// [`WindowedShardedMonitor::query`] serves the sliding-window answer
+/// live — stale by at most one pane — without joining anything.
 #[derive(Debug)]
 pub struct WindowedShardedMonitor<K: KeyBits = u64, E: FrequencyEstimator<K> = SpaceSaving<K>> {
-    senders: Vec<Sender<WindowedShardMsg<K>>>,
+    senders: Vec<ShardTx<WindowedShardMsg<K>>>,
     handles: Vec<JoinHandle<PaneRing<K, E>>>,
+    snapshots: Vec<Arc<ArcSwap<ShardSnapshot<K, E>>>>,
+    stats: Vec<HandoffStats>,
     bufs: Vec<Vec<K>>,
     batch: usize,
     window: u64,
@@ -375,19 +625,24 @@ pub struct WindowedShardedMonitor<K: KeyBits = u64, E: FrequencyEstimator<K> = S
     packets: u64,
     pane_fill: u64,
     rotations: u64,
+    query_cache: Option<(Vec<u64>, Rhhh<K, E>)>,
     label: String,
 }
 
-impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
+impl<K: KeyBits, E: FrequencyEstimator<K> + Clone + Sync> WindowedShardedMonitor<K, E> {
     /// Spawns `shards` pane-ring workers (distinct deterministic seeds per
     /// shard, like [`ShardedMonitor::spawn`]) covering the last `window`
-    /// packets with `panes` globally-aligned ring panes.
+    /// packets with `panes` globally-aligned ring panes. Uses the default
+    /// [`SpawnOptions`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpawnError`] when the OS refuses to start a worker thread.
     ///
     /// # Panics
     ///
     /// Panics when `shards`, `batch`, `window` or `panes` is zero, or when
     /// `window < panes`.
-    #[must_use]
     pub fn spawn(
         lattice: Lattice<K>,
         config: RhhhConfig,
@@ -395,7 +650,41 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
         batch: usize,
         window: u64,
         panes: usize,
-    ) -> Self {
+    ) -> Result<Self, SpawnError> {
+        Self::spawn_with(
+            lattice,
+            config,
+            shards,
+            batch,
+            window,
+            panes,
+            SpawnOptions::default(),
+        )
+    }
+
+    /// [`WindowedShardedMonitor::spawn`] with explicit hand-off options.
+    /// Worker threads are named `wshard-{i}`. Snapshots publish at every
+    /// pane rotation (the windowed publication interval), so
+    /// `SpawnOptions::publish_every` is not consulted here.
+    ///
+    /// # Errors
+    ///
+    /// [`SpawnError`] when the OS refuses to start a worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards`, `batch`, `window` or `panes` is zero, or when
+    /// `window < panes`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with(
+        lattice: Lattice<K>,
+        config: RhhhConfig,
+        shards: usize,
+        batch: usize,
+        window: u64,
+        panes: usize,
+        opts: SpawnOptions,
+    ) -> Result<Self, SpawnError> {
         assert!(shards > 0, "need at least one shard");
         assert!(batch > 0, "batch size must be positive");
         assert!(window > 0, "window must be positive");
@@ -411,6 +700,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
         };
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let mut snapshots = Vec::with_capacity(shards);
         for shard in 0..shards {
             let ring = PaneRing::<K, E>::new(
                 lattice.clone(),
@@ -420,23 +710,44 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
                 },
                 panes,
             );
-            let (tx, rx) = bounded::<WindowedShardMsg<K>>(QUEUE_BATCHES);
-            handles.push(std::thread::spawn(move || {
+            let slot = Arc::new(ArcSwap::from_pointee(ShardSnapshot {
+                epoch: 0,
+                batches: 0,
+                summary: ring.active().clone(),
+            }));
+            snapshots.push(Arc::clone(&slot));
+            let (tx, rx) = conduit::<WindowedShardMsg<K>>(opts.handoff, QUEUE_BATCHES);
+            let handle = spawn_named(format!("wshard-{shard}"), move || {
                 let mut ring = ring;
-                for msg in rx {
+                let mut batches = 0u64;
+                let mut epoch = 0u64;
+                while let Some(msg) = rx.recv() {
                     match msg {
-                        WindowedShardMsg::Batch(keys) => ring.active_mut().update_batch(&keys),
-                        WindowedShardMsg::Rotate => ring.rotate(),
+                        WindowedShardMsg::Batch(keys) => {
+                            ring.active_mut().update_batch(&keys);
+                            batches += 1;
+                        }
+                        WindowedShardMsg::Rotate => {
+                            ring.rotate();
+                            publish_window_snapshot(&slot, &mut epoch, batches, &ring);
+                        }
+                        WindowedShardMsg::Publish => {
+                            publish_window_snapshot(&slot, &mut epoch, batches, &ring);
+                        }
                         WindowedShardMsg::Poison => panic!("injected shard failure"),
                     }
                 }
+                publish_window_snapshot(&slot, &mut epoch, batches, &ring);
                 ring
-            }));
-            senders.push(tx);
+            })?;
+            senders.push(tx.bind(handle.thread().clone()));
+            handles.push(handle);
         }
-        Self {
+        Ok(Self {
             senders,
             handles,
+            snapshots,
+            stats: vec![HandoffStats::default(); shards],
             bufs: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
             batch,
             window,
@@ -445,8 +756,9 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
             packets: 0,
             pane_fill: 0,
             rotations: 0,
+            query_cache: None,
             label: format!("WindowedSharded{shards}-{base}"),
-        }
+        })
     }
 
     /// Number of worker shards.
@@ -479,6 +791,20 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
         self.rotations
     }
 
+    /// Per-shard hand-off counters; see [`ShardedMonitor::handoff_stats`].
+    #[must_use]
+    pub fn handoff_stats(&self) -> &[HandoffStats] {
+        &self.stats
+    }
+
+    /// The latest published snapshot epoch per shard. Workers publish at
+    /// every pane rotation, on [`WindowedShardedMonitor::publish_now`]
+    /// markers, and at exit.
+    #[must_use]
+    pub fn snapshot_epochs(&self) -> Vec<u64> {
+        self.snapshots.iter().map(|s| s.load_full().epoch).collect()
+    }
+
     /// Routes one packet to its shard; at every global pane boundary,
     /// flushes all partial buffers and broadcasts the rotation marker.
     #[inline]
@@ -490,7 +816,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
         buf.push(key2);
         if buf.len() >= self.batch {
             let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
-            let _ = self.senders[shard].send(WindowedShardMsg::Batch(full));
+            let _ = self.senders[shard].send(WindowedShardMsg::Batch(full), &mut self.stats[shard]);
         }
         if self.pane_fill == self.pane_len {
             self.rotate();
@@ -508,10 +834,10 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
     fn rotate(&mut self) {
         // The boundary packet must reach its worker before the marker:
         // flush every partial buffer first, then broadcast Rotate on the
-        // same ordered channels.
+        // same ordered conduits.
         self.flush();
-        for tx in &self.senders {
-            let _ = tx.send(WindowedShardMsg::Rotate);
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let _ = tx.send(WindowedShardMsg::Rotate, &mut self.stats[shard]);
         }
         self.rotations += 1;
         self.pane_fill = 0;
@@ -522,16 +848,72 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
         for (shard, buf) in self.bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 let part = std::mem::take(buf);
-                let _ = self.senders[shard].send(WindowedShardMsg::Batch(part));
+                let _ =
+                    self.senders[shard].send(WindowedShardMsg::Batch(part), &mut self.stats[shard]);
             }
         }
+    }
+
+    /// Flushes and asks every worker to publish a fresh snapshot (without
+    /// rotating); see [`ShardedMonitor::publish_now`]. The published
+    /// coverage still follows the window rule — completed panes, or the
+    /// active pane before the first rotation.
+    pub fn publish_now(&mut self) {
+        self.flush();
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let _ = tx.send(WindowedShardMsg::Publish, &mut self.stats[shard]);
+        }
+    }
+
+    fn refresh_query_cache(&mut self) {
+        let snaps: Vec<Arc<ShardSnapshot<K, E>>> =
+            self.snapshots.iter().map(|s| s.load_full()).collect();
+        let epochs: Vec<u64> = snaps.iter().map(|s| s.epoch).collect();
+        if let Some((cached, _)) = &self.query_cache {
+            if *cached == epochs {
+                return;
+            }
+        }
+        let merged = merge_snapshots(&snaps);
+        self.query_cache = Some((epochs, merged));
+    }
+
+    /// Live sliding-window `Output(θ)` over the latest per-shard
+    /// merged-window snapshots — never joins or blocks the workers, stale
+    /// by at most one pane. Cached keyed by the snapshot epoch vector
+    /// like [`ShardedMonitor::query`].
+    pub fn query(&mut self, theta: f64) -> Vec<HeavyHitter<K>> {
+        self.refresh_query_cache();
+        self.query_cache
+            .as_ref()
+            .expect("cache refreshed above")
+            .1
+            .output(theta)
+    }
+
+    /// [`WindowedShardedMonitor::query`] without the epoch cache.
+    #[must_use]
+    pub fn query_fresh(&self, theta: f64) -> Vec<HeavyHitter<K>> {
+        let snaps: Vec<Arc<ShardSnapshot<K, E>>> =
+            self.snapshots.iter().map(|s| s.load_full()).collect();
+        merge_snapshots(&snaps).output(theta)
+    }
+
+    /// Packets covered by the current snapshot merge.
+    pub fn query_coverage(&mut self) -> u64 {
+        self.refresh_query_cache();
+        self.query_cache
+            .as_ref()
+            .expect("cache refreshed above")
+            .1
+            .packets()
     }
 
     /// Failure-injection hook for chaos tests; see
     /// [`ShardedMonitor::inject_shard_failure`].
     #[doc(hidden)]
     pub fn inject_shard_failure(&mut self, shard: usize) {
-        let _ = self.senders[shard].send(WindowedShardMsg::Poison);
+        let _ = self.senders[shard].send(WindowedShardMsg::Poison, &mut self.stats[shard]);
     }
 
     /// Flushes, joins every worker and combines the windowed answer: all
@@ -548,7 +930,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
     /// (same contract as [`ShardedMonitor::harvest`]).
     pub fn harvest_window(mut self) -> Result<Rhhh<K, E>, MergeError> {
         self.flush();
-        self.senders.clear(); // closes every channel; workers drain & exit
+        self.senders.clear(); // closes every hand-off; workers drain & exit
         let rings = join_shards(std::mem::take(&mut self.handles))?;
         let mut panes: Vec<Rhhh<K, E>> = Vec::with_capacity(rings.len() * self.pane_count);
         if self.rotations == 0 {
@@ -577,7 +959,9 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> WindowedShardedMonitor<K, E> {
     }
 }
 
-impl<E: FrequencyEstimator<u64>> DataplaneMonitor for WindowedShardedMonitor<u64, E> {
+impl<E: FrequencyEstimator<u64> + Clone + Sync> DataplaneMonitor
+    for WindowedShardedMonitor<u64, E>
+{
     #[inline]
     fn on_packet(&mut self, key2: u64) {
         self.update(key2);
@@ -591,9 +975,10 @@ impl<E: FrequencyEstimator<u64>> DataplaneMonitor for WindowedShardedMonitor<u64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hhh_core::HhhAlgorithm;
+    use crate::handoff::Handoff;
     use hhh_counters::CompactSpaceSaving;
     use hhh_hierarchy::pack2;
+    use std::time::{Duration, Instant};
 
     struct Lcg(u64);
     impl Lcg {
@@ -631,12 +1016,23 @@ mod tests {
         }
     }
 
+    /// Spins (bounded) until `done` holds — for waiting out in-flight
+    /// publication markers without joining workers.
+    fn wait_until(mut done: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !done() {
+            assert!(Instant::now() < deadline, "snapshots never advanced");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     #[test]
     fn sharded_monitor_finds_planted_hhh() {
         for shards in [1usize, 2, 4] {
             let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
             let mut mon =
-                ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat.clone(), config(), shards, 256);
+                ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat.clone(), config(), shards, 256)
+                    .expect("spawn workers");
             let n = 400_000u64;
             for &k in &attack_stream(n, 4) {
                 mon.update(k);
@@ -665,7 +1061,8 @@ mod tests {
     fn sharded_monitor_works_with_compact_counter() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
         let mut mon =
-            ShardedMonitor::<u64, CompactSpaceSaving<u64>>::spawn(lat.clone(), config(), 3, 512);
+            ShardedMonitor::<u64, CompactSpaceSaving<u64>>::spawn(lat.clone(), config(), 3, 512)
+                .expect("spawn workers");
         let n = 300_000u64;
         for &k in &attack_stream(n, 7) {
             mon.on_packet(k);
@@ -676,6 +1073,139 @@ mod tests {
             .iter()
             .map(|h| h.prefix.display(&lat))
             .any(|s| s.contains("10.20.0.0/16")));
+    }
+
+    #[test]
+    fn channel_mode_stays_available_as_baseline() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+            lat,
+            config(),
+            2,
+            256,
+            SpawnOptions {
+                handoff: Handoff::Channel,
+                ..SpawnOptions::default()
+            },
+        )
+        .expect("spawn workers");
+        let n = 50_000u64;
+        for &k in &attack_stream(n, 17) {
+            mon.update(k);
+        }
+        let merged = mon.harvest().expect("healthy pipeline");
+        assert_eq!(merged.packets(), n);
+    }
+
+    #[test]
+    fn live_query_answers_without_harvesting() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        // Auto-publication off: the explicit marker below is the only
+        // publisher, so "epoch advanced" means "marker processed" and the
+        // coverage assertion is deterministic.
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+            lat.clone(),
+            config(),
+            2,
+            256,
+            SpawnOptions {
+                publish_every: u64::MAX,
+                ..SpawnOptions::default()
+            },
+        )
+        .expect("spawn workers");
+        let n = 200_000u64;
+        for &k in &attack_stream(n, 23) {
+            mon.update(k);
+        }
+        let before = mon.snapshot_epochs();
+        mon.publish_now();
+        wait_until(|| {
+            mon.snapshot_epochs()
+                .iter()
+                .zip(&before)
+                .all(|(now, then)| now > then)
+        });
+        // The publish markers rode the FIFO hand-off behind every flushed
+        // batch, so the snapshot merge covers the entire feed so far.
+        assert_eq!(mon.query_coverage(), n);
+        let rendered: Vec<String> = mon
+            .query(0.1)
+            .iter()
+            .map(|h| h.prefix.display(&lat))
+            .collect();
+        assert!(
+            rendered
+                .iter()
+                .any(|s| s.contains("10.20.0.0/16") && s.contains("8.8.8.8/32")),
+            "live query must see the planted HHH: {rendered:?}"
+        );
+        // Workers are still alive and harvestable after any number of
+        // live queries, with the same totals.
+        let merged = mon.harvest().expect("healthy pipeline");
+        assert_eq!(merged.packets(), n);
+    }
+
+    #[test]
+    fn auto_publication_reaches_full_coverage() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+            lat,
+            config(),
+            2,
+            128,
+            SpawnOptions {
+                publish_every: 1,
+                ..SpawnOptions::default()
+            },
+        )
+        .expect("spawn workers");
+        let n = 20_000u64;
+        for &k in &attack_stream(n, 43) {
+            mon.update(k);
+        }
+        // Publishing after every batch, the final flushed batch's
+        // snapshot covers the whole feed — no marker needed.
+        mon.flush();
+        wait_until(|| mon.query_coverage() == n);
+        let merged = mon.harvest().expect("healthy pipeline");
+        assert_eq!(merged.packets(), n);
+    }
+
+    #[test]
+    fn query_cache_reuses_merge_until_epochs_move() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+            lat,
+            config(),
+            2,
+            128,
+            SpawnOptions {
+                publish_every: u64::MAX,
+                ..SpawnOptions::default()
+            },
+        )
+        .expect("spawn workers");
+        for &k in &attack_stream(50_000, 29) {
+            mon.update(k);
+        }
+        let before = mon.snapshot_epochs();
+        mon.publish_now();
+        wait_until(|| {
+            mon.snapshot_epochs()
+                .iter()
+                .zip(&before)
+                .all(|(now, then)| now > then)
+        });
+        let c1 = mon.query_coverage();
+        let epochs = mon.snapshot_epochs();
+        let c2 = mon.query_coverage();
+        assert_eq!(c1, c2, "same epochs, same cached merge");
+        assert_eq!(
+            mon.snapshot_epochs(),
+            epochs,
+            "querying must not advance epochs"
+        );
     }
 
     #[test]
@@ -703,7 +1233,8 @@ mod tests {
     #[test]
     fn weighted_feed_conserves_weight_and_finds_volume_hitter() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
-        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat.clone(), config(), 3, 512);
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat.clone(), config(), 3, 512)
+            .expect("spawn workers");
         let heavy = pack2(
             u32::from_be_bytes([7, 7, 7, 7]),
             u32::from_be_bytes([8, 8, 8, 8]),
@@ -747,7 +1278,8 @@ mod tests {
         // Mixing both feeds on one monitor keeps the ledgers coherent:
         // packets count both kinds, weight counts units + weights.
         let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
-        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config(), 2, 64);
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config(), 2, 64)
+            .expect("spawn workers");
         for i in 0..1_000u64 {
             if i % 2 == 0 {
                 mon.update(i);
@@ -765,7 +1297,8 @@ mod tests {
     #[test]
     fn harvest_flushes_partial_buffers() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
-        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config(), 2, 4_096);
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config(), 2, 4_096)
+            .expect("spawn workers");
         // Fewer packets than one batch: everything rides the final flush.
         for i in 0..100u64 {
             mon.update(i);
@@ -778,7 +1311,8 @@ mod tests {
     fn ten_rhhh_sharded_update_rate_is_h_over_v() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
         let mut mon =
-            ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, RhhhConfig::ten_rhhh(), 4, 1_024);
+            ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, RhhhConfig::ten_rhhh(), 4, 1_024)
+                .expect("spawn workers");
         let n = 200_000u64;
         for &k in &attack_stream(n, 11) {
             mon.update(k);
@@ -805,7 +1339,8 @@ mod tests {
             256,
             40_000,
             4,
-        );
+        )
+        .expect("spawn workers");
         assert_eq!(mon.pane_len(), 10_000);
         for &k in &attack_stream(35_000, 21) {
             mon.update(k);
@@ -821,6 +1356,38 @@ mod tests {
     }
 
     #[test]
+    fn windowed_live_query_matches_window_semantics() {
+        let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
+        let mut mon = WindowedShardedMonitor::<u64, SpaceSaving<u64>>::spawn(
+            lat,
+            config(),
+            2,
+            256,
+            40_000,
+            4,
+        )
+        .expect("spawn workers");
+        // 2.5 panes: live coverage reflects completed panes only, stale
+        // by at most the active partial pane.
+        for &k in &attack_stream(25_000, 27) {
+            mon.update(k);
+        }
+        assert_eq!(mon.panes_completed(), 2);
+        mon.publish_now();
+        wait_until(|| {
+            // Two rotations + the explicit marker: every shard past 2.
+            mon.snapshot_epochs().iter().all(|&e| e > 2)
+        });
+        assert_eq!(
+            mon.query_coverage(),
+            20_000,
+            "live windowed coverage = completed panes"
+        );
+        let merged = mon.harvest_window().expect("healthy pipeline");
+        assert_eq!(merged.packets(), 20_000);
+    }
+
+    #[test]
     fn windowed_sharded_finds_recent_attack_and_ages_out_old_one() {
         for shards in [1usize, 4] {
             let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
@@ -831,7 +1398,8 @@ mod tests {
                 512,
                 120_000,
                 4,
-            );
+            )
+            .expect("spawn workers");
             // Old traffic: planted attack. Recent window: clean random.
             for &k in &attack_stream(120_000, 31) {
                 mon.update(k);
@@ -855,7 +1423,8 @@ mod tests {
                 512,
                 120_000,
                 4,
-            );
+            )
+            .expect("spawn workers");
             for _ in 0..150_000 {
                 mon.update(pack2(rng.next() as u32, rng.next() as u32));
             }
@@ -881,11 +1450,23 @@ mod tests {
             256,
             1_000_000,
             4,
-        );
+        )
+        .expect("spawn workers");
         for &k in &attack_stream(10_000, 41) {
             mon.update(k);
         }
         assert_eq!(mon.panes_completed(), 0);
+        // Live query before any rotation serves the active panes, like
+        // the harvest below.
+        let before = mon.snapshot_epochs();
+        mon.publish_now();
+        wait_until(|| {
+            mon.snapshot_epochs()
+                .iter()
+                .zip(&before)
+                .all(|(now, then)| now > then)
+        });
+        assert_eq!(mon.query_coverage(), 10_000);
         let merged = mon.harvest_window().expect("healthy pipeline");
         assert_eq!(
             merged.packets(),
@@ -897,13 +1478,14 @@ mod tests {
     #[test]
     fn dead_shard_surfaces_as_merge_error() {
         let lat = hhh_hierarchy::Lattice::ipv4_src_dst_bytes();
-        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config(), 2, 64);
+        let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config(), 2, 64)
+            .expect("spawn workers");
         for i in 0..1_000u64 {
             mon.update(i);
         }
         mon.inject_shard_failure(1);
         // The feed keeps running after the death: sends to the dead shard
-        // are dropped, never panicking the ingress thread.
+        // are dropped, never panicking (or wedging) the ingress thread.
         for i in 0..5_000u64 {
             mon.update(i.wrapping_mul(0x9E37_79B9));
         }

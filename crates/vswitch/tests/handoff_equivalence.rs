@@ -1,0 +1,123 @@
+//! Differential property: the hand-off plane is *transport*, not
+//! *semantics*. For any stream, shard count, batch grain and seed, the
+//! ring-ingest monitor and the legacy channel monitor must harvest
+//! bit-identical answers — same packet/update/weight ledgers, same output
+//! rows in the same order — on both the flat and the windowed pipeline.
+
+use hhh_core::{HeavyHitter, HhhAlgorithm, RhhhConfig};
+use hhh_counters::SpaceSaving;
+use hhh_hierarchy::Lattice;
+use hhh_vswitch::{Handoff, ShardedMonitor, SpawnOptions, WindowedShardedMonitor};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::sample::select;
+
+fn config(seed: u64) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: 0.01,
+        epsilon_s: 0.05,
+        delta_s: 0.05,
+        seed,
+        ..RhhhConfig::default()
+    }
+}
+
+fn opts(handoff: Handoff) -> SpawnOptions {
+    SpawnOptions {
+        handoff,
+        ..SpawnOptions::default()
+    }
+}
+
+/// Harvest summary: the ledgers plus the full output table at θ = 0.05.
+type Harvest = (u64, u64, u64, Vec<HeavyHitter<u64>>);
+
+fn flat_harvest(handoff: Handoff, keys: &[u64], shards: usize, batch: usize, seed: u64) -> Harvest {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+        lat,
+        config(seed),
+        shards,
+        batch,
+        opts(handoff),
+    )
+    .expect("spawn workers");
+    for &k in keys {
+        mon.update(k);
+    }
+    let merged = mon.harvest().expect("healthy pipeline");
+    (
+        merged.packets(),
+        merged.total_updates(),
+        merged.total_weight(),
+        merged.output(0.05),
+    )
+}
+
+fn windowed_harvest(
+    handoff: Handoff,
+    keys: &[u64],
+    shards: usize,
+    batch: usize,
+    window: u64,
+    panes: usize,
+    seed: u64,
+) -> Harvest {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut mon = WindowedShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+        lat,
+        config(seed),
+        shards,
+        batch,
+        window,
+        panes,
+        opts(handoff),
+    )
+    .expect("spawn workers");
+    for &k in keys {
+        mon.update(k);
+    }
+    let merged = mon.harvest_window().expect("healthy pipeline");
+    (
+        merged.packets(),
+        merged.total_updates(),
+        merged.total_weight(),
+        merged.output(0.05),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flat pipeline: ring and channel hand-offs harvest bit-identical
+    /// monitors for arbitrary streams, shard counts, grains and seeds.
+    #[test]
+    fn ring_and_channel_harvest_identically(
+        keys in vec(0u64..50_000, 1..3_000),
+        shards in 1usize..5,
+        batch in select(vec![1usize, 16, 256]),
+        seed in any::<u64>(),
+    ) {
+        let ring = flat_harvest(Handoff::Ring, &keys, shards, batch, seed);
+        let channel = flat_harvest(Handoff::Channel, &keys, shards, batch, seed);
+        prop_assert_eq!(ring, channel, "hand-off plane changed the answer");
+    }
+
+    /// Windowed pipeline: the same holds across pane rotations — the
+    /// rotation broadcasts ride the same hand-off and must not reorder
+    /// against batches.
+    #[test]
+    fn windowed_ring_and_channel_harvest_identically(
+        keys in vec(0u64..50_000, 1..3_000),
+        shards in 1usize..4,
+        batch in select(vec![1usize, 64]),
+        panes in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let window = 1_000u64;
+        let ring = windowed_harvest(Handoff::Ring, &keys, shards, batch, window, panes, seed);
+        let channel =
+            windowed_harvest(Handoff::Channel, &keys, shards, batch, window, panes, seed);
+        prop_assert_eq!(ring, channel, "hand-off plane changed the windowed answer");
+    }
+}

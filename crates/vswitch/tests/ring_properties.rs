@@ -1,0 +1,109 @@
+//! FIFO / no-loss / no-duplication properties of the crossbeam shim's
+//! [`ArrayQueue`] — the SPSC ring under the sharded hand-off plane —
+//! checked under arbitrary chunkings of pushes and pops, both
+//! single-threaded (where the model queue is exact) and across a real
+//! producer/consumer thread pair.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of push-chunks and pop-chunks behave
+    /// exactly like a bounded FIFO model: every accepted push comes back
+    /// out exactly once, in order; rejections happen only at capacity;
+    /// empty pops happen only when the model is empty.
+    #[test]
+    fn fifo_model_under_arbitrary_chunkings(
+        cap in 1usize..64,
+        ops in vec((0usize..32, 0usize..32), 1..64),
+    ) {
+        let q = ArrayQueue::new(cap);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        let mut popped: Vec<u64> = Vec::new();
+        for (pushes, pops) in ops {
+            for _ in 0..pushes {
+                match q.push(next) {
+                    Ok(()) => model.push_back(next),
+                    Err(bounced) => {
+                        prop_assert_eq!(bounced, next, "rejected value returns intact");
+                        prop_assert_eq!(model.len(), q.capacity(), "rejects only at capacity");
+                    }
+                }
+                next += 1;
+            }
+            for _ in 0..pops {
+                match q.pop() {
+                    Some(v) => {
+                        prop_assert_eq!(Some(v), model.pop_front(), "FIFO order");
+                        popped.push(v);
+                    }
+                    None => prop_assert!(model.is_empty(), "empty pops only when empty"),
+                }
+            }
+        }
+        while let Some(v) = q.pop() {
+            prop_assert_eq!(Some(v), model.pop_front(), "drain stays FIFO");
+            popped.push(v);
+        }
+        prop_assert!(model.is_empty(), "no element lost in the ring");
+        prop_assert!(
+            popped.windows(2).all(|w| w[0] < w[1]),
+            "no duplicates, strictly increasing"
+        );
+    }
+
+    /// A real SPSC pair: the producer pushes `0..total` in arbitrary
+    /// chunk sizes (retrying on full), the consumer drains concurrently.
+    /// The consumer must see exactly `0, 1, 2, …, total-1` — no loss, no
+    /// duplication, no reordering — for any capacity and chunking.
+    #[test]
+    fn spsc_cross_thread_no_loss_no_dup(
+        cap in 1usize..32,
+        chunks in vec(1usize..64, 1..32),
+    ) {
+        let q = Arc::new(ArrayQueue::new(cap));
+        let total: usize = chunks.iter().sum();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::with_capacity(total);
+                while got.len() < total {
+                    match q.pop() {
+                        Some(v) => got.push(v),
+                        None => std::thread::yield_now(),
+                    }
+                }
+                got
+            })
+        };
+        let mut next = 0u64;
+        for chunk in chunks {
+            for _ in 0..chunk {
+                let mut v = next;
+                loop {
+                    match q.push(v) {
+                        Ok(()) => break,
+                        Err(bounced) => {
+                            v = bounced;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                next += 1;
+            }
+        }
+        let got = consumer.join().expect("consumer thread");
+        prop_assert_eq!(got.len(), total, "no loss");
+        prop_assert!(
+            got.iter().enumerate().all(|(i, &v)| v == i as u64),
+            "exact in-order sequence: no duplication or reordering"
+        );
+    }
+}

@@ -23,14 +23,15 @@ fn config(seed: u64) -> RhhhConfig {
     }
 }
 
-fn run_weighted<E: FrequencyEstimator<u64>>(
+fn run_weighted<E: FrequencyEstimator<u64> + Clone + Sync>(
     packets: &[(u64, u64)],
     shards: usize,
     batch: usize,
     seed: u64,
 ) -> (u64, u64) {
     let lat = Lattice::ipv4_src_dst_bytes();
-    let mut mon = ShardedMonitor::<u64, E>::spawn(lat, config(seed), shards, batch);
+    let mut mon =
+        ShardedMonitor::<u64, E>::spawn(lat, config(seed), shards, batch).expect("spawn workers");
     mon.update_batch_weighted(packets);
     let expect_weight: u64 = packets.iter().map(|&(_, w)| w).sum();
     assert_eq!(mon.weight(), expect_weight, "feed-side weight ledger");

@@ -6,7 +6,7 @@ use hhh_core::{ExactHhh, HhhAlgorithm, MergeError, RhhhConfig};
 use hhh_counters::SpaceSaving;
 use hhh_eval::AlgoKind;
 use hhh_hierarchy::{pack2, Lattice};
-use hhh_vswitch::{ShardedMonitor, WindowedShardedMonitor};
+use hhh_vswitch::{ShardedMonitor, SpawnOptions, WindowedShardedMonitor};
 
 /// A single key flooding the stream — maximal skew.
 #[test]
@@ -143,7 +143,8 @@ fn dead_shard_mid_feed_surfaces_merge_error() {
         delta_s: 0.05,
         ..RhhhConfig::default()
     };
-    let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat.clone(), config, 3, 128);
+    let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat.clone(), config, 3, 128)
+        .expect("spawn workers");
     let mut x = 0xDEAD_u64;
     let mut next = move || {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
@@ -171,7 +172,8 @@ fn dead_shard_mid_feed_surfaces_merge_error() {
     // broadcasts that cross the dead channel), and the windowed harvest
     // refuses the partial answer.
     let mut mon =
-        WindowedShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config, 2, 128, 20_000, 4);
+        WindowedShardedMonitor::<u64, SpaceSaving<u64>>::spawn(lat, config, 2, 128, 20_000, 4)
+            .expect("spawn workers");
     for _ in 0..10_000 {
         mon.update(next());
     }
@@ -188,6 +190,82 @@ fn dead_shard_mid_feed_surfaces_merge_error() {
             );
         }
         Ok(_) => panic!("windowed harvest produced an answer from a dead shard"),
+        Err(other) => panic!("wrong error kind: {other}"),
+    }
+}
+
+/// A dead worker on the ring hand-off must not wedge the producer: the
+/// ring fills, the producer's spin-then-park backpressure notices the
+/// consumer is gone (its receiver drop clears the liveness flag — that
+/// runs even on panic unwind) and fails the sends fast instead of parking
+/// forever. The live query plane keeps answering from the last published
+/// snapshots, and `MergeError::ShardFailed` surfaces only at harvest —
+/// exactly the channel-mode contract.
+#[test]
+fn dead_ring_worker_keeps_producer_and_query_plane_alive() {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let config = RhhhConfig {
+        epsilon_a: 0.01,
+        epsilon_s: 0.05,
+        delta_s: 0.05,
+        ..RhhhConfig::default()
+    };
+    // publish_every = MAX: explicit markers are the only publisher, so
+    // "every epoch advanced" means "every marker processed" and the
+    // snapshot coverage below is exact, not racy.
+    let mut mon = ShardedMonitor::<u64, SpaceSaving<u64>>::spawn_with(
+        lat,
+        config,
+        3,
+        128,
+        SpawnOptions {
+            publish_every: u64::MAX,
+            ..SpawnOptions::default()
+        },
+    )
+    .expect("spawn workers");
+    let mut x = 0xFEED_u64;
+    let mut next = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+        x
+    };
+    for _ in 0..10_000 {
+        mon.update(next());
+    }
+    mon.publish_now();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while mon.snapshot_epochs().contains(&0) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "snapshots never published"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(mon.query_coverage(), 10_000);
+
+    mon.inject_shard_failure(2);
+    // Far more keys than the dead shard's ring can hold (16 slots × 128
+    // keys ≈ 2k): without fail-fast liveness detection this feed would
+    // park forever on the full ring.
+    for _ in 0..200_000 {
+        mon.update(next());
+    }
+    mon.flush();
+    assert!(
+        mon.handoff_stats()[2].dropped > 0,
+        "sends to the dead shard must be counted as dropped, not block"
+    );
+
+    // The query plane still answers from the snapshots published before
+    // the death — stale for the dead shard, but live and non-blocking.
+    assert_eq!(mon.query_coverage(), 10_000);
+    let _ = mon.query(0.1);
+
+    match mon.harvest() {
+        Err(MergeError::ShardFailed(msg)) => {
+            assert!(msg.contains("shard 2"), "error must name the shard: {msg}");
+        }
+        Ok(_) => panic!("harvest produced a merged answer from a dead shard"),
         Err(other) => panic!("wrong error kind: {other}"),
     }
 }
