@@ -1,0 +1,267 @@
+//! The PR 9 acceptance rows: zero-copy wire ingest (raw frame bytes →
+//! `WireBlockView` → `update_batch_wire`) against the sketch-only baseline
+//! (`update_batch` over pre-extracted keys) on identical pre-warmed
+//! instances.
+//!
+//! The two paths consume the same RNG draws and produce bit-identical state
+//! (pinned by the `wire_ingest` differential test suite), so each pair
+//! isolates exactly what the raw-bytes front end costs: on the trusted
+//! plane that is one 8-byte big-endian key load per *selected* packet —
+//! parsing rides inside the gather, so at `V = 10H` roughly one frame in
+//! ten is ever touched.
+//!
+//! Compare `raw` vs `struct` only *within one run* — this box drifts ±8%
+//! between runs. The CI gate computes the ratio from one run's
+//! `BENCH_wire_ingest.json` and requires raw ≥ 0.85× struct at `V = 10H`.
+//!
+//! Groups:
+//! * `wire_ingest/v{1,10}` — interleaved `raw`/`struct` pair, unit counts.
+//! * `wire_ingest/weighted-v10` — the byte-volume twin.
+//! * `wire_ingest/plane-v10` — interleaved `trusted`/`validated` pair: the
+//!   same frames once as a clean generator block (stride plan, no
+//!   validation) and once re-pushed as untrusted bytes (classify prepass +
+//!   compacted offset lanes, the pcap plan).
+//! * `wire_ingest/scenarios` — raw-plane throughput of each of the five
+//!   seeded scenario traces at `V = 10H`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhh_core::{Rhhh, RhhhConfig};
+use hhh_hierarchy::Lattice;
+use hhh_traces::{
+    blocks_from_packets, FrameBlock, Packet, ScenarioConfig, ScenarioGenerator, ScenarioKind,
+};
+use hhh_vswitch::WireBlockView;
+
+const PACKETS: usize = 262_144;
+/// One rx-ring-sized block per 64Ki frames: 4 blocks over the workload.
+const BLOCK_FRAMES: usize = 65_536;
+const WARM_PACKETS: usize = 12_000_000;
+/// Shorter warm for the five per-scenario rows (no gated ratio there; the
+/// full 12M × 5 would dominate CI bench time).
+const SCENARIO_WARM: usize = 2_000_000;
+const WARM_CHUNK: usize = 65_536;
+const EPSILON: f64 = 0.001;
+
+fn rhhh_config(v_scale: u64) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: EPSILON,
+        epsilon_s: EPSILON,
+        delta_s: 0.001,
+        v_scale,
+        updates_per_packet: 1,
+        seed: 0xBE7C,
+    }
+}
+
+/// Materializes one scenario's measured workload — the same `PACKETS`
+/// packets as clean frame blocks *and* as structs — and returns the
+/// generator positioned right after them, ready to stream fresh warm-up
+/// traffic.
+fn workload(kind: ScenarioKind) -> (Vec<FrameBlock>, Vec<Packet>, ScenarioGenerator) {
+    let mut gen = ScenarioGenerator::new(&ScenarioConfig::new(kind));
+    let packets = gen.take_packets(PACKETS);
+    let blocks = blocks_from_packets(&packets, BLOCK_FRAMES);
+    (blocks, packets, gen)
+}
+
+/// The headline pair at `V ∈ {H, 10H}`: full parse + sketch from raw bytes
+/// vs sketch-only over pre-extracted keys, interleaved so the acceptance
+/// ratio shares one wall-clock span.
+fn wire_vs_struct(c: &mut Criterion) {
+    let (blocks, packets, mut gen) = workload(ScenarioKind::MultiTenant);
+    let keys2: Vec<u64> = packets.iter().map(Packet::key2).collect();
+    let lat = Lattice::ipv4_src_dst_bytes();
+    for v_scale in [1u64, 10] {
+        let mut warm = Rhhh::<u64>::new(lat.clone(), rhhh_config(v_scale));
+        hhh_bench::warm_stream(&mut gen, WARM_PACKETS, WARM_CHUNK, Packet::key2, |chunk| {
+            warm.update_batch(chunk);
+        });
+
+        let mut g = c.benchmark_group(format!("wire_ingest/v{v_scale}"));
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2))
+            .throughput(Throughput::Elements(keys2.len() as u64));
+        g.bench_pair_interleaved(
+            "raw",
+            |b| {
+                b.iter_batched(
+                    || warm.clone(),
+                    |mut algo| {
+                        for block in &blocks {
+                            WireBlockView::new(block).ingest(&mut algo);
+                        }
+                        algo
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+            "struct",
+            |b| {
+                b.iter_batched(
+                    || warm.clone(),
+                    |mut algo| {
+                        for part in keys2.chunks(BLOCK_FRAMES) {
+                            algo.update_batch(part);
+                        }
+                        algo
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        g.finish();
+    }
+}
+
+/// The byte-volume twin at `V = 10H`: `ingest_weighted` reads every frame's
+/// wire-length lane (the weight total is unconditional) but still loads
+/// keys only for selected packets.
+fn wire_vs_struct_weighted(c: &mut Criterion) {
+    let (blocks, packets, mut gen) = workload(ScenarioKind::FlashCrowd);
+    let pair_of = |p: &Packet| (p.key2(), u64::from(p.wire_len).max(64));
+    let pairs: Vec<(u64, u64)> = packets.iter().map(pair_of).collect();
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut warm = Rhhh::<u64>::new(lat.clone(), rhhh_config(10));
+    hhh_bench::warm_stream(&mut gen, WARM_PACKETS, WARM_CHUNK, pair_of, |chunk| {
+        warm.update_batch_weighted(chunk);
+    });
+
+    let mut g = c.benchmark_group("wire_ingest/weighted-v10");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_pair_interleaved(
+        "raw-weighted",
+        |b| {
+            b.iter_batched(
+                || warm.clone(),
+                |mut algo| {
+                    for block in &blocks {
+                        WireBlockView::new(block).ingest_weighted(&mut algo);
+                    }
+                    algo
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        },
+        "struct-weighted",
+        |b| {
+            b.iter_batched(
+                || warm.clone(),
+                |mut algo| {
+                    for part in pairs.chunks(BLOCK_FRAMES) {
+                        algo.update_batch_weighted(part);
+                    }
+                    algo
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        },
+    );
+    g.finish();
+}
+
+/// Trusted vs validated plane on identical frames at `V = 10H`: re-pushing
+/// a clean block's frames as external bytes forces the classify prepass
+/// and compacted offset lanes the pcap path pays.
+fn trusted_vs_validated(c: &mut Criterion) {
+    let (blocks, packets, mut gen) = workload(ScenarioKind::MultiTenant);
+    let dirty: Vec<FrameBlock> = blocks
+        .iter()
+        .map(|b| {
+            let mut d = FrameBlock::new();
+            for (frame, orig) in b.frames() {
+                d.push_frame(frame, orig);
+            }
+            assert!(
+                !d.is_clean(),
+                "re-pushed bytes must take the validated plan"
+            );
+            d
+        })
+        .collect();
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut warm = Rhhh::<u64>::new(lat.clone(), rhhh_config(10));
+    hhh_bench::warm_stream(&mut gen, WARM_PACKETS, WARM_CHUNK, Packet::key2, |chunk| {
+        warm.update_batch(chunk);
+    });
+
+    let mut g = c.benchmark_group("wire_ingest/plane-v10");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_pair_interleaved(
+        "trusted",
+        |b| {
+            b.iter_batched(
+                || warm.clone(),
+                |mut algo| {
+                    for block in &blocks {
+                        WireBlockView::new(block).ingest(&mut algo);
+                    }
+                    algo
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        },
+        "validated",
+        |b| {
+            b.iter_batched(
+                || warm.clone(),
+                |mut algo| {
+                    for block in &dirty {
+                        WireBlockView::new(block).ingest(&mut algo);
+                    }
+                    algo
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        },
+    );
+    g.finish();
+}
+
+/// Raw-plane throughput of each seeded scenario at `V = 10H` — one row per
+/// scenario so regressions in a single generator's mix show up by name.
+fn scenario_rows(c: &mut Criterion) {
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let mut g = c.benchmark_group("wire_ingest/scenarios");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(PACKETS as u64));
+    for kind in ScenarioKind::all() {
+        let (blocks, _, mut gen) = workload(kind);
+        let mut warm = Rhhh::<u64>::new(lat.clone(), rhhh_config(10));
+        hhh_bench::warm_stream(&mut gen, SCENARIO_WARM, WARM_CHUNK, Packet::key2, |chunk| {
+            warm.update_batch(chunk);
+        });
+        g.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter_batched(
+                || warm.clone(),
+                |mut algo| {
+                    for block in &blocks {
+                        WireBlockView::new(block).ingest(&mut algo);
+                    }
+                    algo
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    wire,
+    wire_vs_struct,
+    wire_vs_struct_weighted,
+    trusted_vs_validated,
+    scenario_rows
+);
+criterion_main!(wire);

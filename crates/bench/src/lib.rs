@@ -48,8 +48,11 @@ impl Workload {
 /// its tail keys as recurring flows). `key_of` selects the key dimension
 /// (`Packet::key1` for 1D, `Packet::key2` for 2D), so the `update_speed`
 /// and `counter_ablation` warm-ups share this one implementation.
+///
+/// Generic over the packet source: any infinite `Iterator<Item = Packet>`
+/// works — `TraceGenerator` and `ScenarioGenerator` alike.
 pub fn warm_stream<K>(
-    gen: &mut TraceGenerator,
+    gen: &mut impl Iterator<Item = Packet>,
     packets: usize,
     chunk: usize,
     key_of: impl Fn(&Packet) -> K,
@@ -62,7 +65,7 @@ pub fn warm_stream<K>(
         buf.clear();
         let take = chunk.min(packets - warmed);
         for _ in 0..take {
-            buf.push(key_of(&gen.generate()));
+            buf.push(key_of(&gen.next().expect("packet generators are infinite")));
         }
         sink(&buf);
         warmed += take;

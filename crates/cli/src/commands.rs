@@ -12,8 +12,11 @@ use hhh_counters::{
 use hhh_eval::AlgoKind;
 use hhh_hierarchy::{KeyBits, Lattice};
 use hhh_traces::io::{write_trace, TraceReader};
-use hhh_traces::{AttackConfig, Packet, TraceConfig, TraceGenerator};
-use hhh_vswitch::{Handoff, ShardedMonitor, SpawnOptions, WindowedShardedMonitor};
+use hhh_traces::{
+    parse_ipv4_frame, AttackConfig, FrameBlock, Packet, PcapReader, ScenarioConfig,
+    ScenarioGenerator, ScenarioKind, TraceConfig, TraceGenerator,
+};
+use hhh_vswitch::{Handoff, ShardedMonitor, SpawnOptions, WindowedShardedMonitor, WireBlockView};
 
 use crate::args::Flags;
 
@@ -46,6 +49,11 @@ fn counter_kind(flags: &Flags) -> Result<CounterKind, String> {
         .get("counter")
         .map_or(Ok(CounterKind::default()), CounterKind::parse)
 }
+
+/// Frames per [`FrameBlock`] when reading a pcap in block mode: sized like
+/// an rx burst ring so each block's validation prepass and lane sweep stay
+/// cache-resident.
+const PCAP_BLOCK_FRAMES: usize = 8_192;
 
 /// Chunk size for the CLI's batch update paths. Larger chunks give the
 /// per-node flush better dedup and cache locality; 64Ki keys ≈ 512 KiB of
@@ -188,15 +196,35 @@ pub fn generate(argv: &[String]) -> i32 {
 
 fn generate_inner(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv, &[])?;
-    let mut config = preset(flags.get("preset").unwrap_or("chicago16"))?;
-    if let Some(spec) = flags.get("attack") {
-        config = config.with_attack(parse_attack(spec)?);
-    }
     let packets = flags.num("packets", 1_000_000.0)? as usize;
     let out = flags.require("out")?;
-    let data = TraceGenerator::new(&config).take_packets(packets);
-    let written = write_trace(Path::new(out), &data).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("wrote {written} packets ({}) to {out}", config.name);
+    let (data, source) = if let Some(name) = flags.get("scenario") {
+        if flags.get("preset").is_some() || flags.get("attack").is_some() {
+            return Err(
+                "--scenario replaces --preset/--attack (scenarios script their own mix)".into(),
+            );
+        }
+        let kind = ScenarioKind::parse(name)?;
+        let data = ScenarioGenerator::new(&ScenarioConfig::new(kind)).take_packets(packets);
+        (data, kind.name().to_string())
+    } else {
+        let mut config = preset(flags.get("preset").unwrap_or("chicago16"))?;
+        if let Some(spec) = flags.get("attack") {
+            config = config.with_attack(parse_attack(spec)?);
+        }
+        let name = config.name.clone();
+        (TraceGenerator::new(&config).take_packets(packets), name)
+    };
+    // `.pcap` destinations get raw canonical frames — the input the
+    // zero-copy `analyze --pcap` plane consumes; anything else gets the
+    // compact struct trace format.
+    let written = if out.ends_with(".pcap") {
+        hhh_traces::write_pcap(Path::new(out), &data)
+    } else {
+        write_trace(Path::new(out), &data)
+    }
+    .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {written} packets ({source}) to {out}");
     Ok(())
 }
 
@@ -211,6 +239,21 @@ pub fn analyze(argv: &[String]) -> i32 {
     }
 }
 
+/// Rejects `analyze` invocations naming more than one input source.
+fn check_one_source(flags: &Flags) -> Result<(), String> {
+    let named: Vec<&str> = ["trace", "pcap", "scenario", "preset"]
+        .into_iter()
+        .filter(|s| flags.get(s).is_some())
+        .collect();
+    if named.len() > 1 {
+        return Err(format!(
+            "pick one input source, got --{}",
+            named.join(" and --")
+        ));
+    }
+    Ok(())
+}
+
 fn load_packets(flags: &Flags) -> Result<Vec<Packet>, String> {
     if let Some(path) = flags.get("trace") {
         let reader =
@@ -219,9 +262,47 @@ fn load_packets(flags: &Flags) -> Result<Vec<Packet>, String> {
             .collect::<Result<Vec<_>, _>>()
             .map_err(|e| format!("reading {path}: {e}"));
     }
-    let config = preset(flags.get("preset").unwrap_or("chicago16"))?;
     let packets = flags.num("packets", 1_000_000.0)? as usize;
+    if let Some(name) = flags.get("scenario") {
+        let kind = ScenarioKind::parse(name)?;
+        return Ok(ScenarioGenerator::new(&ScenarioConfig::new(kind)).take_packets(packets));
+    }
+    let config = preset(flags.get("preset").unwrap_or("chicago16"))?;
     Ok(TraceGenerator::new(&config).take_packets(packets))
+}
+
+/// Reads a whole pcap into rx-burst-sized [`FrameBlock`]s. Returns the
+/// blocks plus the reader's record count.
+fn load_pcap_blocks(path: &str) -> Result<(Vec<FrameBlock>, u64), String> {
+    let mut reader =
+        PcapReader::open(Path::new(path)).map_err(|e| format!("opening {path}: {e}"))?;
+    let mut blocks = Vec::new();
+    loop {
+        let mut block = FrameBlock::new();
+        let n = reader
+            .read_block(&mut block, PCAP_BLOCK_FRAMES)
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        blocks.push(block);
+    }
+    Ok((blocks, reader.records()))
+}
+
+/// Materializes [`Packet`] structs from raw frame blocks — the fallback
+/// when the requested analysis cannot run on the zero-copy wire plane
+/// (non-RHHH algorithm, 1D hierarchy, shards, scalar updates).
+fn packets_from_blocks(blocks: &[FrameBlock]) -> Vec<Packet> {
+    let mut out = Vec::new();
+    for block in blocks {
+        for (frame, orig) in block.frames() {
+            if let Some(p) = parse_ipv4_frame(frame, orig) {
+                out.push(p);
+            }
+        }
+    }
+    out
 }
 
 fn analyze_inner(argv: &[String]) -> Result<(), String> {
@@ -238,7 +319,49 @@ fn analyze_inner(argv: &[String]) -> Result<(), String> {
     let handoff = handoff_flag(&flags)?;
     let window = window_flags(&flags)?;
     let filter = flags.get("filter").map(ToString::to_string);
-    let packets = load_packets(&flags)?;
+    check_one_source(&flags)?;
+
+    let packets;
+    if let Some(path) = flags.get("pcap") {
+        if window.is_some() {
+            return Err(
+                "--pcap streams raw frames; --window needs a materialized trace (use \
+                 --trace, --scenario or --preset)"
+                    .into(),
+            );
+        }
+        let (blocks, records) = load_pcap_blocks(path)?;
+        // The zero-copy wire plane covers exactly the single-instance
+        // RHHH batch path over the 2D hierarchy — raw frame bytes feed
+        // `update_batch_wire` with no Packet structs in between. Anything
+        // else (other algorithms, 1D keys, shards, scalar updates)
+        // materializes structs and takes the regular path below.
+        if hierarchy == "2d-bytes"
+            && matches!(algo_name, "rhhh" | "10-rhhh")
+            && batch
+            && shards.is_none()
+        {
+            return run_wire_analysis(
+                &blocks,
+                records,
+                algo_name,
+                epsilon,
+                theta,
+                volume,
+                counter,
+                top,
+                filter.as_deref(),
+            );
+        }
+        packets = packets_from_blocks(&blocks);
+        println!(
+            "# pcap {path}: {} of {records} records materialized (wire fast path needs \
+             2d-bytes + rhhh/10-rhhh + --batch, no --shards)",
+            packets.len()
+        );
+    } else {
+        packets = load_packets(&flags)?;
+    }
 
     match hierarchy {
         "2d-bytes" => run_analysis::<u64>(
@@ -515,7 +638,7 @@ fn run_analysis<K: KeyBits>(
                 .map_err(|e| format!("--filter: {e}"))
         })
         .transpose()?;
-    let mut output: Vec<HeavyHitter<K>>;
+    let output: Vec<HeavyHitter<K>>;
     let total: u64;
     let elapsed: f64;
 
@@ -613,11 +736,6 @@ fn run_analysis<K: KeyBits>(
         output = algo.query(theta);
     }
 
-    if let Some(filter) = filter_prefix {
-        output.retain(|h| filter.generalizes(&h.prefix, lattice));
-    }
-    output.sort_by(|a, b| b.freq_upper.total_cmp(&a.freq_upper));
-    let unit = if volume { "bytes" } else { "packets" };
     if let Some((win, panes)) = window {
         println!(
             "# sliding window: last {total} packets covered ({panes}-pane ring over W={win}, \
@@ -625,12 +743,49 @@ fn run_analysis<K: KeyBits>(
             win.div_ceil(panes as u64)
         );
     }
+    print_report(
+        lattice,
+        output,
+        filter_prefix,
+        algo_name,
+        packets.len(),
+        total,
+        elapsed,
+        theta,
+        epsilon,
+        volume,
+        top,
+    );
+    Ok(())
+}
+
+/// Filters, sorts and prints the HHH table — shared by the struct-fed and
+/// wire-fed analysis paths.
+#[allow(clippy::too_many_arguments)]
+fn print_report<K: KeyBits>(
+    lattice: &Lattice<K>,
+    mut output: Vec<HeavyHitter<K>>,
+    filter: Option<hhh_hierarchy::Prefix<K>>,
+    algo_name: &str,
+    stream_len: usize,
+    total: u64,
+    elapsed: f64,
+    theta: f64,
+    epsilon: f64,
+    volume: bool,
+    top: usize,
+) {
+    if let Some(filter) = filter {
+        output.retain(|h| filter.generalizes(&h.prefix, lattice));
+    }
+    output.sort_by(|a, b| b.freq_upper.total_cmp(&a.freq_upper));
+    let unit = if volume { "bytes" } else { "packets" };
     println!(
         "# {} on {} packets ({total} {unit}), theta={theta}, epsilon={epsilon}, {:.2}s ({:.2} Mpps)",
         algo_name,
-        packets.len(),
+        stream_len,
         elapsed,
-        packets.len() as f64 / elapsed / 1e6,
+        stream_len as f64 / elapsed / 1e6,
     );
     println!(
         "{:<46} {:>14} {:>14} {:>8}",
@@ -645,6 +800,89 @@ fn run_analysis<K: KeyBits>(
             100.0 * h.freq_upper / total as f64
         );
     }
+}
+
+/// The zero-copy pcap analysis: every block resolves to key lanes through
+/// [`WireBlockView`] and feeds `update_batch_wire` — no `Packet` structs
+/// exist anywhere on the hot path, and the clock covers parse + sketch
+/// together (the quantity the `wire_ingest` benchmark gates).
+#[allow(clippy::too_many_arguments)]
+fn run_wire_analysis(
+    blocks: &[FrameBlock],
+    records: u64,
+    algo_name: &str,
+    epsilon: f64,
+    theta: f64,
+    volume: bool,
+    counter: CounterKind,
+    top: usize,
+    filter: Option<&str>,
+) -> Result<(), String> {
+    let lattice = Lattice::ipv4_src_dst_bytes();
+    let filter_prefix = filter
+        .map(|f| {
+            lattice
+                .parse_prefix(f)
+                .map_err(|e| format!("--filter: {e}"))
+        })
+        .transpose()?;
+    let config = RhhhConfig {
+        epsilon_a: epsilon,
+        epsilon_s: epsilon,
+        delta_s: 0.001,
+        v_scale: if algo_name == "10-rhhh" { 10 } else { 1 },
+        updates_per_packet: 1,
+        seed: 0xC11,
+    };
+    let (output, frames, skipped, total, elapsed) = with_counter_type!(counter, Est, {
+        let mut algo = Rhhh::<u64, Est<u64>>::new(lattice.clone(), config);
+        let mut frames = 0u64;
+        let mut non_ipv4 = 0u64;
+        let mut truncated = 0u64;
+        let start = Instant::now();
+        for block in blocks {
+            let view = WireBlockView::new(block);
+            if volume {
+                view.ingest_weighted(&mut algo);
+            } else {
+                view.ingest(&mut algo);
+            }
+            frames += view.len() as u64;
+            non_ipv4 += view.skipped_non_ipv4();
+            truncated += view.skipped_truncated();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let total = if volume {
+            algo.total_weight()
+        } else {
+            algo.packets()
+        };
+        (
+            algo.output(theta),
+            frames,
+            (non_ipv4, truncated),
+            total,
+            elapsed,
+        )
+    });
+    println!(
+        "# wire ingest: {frames} IPv4 frames of {records} records sketched from raw bytes \
+         ({} non-IPv4, {} truncated skipped)",
+        skipped.0, skipped.1
+    );
+    print_report(
+        &lattice,
+        output,
+        filter_prefix,
+        &format!("{algo_name}(wire)"),
+        frames as usize,
+        total,
+        elapsed,
+        theta,
+        epsilon,
+        volume,
+        top,
+    );
     Ok(())
 }
 
@@ -1077,6 +1315,78 @@ mod tests {
                 .any(|h| h.prefix.display(&lat).contains("10.20.0.0/16")),
             "windowed sharded analysis must find the in-window attack"
         );
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn analyze_rejects_conflicting_sources() {
+        let err = analyze_inner(&argv(&["--pcap", "x.pcap", "--trace", "y.trc"])).unwrap_err();
+        assert!(err.contains("one input source"), "{err}");
+        let err = analyze_inner(&argv(&["--scenario", "ddos-ramp", "--preset", "chicago16"]))
+            .unwrap_err();
+        assert!(err.contains("one input source"), "{err}");
+    }
+
+    #[test]
+    fn pcap_rejects_window() {
+        // Validated before the file is touched, so no fixture needed.
+        let err =
+            analyze_inner(&argv(&["--pcap", "missing.pcap", "--window", "1000"])).unwrap_err();
+        assert!(err.contains("--window"), "{err}");
+    }
+
+    #[test]
+    fn scenario_names_resolve_everywhere() {
+        for kind in ScenarioKind::all() {
+            assert_eq!(ScenarioKind::parse(kind.name()), Ok(kind));
+        }
+        let err = analyze_inner(&argv(&["--scenario", "nope"])).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn pcap_wire_and_materialized_paths_run_end_to_end() {
+        // generate --scenario → .pcap → analyze --pcap through both the
+        // zero-copy wire fast path and the struct-materializing fallback.
+        let dir = std::env::temp_dir().join(format!("rhhh-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let pcap = dir.join("ramp.pcap");
+        let path = pcap.to_str().expect("utf-8 path");
+        generate_inner(&argv(&[
+            "--scenario",
+            "ddos-ramp",
+            "--packets",
+            "30000",
+            "--out",
+            path,
+        ]))
+        .expect("generate pcap");
+        // Wire fast path: 2d-bytes + rhhh + --batch, with a filter.
+        analyze_inner(&argv(&[
+            "--pcap",
+            path,
+            "--batch",
+            "--theta",
+            "0.05",
+            "--filter",
+            "8.8.8.8/32,*",
+        ]))
+        .expect("wire-plane analyze");
+        // Fallback: 1d hierarchy materializes structs from the same blocks.
+        analyze_inner(&argv(&[
+            "--pcap",
+            path,
+            "--batch",
+            "--hierarchy",
+            "1d-bytes",
+            "--theta",
+            "0.05",
+        ]))
+        .expect("materialized analyze");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! rhhh generate --preset chicago16 --packets 1000000 --out trace.trc
+//! rhhh generate --scenario ddos-ramp --packets 1000000 --out ramp.pcap
 //! rhhh analyze  --trace trace.trc --algorithm rhhh --hierarchy 2d-bytes --theta 0.03
+//! rhhh analyze  --pcap ramp.pcap --algorithm 10-rhhh --batch
 //! rhhh analyze  --preset sanjose14 --packets 2000000 --volume
 //! rhhh speed    --hierarchy 1d-bits --packets 1000000
 //! ```
@@ -34,9 +36,11 @@ fn print_usage() {
         "rhhh — hierarchical heavy hitters (SIGCOMM'17 reproduction)
 
 USAGE:
-    rhhh generate --preset <name> --packets <n> --out <file.trc> \\
+    rhhh generate (--preset <name> | --scenario <name>) --packets <n> \\
+                  --out <file.trc|file.pcap>   (.pcap writes raw frames) \\
                   [--attack <subnet>/<bits>-><victim>@<fraction>]
-    rhhh analyze  (--trace <file.trc> | --preset <name> --packets <n>) \\
+    rhhh analyze  (--trace <file.trc> | --pcap <file.pcap> | --scenario <name> \\
+                   | --preset <name> --packets <n>) \\
                   [--algorithm rhhh|10-rhhh|mst|full-ancestry|partial-ancestry] \\
                   [--hierarchy 1d-bytes|1d-bits|2d-bytes] \\
                   [--counter stream-summary|compact|heap|misra-gries|lossy-counting] \\
@@ -48,6 +52,12 @@ USAGE:
     rhhh speed    [--hierarchy <h>] [--packets <n>] [--preset <name>] [--batch] \\
                   [--counter <kind>] [--shards <n>] [--handoff ring|channel]
 
-PRESETS: chicago15 chicago16 sanjose13 sanjose14"
+--pcap feeds the zero-copy wire plane (raw frame bytes straight into the
+sketch) when the analysis is 2d-bytes + rhhh/10-rhhh + --batch without
+--shards; other combinations materialize packet structs first. --window
+needs a materialized trace.
+
+PRESETS:   chicago15 chicago16 sanjose13 sanjose14
+SCENARIOS: ddos-ramp flash-crowd scan-sweep diurnal-drift multi-tenant"
     );
 }

@@ -318,8 +318,41 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
     /// weighted [`FrequencyEstimator`] update each. Bit-identical to
     /// [`Rhhh::update_batch_reference`] for the same seed and chunking.
     pub fn update_batch(&mut self, keys: &[K]) {
+        self.update_batch_keyed(keys.len(), |packet| keys[packet]);
+    }
+
+    /// Zero-copy wire entry point: [`Rhhh::update_batch`] over a *virtual*
+    /// key lane. `key_at(i)` returns the key of packet `i` — typically a
+    /// fixed-offset big-endian load straight out of a raw frame buffer —
+    /// so no key slice is ever materialized.
+    ///
+    /// **Bit-identity argument.** The RNG consumption schedule of the
+    /// block pipeline depends only on the packet *count* (`draws` blocks
+    /// of geometric gaps), never on key values, and the masked gather
+    /// applies `key_at` at exactly the positions the struct-fed path
+    /// indexes its slice. Feeding `n` frames here is therefore
+    /// bit-identical to extracting the same `n` keys first and calling
+    /// [`Rhhh::update_batch`] — the property suite pins this over raw
+    /// frames, both counter layouts, V ∈ {H, 10H} and chunkings.
+    ///
+    /// With `V = 10H` only ~`n·H/V` packets are selected at all, so the
+    /// wire path touches only ~a tenth of the frame bytes — ingest
+    /// bandwidth inherits the paper's sampling discount.
+    pub fn update_batch_wire<F>(&mut self, packets: usize, key_at: F)
+    where
+        F: Fn(usize) -> K,
+    {
+        self.update_batch_keyed(packets, key_at);
+    }
+
+    /// Shared body of [`Rhhh::update_batch`] / [`Rhhh::update_batch_wire`]:
+    /// the staged block pipeline over an indexable key lane.
+    fn update_batch_keyed<F>(&mut self, packets: usize, key_at: F)
+    where
+        F: Fn(usize) -> K,
+    {
         let total = ProfTimer::start();
-        let n = keys.len() as u64;
+        let n = packets as u64;
         self.packets += n;
         self.weight += n;
         let r = u64::from(self.config.updates_per_packet);
@@ -346,7 +379,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
             |idx, nodes| {
                 let t = ProfTimer::start();
                 gather_masked(r, idx, nodes, masks, mkeys, |packet, mask| {
-                    keys[packet].and(mask)
+                    key_at(packet).and(mask)
                 });
                 t.stop(Stage::MaskHash);
                 let t = ProfTimer::start();
@@ -395,10 +428,39 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
     /// the same staged block pipeline as [`Rhhh::update_batch`] and is
     /// bit-identical to [`Rhhh::update_batch_weighted_reference`].
     pub fn update_batch_weighted(&mut self, packets: &[(K, u64)]) {
+        let added: u64 = packets.iter().map(|&(_, w)| w).sum();
+        self.update_batch_weighted_keyed(packets.len(), added, |packet| packets[packet]);
+    }
+
+    /// Volume-weighted wire entry point: like [`Rhhh::update_batch_wire`]
+    /// but each packet carries its on-wire byte length from the dense
+    /// `wire_len` side lane (which frame blocks maintain at emission, so
+    /// weighting costs no parsing). Bit-identical to zipping the same
+    /// keys and lengths into pairs and calling
+    /// [`Rhhh::update_batch_weighted`] — same argument as the unit path:
+    /// the RNG schedule depends only on the packet count.
+    pub fn update_batch_wire_weighted<F>(&mut self, wire_len: &[u32], key_at: F)
+    where
+        F: Fn(usize) -> K,
+    {
+        let added: u64 = wire_len.iter().map(|&w| u64::from(w)).sum();
+        self.update_batch_weighted_keyed(wire_len.len(), added, |packet| {
+            (key_at(packet), u64::from(wire_len[packet]))
+        });
+    }
+
+    /// Shared body of the weighted batch entry points: the staged block
+    /// pipeline over an indexable `(key, weight)` lane. `added_weight`
+    /// must be the sum of all `n` weights (selection is per packet, but
+    /// the total-weight accounting covers unselected packets too).
+    fn update_batch_weighted_keyed<F>(&mut self, packets: usize, added_weight: u64, entry_at: F)
+    where
+        F: Fn(usize) -> (K, u64),
+    {
         let total = ProfTimer::start();
-        let n = packets.len() as u64;
+        let n = packets as u64;
         self.packets += n;
-        self.weight += packets.iter().map(|&(_, w)| w).sum::<u64>();
+        self.weight += added_weight;
         let r = u64::from(self.config.updates_per_packet);
         let draws = if r == 1 { n } else { n * r };
 
@@ -423,7 +485,7 @@ impl<K: KeyBits, E: FrequencyEstimator<K>> Rhhh<K, E> {
             |idx, nodes| {
                 let t = ProfTimer::start();
                 gather_masked(r, idx, nodes, masks, mweighted, |packet, mask| {
-                    let (key, w) = packets[packet];
+                    let (key, w) = entry_at(packet);
                     (key.and(mask), w)
                 });
                 t.stop(Stage::MaskHash);

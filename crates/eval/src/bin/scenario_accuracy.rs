@@ -1,0 +1,88 @@
+//! Scenario-trace accuracy: the five seeded scenario streams through the
+//! zero-copy wire plane end to end, judged against the exact HHH oracle.
+//!
+//! Each scenario's packets are emitted as raw canonical frames, resolved
+//! through `WireBlockView` into `update_batch_wire` — the full PR 9 ingest
+//! path, no `Packet` structs on the measured plane — while the oracle
+//! consumes the same stream's exact keys. The wire plane is bit-identical
+//! to the struct-fed batch path (pinned by the differential suite), so
+//! these rows double as an accuracy regression net for the scenario
+//! library itself: a generator whose mix drifts shows up as a moved error
+//! ratio under the fixed per-scenario seed.
+//!
+//! Expected shape: at the default 1M-packet budget RHHH (`V = H`) sits
+//! near the deterministic error floor on every scenario; 10-RHHH trades
+//! ~10× update speed for a slower-decaying error, most visible on the
+//! scan-sweep scenario whose uniform dst walk starves per-node counters.
+
+use hhh_core::{HhhAlgorithm, Rhhh, RhhhConfig};
+use hhh_eval::{accuracy_error_ratio, coverage_error_ratio, false_positive_ratio, Args, Report};
+use hhh_hierarchy::Lattice;
+use hhh_traces::{blocks_from_packets, ScenarioConfig, ScenarioGenerator, ScenarioKind};
+use hhh_vswitch::WireBlockView;
+
+/// Frames per block on the measured plane (rx-burst grain).
+const BLOCK_FRAMES: usize = 65_536;
+
+fn main() {
+    let args = Args::parse(1_000_000, 1);
+    let mut report = Report::new(
+        "scenario_accuracy",
+        &[
+            "scenario",
+            "algorithm",
+            "n",
+            "hhh_count",
+            "accuracy_error_ratio",
+            "coverage_error_ratio",
+            "false_positive_ratio",
+        ],
+    );
+    report.comment(&format!(
+        "scenario_accuracy: wire plane end to end, 2D bytes, theta={}, eps={}, packets={}",
+        args.theta, args.epsilon, args.packets
+    ));
+
+    let lattice = Lattice::ipv4_src_dst_bytes();
+    for kind in ScenarioKind::all() {
+        let mut gen = ScenarioGenerator::new(&ScenarioConfig::new(kind));
+        let packets = gen.take_packets(args.packets as usize);
+        let blocks = blocks_from_packets(&packets, BLOCK_FRAMES);
+
+        let mut exact = hhh_core::ExactHhh::new(lattice.clone());
+        for p in &packets {
+            exact.insert(p.key2());
+        }
+
+        for (label, v_scale) in [("rhhh", 1u64), ("10-rhhh", 10)] {
+            let config = RhhhConfig {
+                epsilon_a: args.epsilon,
+                epsilon_s: args.epsilon,
+                delta_s: 0.001,
+                v_scale,
+                updates_per_packet: 1,
+                seed: 0x5CE0 + v_scale,
+            };
+            let mut algo = Rhhh::<u64>::new(lattice.clone(), config);
+            for block in &blocks {
+                WireBlockView::new(block).ingest(&mut algo);
+            }
+            assert_eq!(
+                algo.packets(),
+                exact.packets(),
+                "{}: the wire plane must sketch every generated frame",
+                kind.name()
+            );
+            let output = algo.output(args.theta);
+            report.row(&[
+                kind.name().to_string(),
+                label.to_string(),
+                args.packets.to_string(),
+                output.len().to_string(),
+                format!("{:.6}", accuracy_error_ratio(&output, &exact, args.epsilon)),
+                format!("{:.6}", coverage_error_ratio(&output, &exact, args.theta)),
+                format!("{:.6}", false_positive_ratio(&output, &exact, args.theta)),
+            ]);
+        }
+    }
+}

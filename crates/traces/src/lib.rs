@@ -24,6 +24,13 @@
 //! Traces can be generated on the fly ([`TraceGenerator`] is an iterator)
 //! or persisted to a compact binary format ([`io`]).
 //!
+//! Beyond the backbone presets, the crate carries a **seeded scenario
+//! library** ([`scenario`]: DDoS ramp, flash crowd, scan sweep, diurnal
+//! drift, multi-tenant mix) and a **raw-frame plane**: scenarios and
+//! generators can emit canonical 64-byte wire frames into contiguous
+//! [`FrameBlock`]s, and [`PcapReader::read_block`] fills the same blocks
+//! from real captures — the substrate of the zero-copy wire ingest path.
+//!
 //! ```
 //! use hhh_traces::{TraceConfig, TraceGenerator};
 //!
@@ -35,12 +42,16 @@
 //! ```
 
 mod address;
+pub mod frame;
 mod generator;
 pub mod io;
 pub mod pcap;
+pub mod scenario;
 mod zipf;
 
 pub use address::AddressSpace;
+pub use frame::{blocks_from_packets, classify_frame, FrameBlock, FrameClass, GEN_FRAME_LEN};
 pub use generator::{AttackConfig, Packet, TraceConfig, TraceGenerator};
-pub use pcap::{write_pcap, PcapReader};
+pub use pcap::{parse_ipv4_frame, write_pcap, PcapReader};
+pub use scenario::{ScenarioConfig, ScenarioGenerator, ScenarioKind};
 pub use zipf::Zipf;

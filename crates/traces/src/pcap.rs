@@ -12,6 +12,7 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::frame::{classify_frame, emit_canonical_frame, FrameBlock, FrameClass};
 use crate::generator::Packet;
 
 const MAGIC_USEC: u32 = 0xA1B2_C3D4;
@@ -27,8 +28,12 @@ pub struct PcapReader {
     swapped: bool,
     /// Records read so far (including skipped non-IPv4).
     records: u64,
-    /// Records skipped because they were not parseable IPv4-over-Ethernet.
-    skipped: u64,
+    /// Records skipped because their frame was another protocol family
+    /// (ARP, IPv6, bad version/IHL nibble).
+    skipped_non_ipv4: u64,
+    /// Records skipped because the capture cut the frame short of a
+    /// parseable IPv4 header.
+    skipped_truncated: u64,
 }
 
 impl PcapReader {
@@ -72,14 +77,30 @@ impl PcapReader {
             inner,
             swapped,
             records: 0,
-            skipped: 0,
+            skipped_non_ipv4: 0,
+            skipped_truncated: 0,
         })
     }
 
-    /// Records skipped because they were not IPv4-over-Ethernet.
+    /// Records skipped because they were not IPv4-over-Ethernet (the sum
+    /// of the two reject classes).
     #[must_use]
     pub fn skipped(&self) -> u64 {
-        self.skipped
+        self.skipped_non_ipv4 + self.skipped_truncated
+    }
+
+    /// Records skipped because the frame belonged to another protocol
+    /// family (ARP, IPv6, malformed IPv4 version/IHL).
+    #[must_use]
+    pub fn skipped_non_ipv4(&self) -> u64 {
+        self.skipped_non_ipv4
+    }
+
+    /// Records skipped because the capture truncated the frame before a
+    /// complete IPv4 header.
+    #[must_use]
+    pub fn skipped_truncated(&self) -> u64 {
+        self.skipped_truncated
     }
 
     /// Total records consumed (parsed + skipped).
@@ -127,8 +148,46 @@ impl PcapReader {
             if let Some(p) = parse_ipv4_frame(&frame, orig_len) {
                 return Ok(Some(p));
             }
-            self.skipped += 1;
+            match classify_frame(&frame) {
+                FrameClass::Truncated => self.skipped_truncated += 1,
+                _ => self.skipped_non_ipv4 += 1,
+            }
         }
+    }
+
+    /// Block-read mode: fills `block` (cleared first) with up to
+    /// `max_frames` raw records, copying each body straight from the
+    /// buffered file into the block's contiguous buffer. Returns the
+    /// number of frames read; `Ok(0)` at end of file.
+    ///
+    /// All records land in the block regardless of content —
+    /// classification and skip accounting belong to the parse plane that
+    /// consumes the block (blocks filled here never claim
+    /// [`FrameBlock::is_clean`]). Only [`Self::records`] advances here.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, truncated record bodies and implausible record
+    /// lengths, as for [`Self::next_packet`].
+    pub fn read_block(&mut self, block: &mut FrameBlock, max_frames: usize) -> io::Result<usize> {
+        block.clear();
+        while block.len() < max_frames {
+            let Some(_ts_sec) = self.read_u32()? else {
+                break;
+            };
+            let _ts_frac = self.read_u32()?.ok_or(io::ErrorKind::UnexpectedEof)?;
+            let incl_len = self.read_u32()?.ok_or(io::ErrorKind::UnexpectedEof)? as usize;
+            let orig_len = self.read_u32()?.ok_or(io::ErrorKind::UnexpectedEof)?;
+            if incl_len > 256 * 1024 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "implausible pcap record length",
+                ));
+            }
+            block.push_frame_with(incl_len, orig_len, |buf| self.inner.read_exact(buf))?;
+            self.records += 1;
+        }
+        Ok(block.len())
     }
 }
 
@@ -142,7 +201,14 @@ impl Iterator for PcapReader {
 
 /// Extracts the five-tuple from an Ethernet/IPv4 frame; `None` for anything
 /// else (ARP, IPv6, truncated captures, …).
-fn parse_ipv4_frame(frame: &[u8], orig_len: u32) -> Option<Packet> {
+///
+/// This is the reference accept predicate for the whole wire plane: the
+/// zero-copy lane parser in `hhh-vswitch` is property-pinned to accept
+/// exactly the frames this function parses, and
+/// [`crate::frame::classify_frame`] splits its reject set into the two
+/// skip classes.
+#[must_use]
+pub fn parse_ipv4_frame(frame: &[u8], orig_len: u32) -> Option<Packet> {
     if frame.len() < 14 + 20 {
         return None;
     }
@@ -208,29 +274,12 @@ pub fn write_pcap(path: &Path, packets: &[Packet]) -> io::Result<u64> {
     Ok(packets.len() as u64)
 }
 
-/// A minimal Ethernet/IPv4/UDP-or-raw frame for the writer.
+/// The canonical 64-byte Ethernet/IPv4 frame for the writer — shared
+/// with [`FrameBlock::push_packet`] so pcap round-trips and generator
+/// blocks carry byte-identical frames.
 fn build_frame(p: &Packet) -> Vec<u8> {
     let mut f = Vec::with_capacity(64);
-    f.extend_from_slice(&[2, 0, 0, 0, 0, 1]); // dst MAC
-    f.extend_from_slice(&[2, 0, 0, 0, 0, 2]); // src MAC
-    f.extend_from_slice(&0x0800u16.to_be_bytes());
-    let udp = p.proto == 6 || p.proto == 17;
-    let ip_len: u16 = 20 + if udp { 8 } else { 0 };
-    f.push(0x45);
-    f.push(0);
-    f.extend_from_slice(&ip_len.to_be_bytes());
-    f.extend_from_slice(&[0, 0, 0, 0]); // id, flags/frag
-    f.push(64); // ttl
-    f.push(p.proto);
-    f.extend_from_slice(&[0, 0]); // checksum (unvalidated)
-    f.extend_from_slice(&p.src.to_be_bytes());
-    f.extend_from_slice(&p.dst.to_be_bytes());
-    if udp {
-        f.extend_from_slice(&p.src_port.to_be_bytes());
-        f.extend_from_slice(&p.dst_port.to_be_bytes());
-        f.extend_from_slice(&8u16.to_be_bytes());
-        f.extend_from_slice(&[0, 0]);
-    }
+    emit_canonical_frame(p, &mut f);
     f
 }
 
@@ -352,6 +401,154 @@ mod tests {
         std::fs::write(&path, &bytes).expect("write");
         let err = PcapReader::open(&path).expect_err("must fail");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A little-endian global header with the given magic.
+    fn le_header(magic: u32) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&magic.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&65_535u32.to_le_bytes());
+        bytes.extend_from_slice(&DLT_EN10MB.to_le_bytes());
+        bytes
+    }
+
+    fn push_record(bytes: &mut Vec<u8>, frame: &[u8], orig_len: u32) {
+        bytes.extend_from_slice(&7u32.to_le_bytes()); // ts_sec
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // ts_frac
+        bytes.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&orig_len.to_le_bytes());
+        bytes.extend_from_slice(frame);
+    }
+
+    #[test]
+    fn nanosecond_magic_pcaps_parse() {
+        let path = tmp("nsec");
+        let p = Packet {
+            src: 0xC0A8_0001,
+            dst: 0x0101_0101,
+            src_port: 4000,
+            dst_port: 443,
+            proto: 6,
+            wire_len: 1500,
+        };
+        let mut bytes = le_header(MAGIC_NSEC);
+        push_record(&mut bytes, &build_frame(&p), 1500);
+        std::fs::write(&path, &bytes).expect("write");
+        let packets: Vec<Packet> = PcapReader::open(&path)
+            .expect("open nsec")
+            .map(|r| r.expect("read"))
+            .collect();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].src, p.src);
+        assert_eq!(packets[0].dst_port, 443);
+        assert_eq!(packets[0].wire_len, 1500);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skip_accounting_distinguishes_truncated_from_non_ipv4() {
+        let path = tmp("skip-split");
+        let good = build_frame(&Packet {
+            src: 1,
+            dst: 2,
+            src_port: 3,
+            dst_port: 4,
+            proto: 17,
+            wire_len: 64,
+        });
+        // IPv4 ethertype but the capture cut the frame mid-header.
+        let mut cut = vec![0u8; 20];
+        cut[12] = 0x08;
+        let mut arp = vec![0u8; 42];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        let mut bytes = le_header(MAGIC_USEC);
+        push_record(&mut bytes, &good, 64);
+        push_record(&mut bytes, &cut, 64);
+        push_record(&mut bytes, &arp, 42);
+        std::fs::write(&path, &bytes).expect("write");
+
+        let mut reader = PcapReader::open(&path).expect("open");
+        let mut parsed = 0;
+        while let Some(_p) = reader.next_packet().expect("read") {
+            parsed += 1;
+        }
+        assert_eq!(parsed, 1);
+        assert_eq!(reader.records(), 3);
+        assert_eq!(reader.skipped_truncated(), 1);
+        assert_eq!(reader.skipped_non_ipv4(), 1);
+        assert_eq!(reader.skipped(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ihl_options_frames_parse_ports_after_options() {
+        // IHL = 8 (32-byte header, 12 bytes of options): ports sit after
+        // the options, src/dst stay at their fixed offsets.
+        let path = tmp("ihl");
+        let mut frame = vec![0u8; 14 + 32 + 8];
+        frame[12] = 0x08; // ethertype IPv4
+        frame[14] = 0x48; // version 4, IHL 8
+        frame[23] = 17; // UDP
+        frame[26..30].copy_from_slice(&0x0A00_0001u32.to_be_bytes());
+        frame[30..34].copy_from_slice(&0x0808_0808u32.to_be_bytes());
+        frame[46..48].copy_from_slice(&53u16.to_be_bytes()); // src port
+        frame[48..50].copy_from_slice(&5353u16.to_be_bytes()); // dst port
+        let mut bytes = le_header(MAGIC_USEC);
+        push_record(&mut bytes, &frame, 54);
+        std::fs::write(&path, &bytes).expect("write");
+        let packets: Vec<Packet> = PcapReader::open(&path)
+            .expect("open")
+            .map(|r| r.expect("read"))
+            .collect();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].src, 0x0A00_0001);
+        assert_eq!(packets[0].src_port, 53);
+        assert_eq!(packets[0].dst_port, 5353);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_reads_match_per_record_reads() {
+        let path = tmp("block");
+        let packets: Vec<Packet> = TraceGenerator::new(&TraceConfig::chicago16())
+            .take(1_000)
+            .collect();
+        write_pcap(&path, &packets).expect("write");
+        // Interleave an ARP record so the block carries a skip case.
+        let mut data = std::fs::read(&path).expect("read");
+        let mut arp = vec![2u8, 0, 0, 0, 0, 1, 2, 0, 0, 0, 0, 2, 0x08, 0x06];
+        arp.extend_from_slice(&[0u8; 28]);
+        push_record(&mut data, &arp, 42);
+        std::fs::write(&path, &data).expect("rewrite");
+
+        let per_record: Vec<Packet> = PcapReader::open(&path)
+            .expect("open")
+            .map(|r| r.expect("read"))
+            .collect();
+
+        let mut reader = PcapReader::open(&path).expect("reopen");
+        let mut block = FrameBlock::new();
+        let mut via_blocks = Vec::new();
+        loop {
+            let n = reader.read_block(&mut block, 256).expect("block read");
+            if n == 0 {
+                break;
+            }
+            assert!(!block.is_clean(), "pcap blocks must not claim cleanliness");
+            for (frame, orig) in block.frames() {
+                if let Some(p) = parse_ipv4_frame(frame, orig) {
+                    via_blocks.push(p);
+                }
+            }
+        }
+        assert_eq!(via_blocks, per_record);
+        assert_eq!(reader.records(), 1_001);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,474 @@
+//! Seeded scenario-trace library: named traffic events layered over the
+//! synthetic backbone mixes.
+//!
+//! Each scenario is a deterministic packet stream — a pure function of
+//! `(ScenarioConfig, packet index)` — that reproduces one operationally
+//! interesting shape on top of the Zipf/IMIX backbone of
+//! [`TraceGenerator`]:
+//!
+//! * **ddos-ramp** — a `10.20.0.0/16 → 8.8.8.8` UDP flood whose share of
+//!   traffic ramps linearly from 0 to 60% over the horizon: no single
+//!   source is heavy, only the subnet aggregate (the paper's motivating
+//!   detection case).
+//! * **flash-crowd** — at the horizon midpoint, half of all traffic
+//!   snaps to one CDN destination from uniformly random clients
+//!   (1500-byte HTTPS responses): a destination-side heavy hitter that
+//!   appears mid-stream.
+//! * **scan-sweep** — a single scanner walks `10.0.0.0/8` sequentially
+//!   with minimum-size TCP probes at a constant 30% of traffic: a
+//!   source-side heavy hitter whose destinations never repeat.
+//! * **diurnal-drift** — two distinct backbone mixes cross-fade on a
+//!   sinusoid over the horizon (day ↔ night population drift), so the
+//!   heavy-hitter set itself migrates.
+//! * **multi-tenant** — eight tenants with harmonically skewed traffic
+//!   shares, each a backbone mix rewritten into its own `/8`-style
+//!   prefix: hierarchy nodes at the tenant level dominate leaves.
+//!
+//! Every scenario can **emit either structs or raw frames**: the struct
+//! plane yields [`Packet`]s, and [`ScenarioGenerator::next_block`] emits
+//! the same stream as canonical 64-byte wire frames in a [`FrameBlock`],
+//! so any bench or eval can run one scenario through both the struct-fed
+//! and the raw-bytes ingest paths and compare like for like.
+//!
+//! Scenarios are periodic with period `horizon`: past the horizon the
+//! phase wraps, so warm-up streams can draw indefinitely.
+
+use crate::frame::FrameBlock;
+use crate::generator::{splitmix, Packet, TraceConfig, TraceGenerator};
+
+/// The victim of the ddos-ramp scenario (8.8.8.8).
+const VICTIM: u32 = 0x0808_0808;
+/// Attacking subnet network address (10.20.0.0/16).
+const ATTACK_SUBNET: u32 = 0x0A14_0000;
+/// The flash-crowd CDN destination (198.18.7.7, benchmarking range).
+const CDN: u32 = 0xC612_0707;
+/// The scan-sweep scanner source (203.0.113.66, TEST-NET-3).
+const SCANNER: u32 = 0xCB00_7142;
+/// Ports the scan sweep probes, cycled per packet.
+const SCAN_PORTS: [u16; 6] = [22, 23, 80, 443, 3389, 8080];
+/// Number of tenants in the multi-tenant mix.
+const TENANTS: usize = 8;
+
+/// The five named scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Ramping subnet-aggregate UDP flood.
+    DdosRamp,
+    /// Mid-stream destination flash crowd.
+    FlashCrowd,
+    /// Sequential destination scan from one source.
+    ScanSweep,
+    /// Sinusoidal cross-fade between two backbone mixes.
+    DiurnalDrift,
+    /// Skew-weighted multi-tenant prefix mix.
+    MultiTenant,
+}
+
+impl ScenarioKind {
+    /// All scenarios, in the order the docs list them.
+    #[must_use]
+    pub fn all() -> [ScenarioKind; 5] {
+        [
+            ScenarioKind::DdosRamp,
+            ScenarioKind::FlashCrowd,
+            ScenarioKind::ScanSweep,
+            ScenarioKind::DiurnalDrift,
+            ScenarioKind::MultiTenant,
+        ]
+    }
+
+    /// Stable CLI/report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::DdosRamp => "ddos-ramp",
+            ScenarioKind::FlashCrowd => "flash-crowd",
+            ScenarioKind::ScanSweep => "scan-sweep",
+            ScenarioKind::DiurnalDrift => "diurnal-drift",
+            ScenarioKind::MultiTenant => "multi-tenant",
+        }
+    }
+
+    /// Parses a scenario name as printed by [`Self::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Self::all()
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Self::all().iter().map(|k| k.name()).collect();
+                format!(
+                    "unknown scenario '{name}' (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+/// Deterministic description of one scenario stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioConfig {
+    /// Which scenario shape to produce.
+    pub kind: ScenarioKind,
+    /// Master seed; every byte of the stream is a pure function of
+    /// `(kind, seed, horizon, index)`.
+    pub seed: u64,
+    /// Number of packets over which the scenario's event plays out; the
+    /// phase wraps past it.
+    pub horizon: u64,
+}
+
+impl ScenarioConfig {
+    /// The default configuration for a scenario: a per-kind fixed seed
+    /// and a one-million-packet horizon.
+    #[must_use]
+    pub fn new(kind: ScenarioKind) -> Self {
+        let seed = 0x5CEA_0000
+            ^ match kind {
+                ScenarioKind::DdosRamp => 0xD05,
+                ScenarioKind::FlashCrowd => 0xF1A,
+                ScenarioKind::ScanSweep => 0x5CA,
+                ScenarioKind::DiurnalDrift => 0xD1A,
+                ScenarioKind::MultiTenant => 0x7E4,
+            };
+        Self {
+            kind,
+            seed,
+            horizon: 1_000_000,
+        }
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        assert!(horizon > 0, "scenario horizon must be positive");
+        self.horizon = horizon;
+        self
+    }
+}
+
+/// Streaming scenario generator: `Iterator<Item = Packet>`, never
+/// exhausts, fully deterministic for a given [`ScenarioConfig`].
+#[derive(Debug, Clone)]
+pub struct ScenarioGenerator {
+    kind: ScenarioKind,
+    horizon: u64,
+    produced: u64,
+    /// Scenario-local RNG driving event coins (separate from the
+    /// backbone generators' streams so the mixes stay preset-faithful).
+    state: u64,
+    background: TraceGenerator,
+    /// Second mix for diurnal-drift; tenant mixes for multi-tenant.
+    others: Vec<TraceGenerator>,
+    /// Scan-sweep walk position.
+    seq: u64,
+}
+
+fn backbone(seed: u64) -> TraceConfig {
+    TraceConfig {
+        name: "scenario-backbone".into(),
+        seed,
+        flows: 1_000_000,
+        zipf_exponent: 1.03,
+        alpha: 2.8,
+        attack: None,
+    }
+}
+
+impl ScenarioGenerator {
+    /// Builds the generator for a configuration.
+    #[must_use]
+    pub fn new(config: &ScenarioConfig) -> Self {
+        let mut seed_state = config.seed ^ 0x5CEA_4A10;
+        let mut sub = || splitmix(&mut seed_state);
+        let background = TraceGenerator::new(&backbone(sub()));
+        let others = match config.kind {
+            ScenarioKind::DiurnalDrift => {
+                vec![TraceGenerator::new(&TraceConfig {
+                    zipf_exponent: 0.98,
+                    alpha: 3.1,
+                    ..backbone(sub())
+                })]
+            }
+            ScenarioKind::MultiTenant => (0..TENANTS)
+                .map(|_| {
+                    TraceGenerator::new(&TraceConfig {
+                        flows: 200_000,
+                        ..backbone(sub())
+                    })
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        Self {
+            kind: config.kind,
+            horizon: config.horizon,
+            produced: 0,
+            state: sub(),
+            background,
+            others,
+            seq: 0,
+        }
+    }
+
+    /// Packets produced so far.
+    #[must_use]
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Uniform draw in `[0, 1)` from the scenario-local RNG.
+    fn coin(&mut self) -> f64 {
+        (splitmix(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Generates the next packet (never exhausts).
+    pub fn generate(&mut self) -> Packet {
+        // Phase in [0, 1): where the current packet sits in the horizon.
+        let t = (self.produced % self.horizon) as f64 / self.horizon as f64;
+        self.produced += 1;
+        match self.kind {
+            ScenarioKind::DdosRamp => {
+                if self.coin() < 0.6 * t {
+                    let host = (splitmix(&mut self.state) as u32) & 0x0000_FFFF;
+                    let e = splitmix(&mut self.state);
+                    Packet {
+                        src: ATTACK_SUBNET | host,
+                        dst: VICTIM,
+                        src_port: (e >> 16) as u16,
+                        dst_port: 80,
+                        proto: 17,
+                        wire_len: 64,
+                    }
+                } else {
+                    self.background.generate()
+                }
+            }
+            ScenarioKind::FlashCrowd => {
+                if t >= 0.5 && self.coin() < 0.5 {
+                    let e = splitmix(&mut self.state);
+                    Packet {
+                        src: (e >> 32) as u32,
+                        dst: CDN,
+                        src_port: 1024 + ((e >> 16) as u16 % 60_000),
+                        dst_port: 443,
+                        proto: 6,
+                        wire_len: 1500,
+                    }
+                } else {
+                    self.background.generate()
+                }
+            }
+            ScenarioKind::ScanSweep => {
+                if self.coin() < 0.3 {
+                    let e = splitmix(&mut self.state);
+                    let dst = 0x0A00_0000 | (self.seq as u32 & 0x00FF_FFFF);
+                    let port = SCAN_PORTS[(self.seq % SCAN_PORTS.len() as u64) as usize];
+                    self.seq += 1;
+                    Packet {
+                        src: SCANNER,
+                        dst,
+                        src_port: 1024 + ((e >> 16) as u16 % 60_000),
+                        dst_port: port,
+                        proto: 6,
+                        wire_len: 64,
+                    }
+                } else {
+                    self.background.generate()
+                }
+            }
+            ScenarioKind::DiurnalDrift => {
+                // Night share follows a raised cosine: 0 at phase 0,
+                // 1 at the horizon midpoint.
+                let night = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * t).cos();
+                if self.coin() < night {
+                    self.others[0].generate()
+                } else {
+                    self.background.generate()
+                }
+            }
+            ScenarioKind::MultiTenant => {
+                // Harmonic shares: tenant k carries ∝ 1/(k+1).
+                let total: f64 = (1..=TENANTS).map(|k| 1.0 / k as f64).sum();
+                let mut u = self.coin() * total;
+                let mut tenant = TENANTS - 1;
+                for k in 0..TENANTS {
+                    u -= 1.0 / (k + 1) as f64;
+                    if u < 0.0 {
+                        tenant = k;
+                        break;
+                    }
+                }
+                let mut p = self.others[tenant].generate();
+                // Rewrite the source into the tenant's /8-style prefix so
+                // the tenant aggregate is a hierarchy node.
+                p.src = ((10 + tenant as u32) << 24) | (p.src & 0x00FF_FFFF);
+                p
+            }
+        }
+    }
+
+    /// Pre-generates `n` packets into a vector.
+    #[must_use]
+    pub fn take_packets(&mut self, n: usize) -> Vec<Packet> {
+        (0..n).map(|_| self.generate()).collect()
+    }
+
+    /// Emits the next `frames` packets of the stream as canonical wire
+    /// frames into `block` (cleared first). The block stays clean /
+    /// fixed-stride, so consumers may use the trusted zero-copy plane.
+    pub fn next_block(&mut self, block: &mut FrameBlock, frames: usize) {
+        block.clear();
+        for _ in 0..frames {
+            let p = self.generate();
+            block.push_packet(&p);
+        }
+    }
+}
+
+impl Iterator for ScenarioGenerator {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        Some(self.generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn share(packets: &[Packet], pred: impl Fn(&Packet) -> bool) -> f64 {
+        packets.iter().filter(|p| pred(p)).count() as f64 / packets.len() as f64
+    }
+
+    #[test]
+    fn deterministic_per_config_and_distinct_across_kinds() {
+        for kind in ScenarioKind::all() {
+            let cfg = ScenarioConfig::new(kind);
+            let a = ScenarioGenerator::new(&cfg).take_packets(2_000);
+            let b = ScenarioGenerator::new(&cfg).take_packets(2_000);
+            assert_eq!(a, b, "{}", kind.name());
+            let c = ScenarioGenerator::new(&cfg.with_seed(99)).take_packets(2_000);
+            assert_ne!(a, c, "{} must honour the seed", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_roundtrip_and_reject_unknown() {
+        for kind in ScenarioKind::all() {
+            assert_eq!(ScenarioKind::parse(kind.name()), Ok(kind));
+        }
+        assert!(ScenarioKind::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn ddos_ramp_grows_toward_horizon() {
+        let cfg = ScenarioConfig::new(ScenarioKind::DdosRamp).with_horizon(100_000);
+        let packets = ScenarioGenerator::new(&cfg).take_packets(100_000);
+        let is_attack = |p: &Packet| p.dst == VICTIM && p.src >> 16 == ATTACK_SUBNET >> 16;
+        let early = share(&packets[..10_000], is_attack);
+        let late = share(&packets[90_000..], is_attack);
+        assert!(early < 0.08, "early attack share {early}");
+        assert!((0.4..0.7).contains(&late), "late attack share {late}");
+        // Many distinct sources: only the subnet aggregate is heavy.
+        let sources: std::collections::HashSet<u32> = packets
+            .iter()
+            .filter(|p| is_attack(p))
+            .map(|p| p.src)
+            .collect();
+        assert!(sources.len() > 5_000, "{} attack sources", sources.len());
+    }
+
+    #[test]
+    fn flash_crowd_snaps_on_at_midpoint() {
+        let cfg = ScenarioConfig::new(ScenarioKind::FlashCrowd).with_horizon(80_000);
+        let packets = ScenarioGenerator::new(&cfg).take_packets(80_000);
+        let to_cdn = |p: &Packet| p.dst == CDN;
+        assert!(share(&packets[..40_000], to_cdn) < 0.01);
+        let after = share(&packets[40_000..], to_cdn);
+        assert!((0.4..0.6).contains(&after), "crowd share {after}");
+    }
+
+    #[test]
+    fn scan_sweep_walks_distinct_destinations() {
+        let cfg = ScenarioConfig::new(ScenarioKind::ScanSweep).with_horizon(50_000);
+        let packets = ScenarioGenerator::new(&cfg).take_packets(50_000);
+        let probes: Vec<&Packet> = packets.iter().filter(|p| p.src == SCANNER).collect();
+        let rate = probes.len() as f64 / packets.len() as f64;
+        assert!((0.25..0.35).contains(&rate), "probe rate {rate}");
+        let dsts: std::collections::HashSet<u32> = probes.iter().map(|p| p.dst).collect();
+        assert_eq!(dsts.len(), probes.len(), "scan never repeats a dst");
+        assert!(probes.iter().all(|p| p.wire_len == 64 && p.proto == 6));
+    }
+
+    #[test]
+    fn diurnal_drift_crossfades_the_mixes() {
+        let cfg = ScenarioConfig::new(ScenarioKind::DiurnalDrift).with_horizon(60_000);
+        let mut gen = ScenarioGenerator::new(&cfg);
+        // The night mix dominates at the midpoint and vanishes at the
+        // edges; proxy via the background generators' produced counts.
+        let _ = gen.take_packets(60_000);
+        let day = gen.background.produced();
+        let night = gen.others[0].produced();
+        assert_eq!(day + night, 60_000);
+        // Raised cosine integrates to a 50/50 split over a full period.
+        let split = day as f64 / 60_000.0;
+        assert!((0.45..0.55).contains(&split), "day share {split}");
+    }
+
+    #[test]
+    fn multi_tenant_shares_are_skewed() {
+        let cfg = ScenarioConfig::new(ScenarioKind::MultiTenant);
+        let packets = ScenarioGenerator::new(&cfg).take_packets(60_000);
+        let mut per_tenant = [0u32; TENANTS];
+        for p in &packets {
+            let prefix = p.src >> 24;
+            assert!(
+                (10..10 + TENANTS as u32).contains(&prefix),
+                "src {:#x}",
+                p.src
+            );
+            per_tenant[(prefix - 10) as usize] += 1;
+        }
+        assert!(per_tenant.iter().all(|&c| c > 0), "{per_tenant:?}");
+        // Harmonic skew: tenant 0 ≈ 8× tenant 7.
+        assert!(
+            per_tenant[0] > 4 * per_tenant[TENANTS - 1],
+            "{per_tenant:?}"
+        );
+    }
+
+    #[test]
+    fn frame_plane_matches_struct_plane() {
+        for kind in ScenarioKind::all() {
+            let cfg = ScenarioConfig::new(kind).with_horizon(4_096);
+            let structs = ScenarioGenerator::new(&cfg).take_packets(1_024);
+            let mut gen = ScenarioGenerator::new(&cfg);
+            let mut block = FrameBlock::new();
+            gen.next_block(&mut block, 1_024);
+            assert!(block.is_clean());
+            assert_eq!(block.len(), structs.len());
+            for (i, p) in structs.iter().enumerate() {
+                let back = crate::pcap::parse_ipv4_frame(block.frame(i), block.wire_lens()[i])
+                    .expect("canonical frame parses");
+                assert_eq!((back.src, back.dst), (p.src, p.dst), "{}", kind.name());
+                assert_eq!(u32::from(back.wire_len), u32::from(p.wire_len).max(64));
+            }
+        }
+    }
+}

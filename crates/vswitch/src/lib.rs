@@ -33,6 +33,10 @@
 //! * [`sharded`] — RSS-style shard parallelism: packets hash-partition
 //!   across worker threads, each running the geometric-skip batch path on
 //!   its own RHHH instance; queries merge the per-shard summaries.
+//! * [`wire`] — the zero-copy wire ingest plane: resolves raw
+//!   [`hhh_traces::FrameBlock`]s into virtual key lanes and feeds
+//!   `Rhhh::update_batch_wire` without materializing packet structs,
+//!   bit-identical to the struct-fed pipeline.
 
 pub mod datapath;
 pub mod distributed;
@@ -41,6 +45,7 @@ pub mod handoff;
 pub mod monitor;
 pub mod packet;
 pub mod sharded;
+pub mod wire;
 
 pub use datapath::{Datapath, DatapathStats, DataplaneMonitor};
 pub use distributed::{
@@ -54,3 +59,4 @@ pub use monitor::{
 };
 pub use packet::{build_udp_frame, EthernetFrame, Ipv4View, ParseError, UdpView};
 pub use sharded::{shard_of, ShardSnapshot, ShardedMonitor, WindowedShardedMonitor};
+pub use wire::WireBlockView;

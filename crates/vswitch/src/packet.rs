@@ -142,6 +142,16 @@ impl<'a> Ipv4View<'a> {
         self.buf[9]
     }
 
+    /// Packed 2D source × destination key in one big-endian load — on the
+    /// wire the two addresses are adjacent, so bytes 12..20 of the header
+    /// read as a `u64` *are* `pack2(src, dst)`. The zero-copy wire lane
+    /// parser relies on this layout identity; this accessor keeps it
+    /// checked-view-visible (and tested) in one place.
+    #[must_use]
+    pub fn key2(&self) -> u64 {
+        u64::from_be_bytes(self.buf[12..20].try_into().expect("checked length"))
+    }
+
     /// Time-to-live.
     #[must_use]
     pub fn ttl(&self) -> u8 {
@@ -250,6 +260,11 @@ mod tests {
         assert_eq!(ipv4.dst(), ip(8, 8, 8, 8));
         assert_eq!(ipv4.protocol(), 17);
         assert_eq!(ipv4.ttl(), 64);
+        assert_eq!(
+            ipv4.key2(),
+            hhh_hierarchy::pack2(ipv4.src(), ipv4.dst()),
+            "one BE load equals the packed key"
+        );
 
         let udp = UdpView::new_checked(ipv4.payload()).expect("udp");
         assert_eq!(udp.src_port(), 1234);

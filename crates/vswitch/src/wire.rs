@@ -1,0 +1,402 @@
+//! Zero-copy wire ingest: key lanes straight out of raw frame blocks,
+//! feeding the RHHH block pipeline without materializing `Packet` structs.
+//!
+//! The paper's deployment point is a byte stream — its OVS evaluation
+//! feeds 64-byte frames and reports Mpps *from the wire*. This module is
+//! the bridge from raw bytes to the sketch: a [`WireBlockView`] resolves
+//! a [`FrameBlock`] into a virtual `(src, dst, wire_len)` lane plane, and
+//! [`WireBlockView::ingest`] runs `Rhhh::update_batch_wire` over it so
+//! key bytes are loaded lazily, per *selected* packet, directly from the
+//! frame buffer.
+//!
+//! Two planes, chosen per block:
+//!
+//! * **Trusted** — generator-emitted blocks are clean by construction
+//!   ([`FrameBlock::is_clean`]): every frame is valid IPv4 at a fixed
+//!   64-byte stride. No per-frame validation pass runs at all; the key of
+//!   packet `i` is one big-endian load at `i·64 + 26`. Combined with the
+//!   RHHH sampling (`V = 10H` selects ~a tenth of packets), most frame
+//!   bytes are never touched — ingest inherits the paper's O(1) update
+//!   discount at the memory-bandwidth level too.
+//! * **Validated** — externally sourced blocks (pcap) get a prepass that
+//!   classifies every frame with the shared predicate
+//!   ([`hhh_traces::classify_frame`], property-pinned to the accept set
+//!   of [`hhh_traces::parse_ipv4_frame`]) and compacts accepted frames'
+//!   field offsets into dense lanes, with skipped frames split into
+//!   non-IPv4 vs truncated counts.
+//!
+//! **Bit-identity.** Both planes present the same key sequence that
+//! materializing `Packet` structs from the same frames would produce
+//! (`Packet::key2` of frame `i`, in frame order, skips removed), and
+//! `update_batch_wire`'s RNG schedule depends only on the packet count —
+//! so wire-fed and struct-fed instances are bit-identical state for
+//! state. The differential property suite in `tests/wire_ingest.rs` pins
+//! this across layouts, V, weighting and chunkings.
+
+use hhh_core::Rhhh;
+use hhh_counters::FrequencyEstimator;
+use hhh_traces::frame::SRC_OFFSET;
+use hhh_traces::{classify_frame, FrameBlock, FrameClass, GEN_FRAME_LEN};
+
+/// Loads the packed 2D source × destination key with one big-endian read
+/// at the frame's source-address offset: the wire layout `src‖dst` (both
+/// big-endian, adjacent) *is* `pack2(src, dst)` read as a `u64`.
+#[inline]
+fn key2_load(data: &[u8], src_off: usize) -> u64 {
+    u64::from_be_bytes(
+        data[src_off..src_off + 8]
+            .try_into()
+            .expect("validated frame bounds"),
+    )
+}
+
+/// How the view locates accepted frames' key fields.
+#[derive(Debug)]
+enum Plan<'a> {
+    /// Trusted clean block: frame `i` starts at `i · GEN_FRAME_LEN`; the
+    /// wire-length lane is borrowed from the block.
+    Stride { frames: usize, wire: &'a [u32] },
+    /// Validated block: dense source-field byte offsets and wire lengths
+    /// of the accepted frames, in frame order.
+    Validated { src_offs: Vec<u32>, wire: Vec<u32> },
+}
+
+/// A [`FrameBlock`] resolved into key lanes for zero-copy ingest.
+#[derive(Debug)]
+pub struct WireBlockView<'a> {
+    data: &'a [u8],
+    plan: Plan<'a>,
+    skipped_non_ipv4: u64,
+    skipped_truncated: u64,
+}
+
+impl<'a> WireBlockView<'a> {
+    /// Resolves a block: the trusted plane for clean fixed-stride blocks,
+    /// the validated plane for everything else.
+    #[must_use]
+    pub fn new(block: &'a FrameBlock) -> Self {
+        if block.is_clean() && block.fixed_stride() == Some(GEN_FRAME_LEN) {
+            debug_assert!(
+                block
+                    .frames()
+                    .all(|(f, _)| classify_frame(f) == FrameClass::Ipv4),
+                "clean block carries an unparseable frame"
+            );
+            Self {
+                data: block.data(),
+                plan: Plan::Stride {
+                    frames: block.len(),
+                    wire: block.wire_lens(),
+                },
+                skipped_non_ipv4: 0,
+                skipped_truncated: 0,
+            }
+        } else {
+            Self::validated(block)
+        }
+    }
+
+    /// Forces the validated plane: classifies every frame and compacts
+    /// the accepted ones into dense lanes. Used for untrusted blocks and
+    /// by tests/benches that want the full-parse cost measured.
+    #[must_use]
+    pub fn validated(block: &'a FrameBlock) -> Self {
+        let mut src_offs = Vec::with_capacity(block.len());
+        let mut wire = Vec::with_capacity(block.len());
+        let mut skipped_non_ipv4 = 0u64;
+        let mut skipped_truncated = 0u64;
+        for (i, (frame, orig)) in block.frames().enumerate() {
+            match classify_frame(frame) {
+                FrameClass::Ipv4 => {
+                    src_offs.push(block.offsets()[i] + SRC_OFFSET as u32);
+                    // Same cap as `parse_ipv4_frame`'s `wire_len` — the
+                    // weighted planes must agree on jumbo `orig_len` too.
+                    wire.push(orig.min(u32::from(u16::MAX)));
+                }
+                FrameClass::NonIpv4 => skipped_non_ipv4 += 1,
+                FrameClass::Truncated => skipped_truncated += 1,
+            }
+        }
+        Self {
+            data: block.data(),
+            plan: Plan::Validated { src_offs, wire },
+            skipped_non_ipv4,
+            skipped_truncated,
+        }
+    }
+
+    /// Number of accepted (ingestible) frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.plan {
+            Plan::Stride { frames, .. } => *frames,
+            Plan::Validated { src_offs, .. } => src_offs.len(),
+        }
+    }
+
+    /// True when no frame was accepted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Frames rejected as another protocol family (always 0 on the
+    /// trusted plane).
+    #[must_use]
+    pub fn skipped_non_ipv4(&self) -> u64 {
+        self.skipped_non_ipv4
+    }
+
+    /// Frames rejected as truncated captures (always 0 on the trusted
+    /// plane).
+    #[must_use]
+    pub fn skipped_truncated(&self) -> u64 {
+        self.skipped_truncated
+    }
+
+    /// Dense per-accepted-frame original wire lengths.
+    #[must_use]
+    pub fn wire_lens(&self) -> &[u32] {
+        match &self.plan {
+            Plan::Stride { frames, wire } => &wire[..*frames],
+            Plan::Validated { wire, .. } => wire,
+        }
+    }
+
+    /// The packed 2D key of accepted frame `i` — equal to
+    /// `Packet::key2()` of the materialized struct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn key2_at(&self, i: usize) -> u64 {
+        match &self.plan {
+            Plan::Stride { frames, .. } => {
+                assert!(i < *frames, "frame index out of range");
+                key2_load(self.data, i * GEN_FRAME_LEN + SRC_OFFSET)
+            }
+            Plan::Validated { src_offs, .. } => key2_load(self.data, src_offs[i] as usize),
+        }
+    }
+
+    /// The 1D source key of accepted frame `i` (`Packet::key1()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn key1_at(&self, i: usize) -> u32 {
+        (self.key2_at(i) >> 32) as u32
+    }
+
+    /// Appends all 2D keys to `out` — the materialize step for consumers
+    /// that need a dense slice (sharded feeds, scalar paths).
+    pub fn keys2_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.len());
+        match &self.plan {
+            Plan::Stride { frames, .. } => {
+                for i in 0..*frames {
+                    out.push(key2_load(self.data, i * GEN_FRAME_LEN + SRC_OFFSET));
+                }
+            }
+            Plan::Validated { src_offs, .. } => {
+                for &off in src_offs {
+                    out.push(key2_load(self.data, off as usize));
+                }
+            }
+        }
+    }
+
+    /// Appends all 1D source keys to `out`.
+    pub fn keys1_into(&self, out: &mut Vec<u32>) {
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            out.push(self.key1_at(i));
+        }
+    }
+
+    /// Unit-weight zero-copy ingest: runs the block pipeline over the
+    /// virtual key lane. Each plan arm hands `update_batch_wire` its own
+    /// monomorphic closure, so the per-selected-packet load compiles to a
+    /// single bounds-checked big-endian read.
+    pub fn ingest<E: FrequencyEstimator<u64>>(&self, algo: &mut Rhhh<u64, E>) {
+        let data = self.data;
+        match &self.plan {
+            Plan::Stride { frames, .. } => {
+                algo.update_batch_wire(*frames, |i| {
+                    key2_load(data, i * GEN_FRAME_LEN + SRC_OFFSET)
+                });
+            }
+            Plan::Validated { src_offs, .. } => {
+                algo.update_batch_wire(src_offs.len(), |i| key2_load(data, src_offs[i] as usize));
+            }
+        }
+    }
+
+    /// Volume-weighted zero-copy ingest: like [`Self::ingest`] but every
+    /// packet carries its on-wire byte length from the dense side lane.
+    pub fn ingest_weighted<E: FrequencyEstimator<u64>>(&self, algo: &mut Rhhh<u64, E>) {
+        let data = self.data;
+        match &self.plan {
+            Plan::Stride { frames, wire } => {
+                algo.update_batch_wire_weighted(&wire[..*frames], |i| {
+                    key2_load(data, i * GEN_FRAME_LEN + SRC_OFFSET)
+                });
+            }
+            Plan::Validated { src_offs, wire } => {
+                algo.update_batch_wire_weighted(wire, |i| key2_load(data, src_offs[i] as usize));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_core::{HhhAlgorithm, RhhhConfig};
+    use hhh_hierarchy::Lattice;
+    use hhh_traces::{parse_ipv4_frame, Packet, ScenarioConfig, ScenarioGenerator, ScenarioKind};
+
+    fn rhhh(v_scale: u64) -> Rhhh<u64> {
+        Rhhh::new(
+            Lattice::ipv4_src_dst_bytes(),
+            RhhhConfig {
+                epsilon_a: 0.001,
+                epsilon_s: 0.001,
+                delta_s: 0.001,
+                v_scale,
+                updates_per_packet: 1,
+                seed: 0x31BE,
+            },
+        )
+    }
+
+    #[test]
+    fn trusted_lanes_equal_struct_keys_for_every_scenario() {
+        for kind in ScenarioKind::all() {
+            let cfg = ScenarioConfig::new(kind);
+            let structs = ScenarioGenerator::new(&cfg).take_packets(2_000);
+            let mut gen = ScenarioGenerator::new(&cfg);
+            let mut block = FrameBlock::new();
+            gen.next_block(&mut block, 2_000);
+            let view = WireBlockView::new(&block);
+            assert_eq!(view.len(), structs.len());
+            assert_eq!(view.skipped_non_ipv4() + view.skipped_truncated(), 0);
+            for (i, p) in structs.iter().enumerate() {
+                assert_eq!(view.key2_at(i), p.key2(), "{} frame {i}", kind.name());
+                assert_eq!(view.key1_at(i), p.key1());
+                assert_eq!(
+                    view.wire_lens()[i],
+                    u32::from(p.wire_len).max(GEN_FRAME_LEN as u32)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validated_plane_matches_trusted_plane_on_clean_blocks() {
+        let cfg = ScenarioConfig::new(ScenarioKind::MultiTenant);
+        let mut gen = ScenarioGenerator::new(&cfg);
+        let mut block = FrameBlock::new();
+        gen.next_block(&mut block, 1_500);
+        let trusted = WireBlockView::new(&block);
+        let validated = WireBlockView::validated(&block);
+        assert_eq!(trusted.len(), validated.len());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        trusted.keys2_into(&mut a);
+        validated.keys2_into(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(trusted.wire_lens(), validated.wire_lens());
+    }
+
+    #[test]
+    fn mixed_blocks_compact_and_account_skips() {
+        let mut block = FrameBlock::new();
+        let keeper = Packet {
+            src: 0x0A01_0203,
+            dst: 0x0808_0808,
+            src_port: 9,
+            dst_port: 53,
+            proto: 17,
+            wire_len: 576,
+        };
+        block.push_packet(&keeper);
+        // ARP: non-IPv4.
+        let mut arp = vec![0u8; 42];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        block.push_frame(&arp, 42);
+        // IPv4 cut mid-header: truncated.
+        let mut cut = vec![0u8; 20];
+        cut[12] = 0x08;
+        block.push_frame(&cut, 60);
+        // IHL 7 frame with options present: accepted, src/dst at the
+        // fixed offsets.
+        let mut opts = vec![0u8; 14 + 28];
+        opts[12] = 0x08;
+        opts[14] = 0x47;
+        opts[26..30].copy_from_slice(&0xC0A8_0101u32.to_be_bytes());
+        opts[30..34].copy_from_slice(&0x0101_0101u32.to_be_bytes());
+        block.push_frame(&opts, 42);
+
+        let view = WireBlockView::new(&block);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.skipped_non_ipv4(), 1);
+        assert_eq!(view.skipped_truncated(), 1);
+        assert_eq!(view.key2_at(0), keeper.key2());
+        assert_eq!(view.key1_at(1), 0xC0A8_0101);
+        assert_eq!(view.wire_lens(), &[576, 42]);
+        // The lane plane agrees with struct materialization frame by frame.
+        let materialized: Vec<Packet> = block
+            .frames()
+            .filter_map(|(f, o)| parse_ipv4_frame(f, o))
+            .collect();
+        assert_eq!(materialized.len(), 2);
+        for (i, p) in materialized.iter().enumerate() {
+            assert_eq!(view.key2_at(i), p.key2());
+        }
+    }
+
+    #[test]
+    fn ingest_matches_struct_fed_update_batch() {
+        let cfg = ScenarioConfig::new(ScenarioKind::DdosRamp).with_horizon(20_000);
+        let structs = ScenarioGenerator::new(&cfg).take_packets(20_000);
+        let keys: Vec<u64> = structs.iter().map(Packet::key2).collect();
+        let mut gen = ScenarioGenerator::new(&cfg);
+
+        let mut wire_fed = rhhh(10);
+        let mut struct_fed = rhhh(10);
+        let mut block = FrameBlock::new();
+        for chunk in keys.chunks(4_096) {
+            gen.next_block(&mut block, chunk.len());
+            WireBlockView::new(&block).ingest(&mut wire_fed);
+            struct_fed.update_batch(chunk);
+        }
+        assert_eq!(wire_fed.packets(), struct_fed.packets());
+        assert_eq!(wire_fed.query(0.05), struct_fed.query(0.05));
+    }
+
+    #[test]
+    fn weighted_ingest_matches_struct_fed_weighted() {
+        let cfg = ScenarioConfig::new(ScenarioKind::FlashCrowd).with_horizon(12_000);
+        let structs = ScenarioGenerator::new(&cfg).take_packets(12_000);
+        let pairs: Vec<(u64, u64)> = structs
+            .iter()
+            .map(|p| (p.key2(), u64::from(p.wire_len).max(64)))
+            .collect();
+        let mut gen = ScenarioGenerator::new(&cfg);
+
+        let mut wire_fed = rhhh(1);
+        let mut struct_fed = rhhh(1);
+        let mut block = FrameBlock::new();
+        for chunk in pairs.chunks(5_000) {
+            gen.next_block(&mut block, chunk.len());
+            WireBlockView::new(&block).ingest_weighted(&mut wire_fed);
+            struct_fed.update_batch_weighted(chunk);
+        }
+        assert_eq!(wire_fed.total_weight(), struct_fed.total_weight());
+        assert_eq!(wire_fed.query(0.05), struct_fed.query(0.05));
+    }
+}

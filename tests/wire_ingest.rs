@@ -1,0 +1,323 @@
+//! Differential suite for the zero-copy wire ingest plane.
+//!
+//! The acceptance property of PR 9: feeding raw frame bytes through
+//! `WireBlockView::ingest` / `ingest_weighted` must leave the sketch in
+//! *bit-identical* state to feeding `update_batch` /
+//! `update_batch_weighted` the materialized keys of the same frames — not
+//! merely equal in distribution. The wire entry points share the batch
+//! pipeline and their RNG schedule depends only on the packet count, so
+//! any divergence means the lane resolution (stride arithmetic, validated
+//! compaction, wire-length capping) presented a different key sequence.
+//!
+//! Pinned here over both counter layouts × `V ∈ {H, 10H}` × unit and
+//! byte-weighted updates × several block chunkings × clean scenario blocks
+//! and mixed blocks with non-IPv4 / truncated / options-bearing frames
+//! interleaved. A proptest additionally pins the classify predicate to the
+//! materializing parser's accept set on arbitrary bytes.
+
+use hhh_core::{HhhAlgorithm, NodeEstimates, Rhhh, RhhhConfig};
+use hhh_counters::{CompactSpaceSaving, FrequencyEstimator, SpaceSaving};
+use hhh_hierarchy::{Lattice, NodeId};
+use hhh_traces::{
+    blocks_from_packets, classify_frame, parse_ipv4_frame, FrameBlock, FrameClass, Packet,
+    ScenarioConfig, ScenarioGenerator, ScenarioKind,
+};
+use hhh_vswitch::{build_udp_frame, WireBlockView};
+use proptest::prelude::*;
+
+fn config(v_scale: u64) -> RhhhConfig {
+    RhhhConfig {
+        epsilon_a: 0.005,
+        epsilon_s: 0.005,
+        delta_s: 0.01,
+        v_scale,
+        updates_per_packet: 1,
+        seed: 0xD1FF,
+    }
+}
+
+/// Full-state comparison: packet/update totals plus every node's exact
+/// candidate list, order included (the `batch_props` identity standard).
+fn assert_state_identical<E>(label: &str, wire: &Rhhh<u64, E>, reference: &Rhhh<u64, E>)
+where
+    E: FrequencyEstimator<u64>,
+{
+    assert_eq!(wire.packets(), reference.packets(), "{label}: packets");
+    assert_eq!(
+        wire.total_updates(),
+        reference.total_updates(),
+        "{label}: total updates"
+    );
+    for node in 0..wire.h() as u16 {
+        let node = NodeId(node);
+        assert_eq!(
+            wire.node_updates(node),
+            reference.node_updates(node),
+            "{label}: update totals diverged at {node:?}"
+        );
+        assert_eq!(
+            wire.node_candidates(node),
+            reference.node_candidates(node),
+            "{label}: counter state diverged at {node:?}"
+        );
+    }
+}
+
+/// Clean scenario blocks (trusted stride plane) vs struct-fed batches,
+/// matched chunk for chunk.
+fn run_clean<E: FrequencyEstimator<u64>>(kind: ScenarioKind, v_scale: u64, chunk: usize) {
+    const N: usize = 30_000;
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let packets = ScenarioGenerator::new(&ScenarioConfig::new(kind)).take_packets(N);
+    let keys: Vec<u64> = packets.iter().map(Packet::key2).collect();
+    let blocks = blocks_from_packets(&packets, chunk);
+
+    let mut wire = Rhhh::<u64, E>::new(lat.clone(), config(v_scale));
+    let mut reference = Rhhh::<u64, E>::new(lat, config(v_scale));
+    for block in &blocks {
+        let view = WireBlockView::new(block);
+        assert_eq!(view.skipped_non_ipv4() + view.skipped_truncated(), 0);
+        view.ingest(&mut wire);
+    }
+    for part in keys.chunks(chunk) {
+        reference.update_batch(part);
+    }
+    assert_state_identical(
+        &format!("{} v{v_scale} chunk {chunk}", kind.name()),
+        &wire,
+        &reference,
+    );
+}
+
+#[test]
+fn clean_blocks_bit_identical_stream_summary() {
+    for kind in [ScenarioKind::DdosRamp, ScenarioKind::MultiTenant] {
+        for v_scale in [1u64, 10] {
+            for chunk in [30_000, 4_096, 977] {
+                run_clean::<SpaceSaving<u64>>(kind, v_scale, chunk);
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_blocks_bit_identical_compact() {
+    for kind in [ScenarioKind::ScanSweep, ScenarioKind::DiurnalDrift] {
+        for v_scale in [1u64, 10] {
+            for chunk in [30_000, 4_096, 977] {
+                run_clean::<CompactSpaceSaving<u64>>(kind, v_scale, chunk);
+            }
+        }
+    }
+}
+
+/// The byte-weighted twin on the trusted plane: the wire-length lane must
+/// reproduce the struct stream's `max(wire_len, 64)` weights exactly.
+fn run_clean_weighted<E: FrequencyEstimator<u64>>(kind: ScenarioKind, v_scale: u64, chunk: usize) {
+    const N: usize = 30_000;
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let packets = ScenarioGenerator::new(&ScenarioConfig::new(kind)).take_packets(N);
+    let pairs: Vec<(u64, u64)> = packets
+        .iter()
+        .map(|p| (p.key2(), u64::from(p.wire_len).max(64)))
+        .collect();
+    let blocks = blocks_from_packets(&packets, chunk);
+
+    let mut wire = Rhhh::<u64, E>::new(lat.clone(), config(v_scale));
+    let mut reference = Rhhh::<u64, E>::new(lat, config(v_scale));
+    for block in &blocks {
+        WireBlockView::new(block).ingest_weighted(&mut wire);
+    }
+    for part in pairs.chunks(chunk) {
+        reference.update_batch_weighted(part);
+    }
+    assert_eq!(wire.total_weight(), reference.total_weight());
+    assert_state_identical(
+        &format!("{} weighted v{v_scale} chunk {chunk}", kind.name()),
+        &wire,
+        &reference,
+    );
+}
+
+#[test]
+fn clean_blocks_weighted_bit_identical() {
+    for v_scale in [1u64, 10] {
+        for chunk in [30_000, 2_048] {
+            run_clean_weighted::<SpaceSaving<u64>>(ScenarioKind::FlashCrowd, v_scale, chunk);
+            run_clean_weighted::<CompactSpaceSaving<u64>>(ScenarioKind::DdosRamp, v_scale, chunk);
+        }
+    }
+}
+
+/// An IHL = 7 (28-byte header) IPv4/TCP frame: options between the fixed
+/// header prefix and the ports. The key bytes stay at their fixed offset —
+/// src/dst live in the pre-options prefix.
+fn options_frame(src: u32, dst: u32) -> Vec<u8> {
+    let mut f = vec![0u8; 70];
+    f[12] = 0x08; // ethertype IPv4
+    f[14] = 0x47; // version 4, IHL 7
+    f[16] = 0; // total length: 28 + 4 = 32
+    f[17] = 32;
+    f[22] = 64; // TTL
+    f[23] = 6; // TCP
+    f[26..30].copy_from_slice(&src.to_be_bytes());
+    f[30..34].copy_from_slice(&dst.to_be_bytes());
+    // 8 option bytes (f[34..42]), then ports after the options.
+    f[42..44].copy_from_slice(&443u16.to_be_bytes());
+    f[44..46].copy_from_slice(&8080u16.to_be_bytes());
+    f
+}
+
+/// Builds dirty blocks: valid 64-byte frames interleaved with an ARP
+/// frame, a mid-header truncation and an options-bearing IHL > 5 frame
+/// every few packets. Returns the blocks and per-block materialized
+/// packets (what `parse_ipv4_frame` accepts, in order).
+fn mixed_blocks(n: usize, per_block: usize) -> (Vec<FrameBlock>, Vec<Vec<Packet>>) {
+    let mut arp = vec![0u8; 42];
+    arp[12] = 0x08;
+    arp[13] = 0x06;
+    let packets =
+        ScenarioGenerator::new(&ScenarioConfig::new(ScenarioKind::MultiTenant)).take_packets(n);
+    let mut blocks = Vec::new();
+    let mut per_block_packets = Vec::new();
+    for group in packets.chunks(per_block) {
+        let mut block = FrameBlock::new();
+        let mut materialized = Vec::new();
+        for (i, p) in group.iter().enumerate() {
+            let frame = build_udp_frame(p.src, p.dst, p.src_port, p.dst_port, 22);
+            match i % 5 {
+                1 => block.push_frame(&arp, 42),
+                3 => block.push_frame(&frame[..20], 64), // cut mid-IPv4-header
+                _ => {}
+            }
+            if i % 7 == 4 {
+                let opt = options_frame(p.src, p.dst);
+                let len = opt.len() as u32;
+                block.push_frame(&opt, len);
+            }
+            block.push_frame(&frame, frame.len() as u32);
+        }
+        assert!(
+            !block.is_clean(),
+            "hand-pushed bytes take the validated plan"
+        );
+        for (frame, orig) in block.frames() {
+            if let Some(p) = parse_ipv4_frame(frame, orig) {
+                materialized.push(p);
+            }
+        }
+        blocks.push(block);
+        per_block_packets.push(materialized);
+    }
+    (blocks, per_block_packets)
+}
+
+/// Mixed dirty blocks (validated plane) vs the materializing parser:
+/// identical sketch state, and the skip accounting matches the frames the
+/// parser rejected.
+#[test]
+fn mixed_blocks_bit_identical_and_accounted() {
+    const N: usize = 20_000;
+    const PER_BLOCK: usize = 3_000;
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let (blocks, per_block_packets) = mixed_blocks(N, PER_BLOCK);
+
+    for v_scale in [1u64, 10] {
+        let mut wire = Rhhh::<u64, SpaceSaving<u64>>::new(lat.clone(), config(v_scale));
+        let mut reference = Rhhh::<u64, SpaceSaving<u64>>::new(lat.clone(), config(v_scale));
+        let mut non_ipv4 = 0u64;
+        let mut truncated = 0u64;
+        for (block, materialized) in blocks.iter().zip(&per_block_packets) {
+            let view = WireBlockView::new(block);
+            non_ipv4 += view.skipped_non_ipv4();
+            truncated += view.skipped_truncated();
+            assert_eq!(view.len(), materialized.len());
+            view.ingest(&mut wire);
+            let keys: Vec<u64> = materialized.iter().map(Packet::key2).collect();
+            reference.update_batch(&keys);
+        }
+        assert!(
+            non_ipv4 > 0 && truncated > 0,
+            "the mix must exercise both skips"
+        );
+        let rejected: u64 = blocks
+            .iter()
+            .zip(&per_block_packets)
+            .map(|(b, m)| (b.len() - m.len()) as u64)
+            .sum();
+        assert_eq!(non_ipv4 + truncated, rejected);
+        assert_state_identical(&format!("mixed v{v_scale}"), &wire, &reference);
+    }
+}
+
+/// The weighted twin over the validated plane, compact layout.
+#[test]
+fn mixed_blocks_weighted_bit_identical() {
+    const N: usize = 15_000;
+    const PER_BLOCK: usize = 2_500;
+    let lat = Lattice::ipv4_src_dst_bytes();
+    let (blocks, per_block_packets) = mixed_blocks(N, PER_BLOCK);
+
+    let mut wire = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat.clone(), config(10));
+    let mut reference = Rhhh::<u64, CompactSpaceSaving<u64>>::new(lat, config(10));
+    for (block, materialized) in blocks.iter().zip(&per_block_packets) {
+        WireBlockView::new(block).ingest_weighted(&mut wire);
+        let pairs: Vec<(u64, u64)> = materialized
+            .iter()
+            .map(|p| (p.key2(), u64::from(p.wire_len)))
+            .collect();
+        reference.update_batch_weighted(&pairs);
+    }
+    assert_eq!(wire.total_weight(), reference.total_weight());
+    assert_state_identical("mixed weighted v10", &wire, &reference);
+}
+
+/// Stamps `buf` toward interesting regions of the parser's input space so
+/// the accept branch is actually reached: optionally force the IPv4
+/// ethertype and a plausible version/IHL byte.
+fn stamp(mut buf: Vec<u8>, force_eth: bool, first: u8) -> Vec<u8> {
+    if force_eth && buf.len() >= 15 {
+        buf[12] = 0x08;
+        buf[13] = 0x00;
+        buf[14] = first;
+    }
+    buf
+}
+
+proptest! {
+    /// `classify_frame`'s accept set is exactly `parse_ipv4_frame`'s: the
+    /// validated plane ingests a frame iff materialization would. The
+    /// version/IHL byte is drawn from a small grid so the accept branch,
+    /// wrong-version and bad-IHL rejections all get real coverage.
+    #[test]
+    fn classify_accept_set_matches_parser(
+        raw in proptest::collection::vec(any::<u8>(), 0..96),
+        force_eth in any::<bool>(),
+        version in 0u8..8,
+        ihl in 0u8..16,
+    ) {
+        let buf = stamp(raw, force_eth, (version << 4) | ihl);
+        let accepted = classify_frame(&buf) == FrameClass::Ipv4;
+        prop_assert_eq!(parse_ipv4_frame(&buf, buf.len() as u32).is_some(), accepted);
+    }
+
+    /// On every accepted frame the wire plane's lane key equals the
+    /// materialized packet's `key2`, and the wire-length lanes agree.
+    #[test]
+    fn lane_key_matches_materialized_key(
+        raw in proptest::collection::vec(any::<u8>(), 34..96),
+        ihl in 5u8..11,
+        orig in any::<u32>(),
+    ) {
+        let first = 0x40 | ihl;
+        let buf = stamp(raw, true, first);
+        if let Some(p) = parse_ipv4_frame(&buf, orig) {
+            let mut block = FrameBlock::new();
+            block.push_frame(&buf, orig);
+            let view = WireBlockView::new(&block);
+            prop_assert_eq!(view.len(), 1);
+            prop_assert_eq!(view.key2_at(0), p.key2());
+            prop_assert_eq!(view.wire_lens()[0], u32::from(p.wire_len));
+        }
+    }
+}
